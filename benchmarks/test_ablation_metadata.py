@@ -1,0 +1,69 @@
+"""Ablation A1 — excluding page metadata from verification (Section 4.3).
+
+The paper reports that skipping RS/WS maintenance for page metadata
+(slot pointers, headers) removes 50-65% of the digest updates, worth
+~20% of the per-operation overhead. This harness measures both the
+RSWS-operation counts and the latency under the two settings.
+
+Run ``python benchmarks/test_ablation_metadata.py`` for the table.
+"""
+
+import pytest
+
+from _harness import build_kv, scaled
+from repro.storage.config import StorageConfig
+from repro.workloads.runner import run_operations
+
+N_INITIAL = scaled(1500)
+N_OPS = scaled(1000)
+
+
+def _measure(verify_metadata: bool):
+    kv, engine, workload = build_kv(
+        StorageConfig(verify_metadata=verify_metadata), N_INITIAL
+    )
+    before = engine.vmem.rsws.total_operations()
+    recorder = run_operations(kv, workload.operations(N_OPS))
+    rsws_ops = engine.vmem.rsws.total_operations() - before
+    return recorder, rsws_ops
+
+
+@pytest.mark.parametrize("verify_metadata", [False, True])
+def test_ablation_metadata_latency(benchmark, verify_metadata):
+    def setup():
+        kv, _engine, workload = build_kv(
+            StorageConfig(verify_metadata=verify_metadata), N_INITIAL
+        )
+        return (kv, workload.operations(N_OPS)), {}
+
+    benchmark.pedantic(run_operations, setup=setup, rounds=3)
+
+
+def test_ablation_metadata_rsws_reduction():
+    """Excluding metadata removes a large share of RSWS digest updates."""
+    _, ops_excluded = _measure(verify_metadata=False)
+    _, ops_included = _measure(verify_metadata=True)
+    reduction = 1 - ops_excluded / ops_included
+    assert 0.30 <= reduction <= 0.75  # paper: 50-65%
+
+
+def main():
+    rec_off, ops_off = _measure(False)
+    rec_on, ops_on = _measure(True)
+    print("\nAblation: page-metadata verification (Section 4.3)")
+    print(f"{'setting':<28}{'RSWS ops':>12}{'mean op latency (µs)':>24}")
+    kinds = ("get", "insert", "delete", "update")
+
+    def mean(recorder):
+        return sum(recorder.mean_us(k) for k in kinds) / len(kinds)
+
+    print(f"{'metadata verified':<28}{ops_on:>12}{mean(rec_on):>24.1f}")
+    print(f"{'metadata excluded':<28}{ops_off:>12}{mean(rec_off):>24.1f}")
+    print(
+        f"RSWS-operation reduction: {(1 - ops_off / ops_on) * 100:.0f}% "
+        f"(paper: 50-65%, worth ~20% latency)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Concurrent OLTP: TPC-C under continuous verification.
+
+Runs the TPC-C transaction mix from several client threads against one
+VeriDB instance while the non-quiescent verifier works in the
+background, then compares throughput across RSWS partition counts —
+the Figure 13 experiment in miniature.
+
+Run:  python examples/concurrent_oltp.py
+"""
+
+from repro import StorageConfig, VeriDB, VeriDBConfig
+from repro.workloads.tpcc import TPCCBench
+
+WAREHOUSES = 4
+CLIENTS = 4
+TXNS_PER_CLIENT = 100
+
+
+def run_once(rsws_partitions: int | None) -> float:
+    if rsws_partitions is None:
+        storage = StorageConfig(verification=False)
+        label = "no verification"
+    else:
+        storage = StorageConfig(rsws_partitions=rsws_partitions)
+        label = f"{rsws_partitions} RSWS partition(s)"
+    db = VeriDB(VeriDBConfig(storage=storage))
+    bench = TPCCBench(db, warehouses=WAREHOUSES)
+    bench.load()
+    if rsws_partitions is not None:
+        db.start_background_verification(pause_seconds=0.01)
+    tps = bench.run_clients(CLIENTS, TXNS_PER_CLIENT)
+    if rsws_partitions is not None:
+        db.stop_background_verification()  # raises if tampering was found
+        waits = db.storage.vmem.rsws.total_contention_waits()
+        passes = db.storage.verifier.stats.passes_completed
+        print(
+            f"{label:<24} {tps:7.0f} TPS   "
+            f"({waits} RSWS lock waits, {passes} verification passes)"
+        )
+    else:
+        print(f"{label:<24} {tps:7.0f} TPS")
+    return tps
+
+
+def main():
+    print(
+        f"TPC-C: {WAREHOUSES} warehouses, {CLIENTS} clients × "
+        f"{TXNS_PER_CLIENT} transactions, standard mix "
+        f"(45/43/4/4/4)\n"
+    )
+    run_once(None)
+    for partitions in (1024, 16, 1):
+        run_once(partitions)
+    print(
+        "\nmore RSWS partitions → finer lock granularity → less contention"
+        "\n(the background verifier ran concurrently and raised no alarms)"
+    )
+
+
+if __name__ == "__main__":
+    main()

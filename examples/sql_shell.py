@@ -1,0 +1,93 @@
+"""An interactive verifiable-SQL shell.
+
+Every statement you type travels the full Figure 2 path: MACed with a
+fresh query id, executed by the enclave-resident engine over verified
+storage, endorsed, and audited client-side. Dot-commands expose the
+verification machinery:
+
+  .tables            list tables
+  .explain <SELECT>  show the physical plan without running it
+  .verify            close a verification epoch now
+  .stats             server-side verification statistics
+  .audit             the client's rollback-audit state
+  .quit              exit
+
+Run:  python examples/sql_shell.py
+      echo "SELECT 1 FROM t" | python examples/sql_shell.py   # scriptable
+"""
+
+import sys
+
+from repro import VeriDB, VeriDBConfig
+from repro.errors import VeriDBError
+
+
+def print_result(result):
+    if result.columns:
+        header = " | ".join(result.columns)
+        print(header)
+        print("-" * len(header))
+        for row in result.rows:
+            print(" | ".join("NULL" if v is None else str(v) for v in row))
+        print(f"({result.rowcount} row{'s' if result.rowcount != 1 else ''})")
+    else:
+        print(f"ok ({result.rowcount} row(s) affected)")
+    print(f"[endorsed, sequence #{result.sequence_number}]")
+
+
+def main():
+    db = VeriDB(VeriDBConfig())
+    client = db.connect(name="shell")
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("VeriDB shell — attested connection established.")
+        print("Type SQL, or .help for commands.\n")
+
+    while True:
+        try:
+            line = input("veridb> " if interactive else "")
+        except EOFError:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            if line.startswith("."):
+                command, _, rest = line.partition(" ")
+                if command in (".quit", ".exit"):
+                    break
+                elif command == ".help":
+                    print(__doc__)
+                elif command == ".tables":
+                    for name in db.catalog.table_names():
+                        info = db.catalog.lookup(name)
+                        print(f"  {name}({', '.join(info.schema.column_names)})")
+                elif command == ".explain":
+                    print(db.engine.plan(rest).explain())
+                elif command == ".verify":
+                    db.verify_now()
+                    stats = db.storage.verifier.stats
+                    print(
+                        f"epoch closed: {stats.cells_scanned} cells scanned, "
+                        f"{stats.alarms} alarms"
+                    )
+                elif command == ".stats":
+                    for key, value in db.stats().items():
+                        print(f"  {key}: {value}")
+                elif command == ".audit":
+                    print(
+                        f"  responses verified: {client.queries_verified}\n"
+                        f"  audit intervals:    {client.audit_storage_intervals}"
+                    )
+                else:
+                    print(f"unknown command {command!r}; try .help")
+                continue
+            print_result(client.execute(line))
+        except VeriDBError as exc:
+            print(f"error: {type(exc).__name__}: {exc}")
+    if interactive:
+        print("bye")
+
+
+if __name__ == "__main__":
+    main()

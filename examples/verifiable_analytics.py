@@ -1,0 +1,62 @@
+"""Verifiable analytics: TPC-H queries over verified storage.
+
+Loads a scaled TPC-H dataset, runs the paper's evaluated queries (Q1,
+Q6, Q19 under both join plans), prints each plan with its scan/other
+time split — the Figure 12 decomposition — and closes a verification
+epoch at the end.
+
+Run:  python examples/verifiable_analytics.py
+"""
+
+import time
+
+from repro import VeriDB, VeriDBConfig
+from repro.workloads.tpch import QUERIES, load_tpch
+
+SCALE_FACTOR = 0.0005  # 3000 lineitem rows, 100 parts
+
+
+def main():
+    db = VeriDB(VeriDBConfig())
+    print(f"loading TPC-H at scale factor {SCALE_FACTOR}…")
+    start = time.perf_counter()
+    counts = load_tpch(db, scale_factor=SCALE_FACTOR, seed=42)
+    print(
+        f"loaded {counts['lineitem']} lineitem + {counts['part']} part rows "
+        f"in {time.perf_counter() - start:.1f}s "
+        f"(every insert through the verified write path)\n"
+    )
+
+    runs = [
+        ("Q1  pricing summary", "Q1", None),
+        ("Q6  revenue forecast", "Q6", None),
+        ("Q19 discounted revenue (merge join)", "Q19", "merge"),
+        ("Q19 discounted revenue (nested loop)", "Q19", "nested_loop"),
+    ]
+    for title, query, hint in runs:
+        result = db.sql(QUERIES[query], join_hint=hint)
+        print(f"=== {title} ===")
+        print(result.explain())
+        print(
+            f"rows: {result.rowcount}   total {result.total_seconds():.3f}s "
+            f"= scan {result.scan_seconds():.3f}s "
+            f"+ other {result.other_seconds():.3f}s"
+        )
+        preview = list(result.rows[:3])
+        for row in preview:
+            print(f"  {row}")
+        if result.rowcount > 3:
+            print(f"  … {result.rowcount - 3} more")
+        print()
+
+    print("closing verification epoch…")
+    db.verify_now()
+    stats = db.stats()
+    print(
+        f"storage verified: {stats['verifier']['cells_scanned']} cells "
+        f"scanned, 0 alarms — the analytics ran on untampered data"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a from-scratch reproduction of VeriDB (SIGMOD 2021).
+
+VeriDB is an SGX-based verifiable relational database: the query engine
+runs inside a trusted enclave, data lives in untrusted memory protected
+by an offline memory-checking algorithm, and every query result is
+endorsed by the enclave and auditable by the client.
+
+Quick start::
+
+    from repro import VeriDB, VeriDBConfig
+
+    db = VeriDB(VeriDBConfig())
+    client = db.connect()          # remote attestation + key exchange
+    client.execute(
+        "CREATE TABLE quote (id INTEGER PRIMARY KEY, price INTEGER)"
+    )
+    client.execute("INSERT INTO quote VALUES (1, 100)")
+    result = client.execute("SELECT * FROM quote WHERE id = 1")
+    db.verify_now()                # close the epoch: storage checks out
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import (
+    BOTTOM,
+    TOP,
+    BooleanType,
+    DateType,
+    DecimalType,
+    FloatType,
+    IntegerType,
+    TextType,
+)
+from repro.core.client import ClientResult, VeriDBClient
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.errors import (
+    AuthenticationError,
+    IntegrityError,
+    ProofError,
+    RollbackDetected,
+    TransactionAborted,
+    TransactionError,
+    VeriDBError,
+    VerificationFailure,
+)
+from repro.storage.config import StorageConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "BooleanType",
+    "Column",
+    "ClientResult",
+    "DateType",
+    "DecimalType",
+    "FloatType",
+    "IntegerType",
+    "AuthenticationError",
+    "IntegrityError",
+    "ProofError",
+    "RollbackDetected",
+    "Schema",
+    "StorageConfig",
+    "TextType",
+    "TOP",
+    "TransactionAborted",
+    "TransactionError",
+    "VeriDB",
+    "VeriDBClient",
+    "VeriDBConfig",
+    "VeriDBError",
+    "VerificationFailure",
+    "__version__",
+]

@@ -1,0 +1,501 @@
+"""MB-Tree: a Merkle B+-tree verifiable key-value store.
+
+This is the paper's comparative baseline (Section 6.2): an
+authenticated index in the style of Li et al.'s Dynamic Authenticated
+Index Structures. Every node carries a hash — leaves hash their entry
+list, interiors hash their children's hashes — and the root hash is the
+commitment the client holds.
+
+Cost profile (the point of the comparison):
+
+* every write recomputes hashes along the root path **while holding a
+  global root lock** — writers fully serialize, and readers must not
+  observe a half-updated path, so they take the same lock;
+* every read produces a proof (sibling hashes along the path) that lets
+  the client regenerate the root hash.
+
+In exchange, MB-Tree offers *online* verification: a proof accompanies
+each result, no deferred epoch needed.
+
+Keys are arbitrary comparable values; values are bytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from repro.crypto.merkle import hash_interior, hash_leaf
+from repro.errors import ProofError
+from repro.storage.record import RecordCodec
+
+_codec = RecordCodec()
+
+
+def _entry_hash(key: Any, value: bytes) -> bytes:
+    return hash_leaf(_codec.encode((key,)), value)
+
+
+class _Leaf:
+    __slots__ = ("keys", "values", "next", "prev", "hash")
+
+    def __init__(self):
+        self.keys: list[Any] = []
+        self.values: list[bytes] = []
+        self.next: Optional["_Leaf"] = None
+        self.prev: Optional["_Leaf"] = None
+        self.hash = b""
+
+
+class _Interior:
+    __slots__ = ("keys", "children", "hash")
+
+    def __init__(self):
+        self.keys: list[Any] = []
+        self.children: list[Any] = []
+        self.hash = b""
+
+
+@dataclass
+class PathStep:
+    """One interior node on a proof path."""
+
+    keys: tuple
+    child_hashes: tuple
+    child_index: int
+
+
+@dataclass
+class MBTreeProof:
+    """ADS for a point query: the root path plus the full leaf."""
+
+    key: Any
+    steps: list[PathStep]  # root first
+    leaf_keys: tuple
+    leaf_values: tuple
+
+    @property
+    def found(self) -> bool:
+        return self.key in self.leaf_keys
+
+    @property
+    def value(self) -> Optional[bytes]:
+        try:
+            return self.leaf_values[self.leaf_keys.index(self.key)]
+        except ValueError:
+            return None
+
+
+class MBTree:
+    """The Merkle B+-tree store."""
+
+    def __init__(self, order: int = 64):
+        if order < 4:
+            raise ValueError("order must be at least 4")
+        self._order = order
+        self._size = 0
+        #: the global root lock — MHT's concurrency bottleneck
+        self.root_lock = threading.Lock()
+        self.lock_waits = 0
+        #: node-hash recomputations (every write rehashes its root path)
+        self.hash_recomputations = 0
+        #: individual hash-function invocations (entry + node combines) —
+        #: the machine-independent crypto-work metric Figure 11 rests on
+        self.hash_invocations = 0
+        #: bytes fed to hash functions (same purpose)
+        self.bytes_hashed = 0
+        self._root: Any = _Leaf()
+        self._rehash(self._root)
+
+    # ------------------------------------------------------------------
+    # commitment
+    # ------------------------------------------------------------------
+    @property
+    def root_hash(self) -> bytes:
+        return self._root.hash
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    def get(self, key: Any) -> tuple[Optional[bytes], MBTreeProof]:
+        """Point lookup with an ADS proof (presence or absence)."""
+        self._acquire()
+        try:
+            steps: list[PathStep] = []
+            node = self._root
+            while isinstance(node, _Interior):
+                child_index = bisect_right(node.keys, key)
+                steps.append(
+                    PathStep(
+                        keys=tuple(node.keys),
+                        child_hashes=tuple(c.hash for c in node.children),
+                        child_index=child_index,
+                    )
+                )
+                node = node.children[child_index]
+            proof = MBTreeProof(
+                key=key,
+                steps=steps,
+                leaf_keys=tuple(node.keys),
+                leaf_values=tuple(node.values),
+            )
+            return proof.value, proof
+        finally:
+            self.root_lock.release()
+
+    def range(self, lo: Any, hi: Any) -> tuple[list[tuple[Any, bytes]], list[MBTreeProof]]:
+        """Range query: matching entries plus per-leaf proofs.
+
+        The proofs cover the boundary records as in Example 2.1 (the
+        leaf containing the predecessor of ``lo`` through the leaf
+        containing the successor of ``hi``), letting the client check
+        completeness against the root hash.
+        """
+        results: list[tuple[Any, bytes]] = []
+        proofs: list[MBTreeProof] = []
+        self._acquire()
+        try:
+            node = self._root
+            while isinstance(node, _Interior):
+                node = node.children[bisect_right(node.keys, lo)]
+            leaf = node
+            while leaf is not None:
+                _, proof = self._leaf_proof_locked(leaf)
+                proofs.append(proof)
+                for k, v in zip(leaf.keys, leaf.values):
+                    if lo <= k <= hi:
+                        results.append((k, v))
+                if leaf.keys and leaf.keys[-1] > hi:
+                    break
+                leaf = leaf.next
+            return results, proofs
+        finally:
+            self.root_lock.release()
+
+    def _leaf_proof_locked(self, leaf: _Leaf):
+        key = leaf.keys[0] if leaf.keys else None
+        steps: list[PathStep] = []
+        node = self._root
+        while isinstance(node, _Interior):
+            child_index = (
+                bisect_right(node.keys, key) if key is not None else 0
+            )
+            steps.append(
+                PathStep(
+                    keys=tuple(node.keys),
+                    child_hashes=tuple(c.hash for c in node.children),
+                    child_index=child_index,
+                )
+            )
+            node = node.children[child_index]
+        return node, MBTreeProof(
+            key=key,
+            steps=steps,
+            leaf_keys=tuple(node.keys),
+            leaf_values=tuple(node.values),
+        )
+
+    # ------------------------------------------------------------------
+    # writes (each rehashes the root path under the global lock)
+    # ------------------------------------------------------------------
+    def insert(self, key: Any, value: bytes) -> None:
+        self._acquire()
+        try:
+            path = self._path(key)
+            leaf: _Leaf = path[-1][0]
+            i = bisect_left(leaf.keys, key)
+            if i < len(leaf.keys) and leaf.keys[i] == key:
+                leaf.values[i] = value
+            else:
+                leaf.keys.insert(i, key)
+                leaf.values.insert(i, value)
+                self._size += 1
+                if len(leaf.keys) > self._order:
+                    self._split(path)
+                    return  # _split rehashes everything it touches
+            self._rehash_path(path)
+        finally:
+            self.root_lock.release()
+
+    def update(self, key: Any, value: bytes) -> bool:
+        self._acquire()
+        try:
+            path = self._path(key)
+            leaf: _Leaf = path[-1][0]
+            i = bisect_left(leaf.keys, key)
+            if i >= len(leaf.keys) or leaf.keys[i] != key:
+                return False
+            leaf.values[i] = value
+            self._rehash_path(path)
+            return True
+        finally:
+            self.root_lock.release()
+
+    def delete(self, key: Any) -> bool:
+        self._acquire()
+        try:
+            path = self._path(key)
+            leaf: _Leaf = path[-1][0]
+            i = bisect_left(leaf.keys, key)
+            if i >= len(leaf.keys) or leaf.keys[i] != key:
+                return False
+            leaf.keys.pop(i)
+            leaf.values.pop(i)
+            self._size -= 1
+            if not leaf.keys and leaf is not self._root:
+                self._remove_empty_leaf(path)
+            else:
+                self._rehash_path(path)
+            return True
+        finally:
+            self.root_lock.release()
+
+    def items(self) -> Iterator[tuple[Any, bytes]]:
+        node = self._root
+        while isinstance(node, _Interior):
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _acquire(self):
+        if not self.root_lock.acquire(blocking=False):
+            self.lock_waits += 1
+            self.root_lock.acquire()
+
+    def _path(self, key: Any):
+        path = []
+        node = self._root
+        index_in_parent = -1
+        while True:
+            path.append((node, index_in_parent))
+            if isinstance(node, _Leaf):
+                return path
+            index_in_parent = bisect_right(node.keys, key)
+            node = node.children[index_in_parent]
+
+    def _rehash_path(self, path):
+        for node, _ in reversed(path):
+            self._rehash(node)
+
+    def _rehash(self, node) -> None:
+        """Recompute one node's hash, accounting the crypto work.
+
+        A leaf rehash digests every entry (key bytes + full value), an
+        interior rehash combines its children's digests — the hash
+        volume every MHT write pays along the root path.
+        """
+        self.hash_recomputations += 1
+        if isinstance(node, _Leaf):
+            entry_hashes = []
+            for key, value in zip(node.keys, node.values):
+                encoded = _codec.encode((key,))
+                self.hash_invocations += 1
+                self.bytes_hashed += len(encoded) + len(value)
+                entry_hashes.append(hash_leaf(encoded, value))
+            self.hash_invocations += 1
+            self.bytes_hashed += 32 * len(entry_hashes)
+            node.hash = hash_interior(entry_hashes)
+        else:
+            self.hash_invocations += 1
+            self.bytes_hashed += 32 * len(node.children)
+            node.hash = hash_interior(child.hash for child in node.children)
+
+    def _split(self, path):
+        node, _ = path[-1][0], path[-1][1]
+        node = path[-1][0]
+        level = len(path) - 1
+        dirty = []
+        while len(node.keys) > self._order:
+            mid = len(node.keys) // 2
+            if isinstance(node, _Leaf):
+                right = _Leaf()
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next = node.next
+                right.prev = node
+                if node.next is not None:
+                    node.next.prev = right
+                node.next = right
+                separator = right.keys[0]
+            else:
+                right = _Interior()
+                separator = node.keys[mid]
+                right.keys = node.keys[mid + 1 :]
+                right.children = node.children[mid + 1 :]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+            self._rehash(node)
+            self._rehash(right)
+            if level == 0:
+                new_root = _Interior()
+                new_root.keys = [separator]
+                new_root.children = [node, right]
+                self._rehash(new_root)
+                self._root = new_root
+                return
+            parent = path[level - 1][0]
+            child_index = path[level][1]
+            parent.keys.insert(child_index, separator)
+            parent.children.insert(child_index + 1, right)
+            dirty.append(parent)
+            node = parent
+            level -= 1
+        # rehash remaining ancestors
+        for ancestor, _ in reversed(path[: level + 1]):
+            self._rehash(ancestor)
+
+    def _remove_empty_leaf(self, path):
+        leaf: _Leaf = path[-1][0]
+        if leaf.prev is not None:
+            leaf.prev.next = leaf.next
+        if leaf.next is not None:
+            leaf.next.prev = leaf.prev
+        level = len(path) - 1
+        while level > 0:
+            parent: _Interior = path[level - 1][0]
+            child_index = path[level][1]
+            parent.children.pop(child_index)
+            if parent.keys:
+                parent.keys.pop(max(0, child_index - 1))
+            if parent.children:
+                if len(parent.children) == 1 and parent is self._root:
+                    self._root = parent.children[0]
+                    self._rehash(self._root)
+                    return
+                self._rehash_path(path[:level])
+                return
+            level -= 1
+        self._root = _Leaf()  # pragma: no cover
+        self._rehash(self._root)  # pragma: no cover
+
+
+# ----------------------------------------------------------------------
+# client-side verification
+# ----------------------------------------------------------------------
+def verify_range_proof(
+    root_hash: bytes,
+    proofs: list[MBTreeProof],
+    lo: Any,
+    hi: Any,
+    results: list[tuple],
+) -> None:
+    """Check a range query's results against the committed root hash.
+
+    This is Example 2.1's verification: the returned leaves must each
+    link to the root, be *adjacent* in the tree (no leaf omitted in the
+    middle), cover the range boundaries, and contain exactly the
+    reported results. Raises :class:`ProofError` on any violation.
+    """
+    if not proofs:
+        raise ProofError("range proof is empty")
+    for proof in proofs:
+        _verify_leaf_link(root_hash, proof)
+    for left, right in zip(proofs, proofs[1:]):
+        if not _paths_adjacent(left, right):
+            raise ProofError(
+                "range proof leaves are not adjacent: a leaf was omitted"
+            )
+    # boundary coverage: the first leaf must lie at or before `lo`'s
+    # search path (if `lo` would route to an *earlier* child anywhere
+    # along the path, in-range leaves were skipped), and the last leaf
+    # must end past `hi` or be the rightmost leaf
+    first = proofs[0]
+    for step in first.steps:
+        if bisect_right(list(step.keys), lo) < step.child_index:
+            raise ProofError("left boundary not covered by the first leaf")
+    last = proofs[-1]
+    if last.leaf_keys and last.leaf_keys[-1] <= hi:
+        for step in last.steps:
+            if step.child_index != len(step.child_hashes) - 1:
+                raise ProofError(
+                    "right boundary not covered: more leaves follow"
+                )
+    expected = [
+        (key, value)
+        for proof in proofs
+        for key, value in zip(proof.leaf_keys, proof.leaf_values)
+        if lo <= key <= hi
+    ]
+    if expected != list(results):
+        raise ProofError("range results do not match the proven leaves")
+
+
+def _verify_leaf_link(root_hash: bytes, proof: MBTreeProof) -> None:
+    leaf_hash = hash_interior(
+        _entry_hash(k, v) for k, v in zip(proof.leaf_keys, proof.leaf_values)
+    )
+    current = leaf_hash
+    for step in reversed(proof.steps):
+        if step.child_index >= len(step.child_hashes):
+            raise ProofError("malformed MB-Tree proof: child index out of range")
+        if step.child_hashes[step.child_index] != current:
+            raise ProofError("MB-Tree proof does not link to the root hash")
+        current = hash_interior(step.child_hashes)
+    if current != root_hash:
+        raise ProofError("MB-Tree proof root hash mismatch")
+
+
+def _paths_adjacent(left: MBTreeProof, right: MBTreeProof) -> bool:
+    """Whether ``right``'s leaf immediately follows ``left``'s.
+
+    The paths share the tree above some divergence level; at that level
+    the right path takes the next child; below it, the left path must be
+    rightmost and the right path leftmost.
+    """
+    if len(left.steps) != len(right.steps):
+        return False  # all leaves sit at the same depth in a B+-tree
+    diverged = False
+    for step_l, step_r in zip(left.steps, right.steps):
+        if not diverged:
+            if step_l.child_hashes != step_r.child_hashes:
+                return False  # different nodes before any divergence
+            if step_l.child_index == step_r.child_index:
+                continue
+            if step_r.child_index != step_l.child_index + 1:
+                return False
+            diverged = True
+        else:
+            if step_l.child_index != len(step_l.child_hashes) - 1:
+                return False  # left path not rightmost below divergence
+            if step_r.child_index != 0:
+                return False  # right path not leftmost below divergence
+    return diverged or not left.steps  # single-leaf trees have no steps
+
+
+def verify_point_proof(root_hash: bytes, proof: MBTreeProof) -> Optional[bytes]:
+    """Check a point proof against the committed root hash.
+
+    Returns the proven value (None proves absence); raises
+    :class:`ProofError` if the ADS does not regenerate the root hash or
+    the search path is inconsistent with the queried key.
+    """
+    leaf_hash = hash_interior(
+        _entry_hash(k, v) for k, v in zip(proof.leaf_keys, proof.leaf_values)
+    )
+    current = leaf_hash
+    for step in reversed(proof.steps):
+        if step.child_index >= len(step.child_hashes):
+            raise ProofError("malformed MB-Tree proof: child index out of range")
+        if step.child_hashes[step.child_index] != current:
+            raise ProofError("MB-Tree proof does not link to the root hash")
+        if proof.key is not None:
+            expected = bisect_right(list(step.keys), proof.key)
+            if expected != step.child_index:
+                raise ProofError("MB-Tree proof followed the wrong search path")
+        current = hash_interior(step.child_hashes)
+    if current != root_hash:
+        raise ProofError("MB-Tree proof root hash mismatch")
+    if list(proof.leaf_keys) != sorted(set(proof.leaf_keys)):
+        raise ProofError("MB-Tree leaf entries are not strictly ordered")
+    return proof.value

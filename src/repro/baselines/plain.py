@@ -1,0 +1,43 @@
+"""Unverified in-memory KV store (the no-security reference point)."""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator, Optional
+
+from repro.index.btree import BPlusTree
+
+
+class PlainKVStore:
+    """A plain ordered KV store with the same interface shape as the
+    verifiable stores, for apples-to-apples micro-benchmarks."""
+
+    def __init__(self):
+        self._tree = BPlusTree()
+        self._lock = threading.Lock()
+
+    def get(self, key: Any) -> Optional[bytes]:
+        with self._lock:
+            return self._tree.search(key)
+
+    def insert(self, key: Any, value: bytes) -> None:
+        with self._lock:
+            self._tree.insert(key, value)
+
+    def update(self, key: Any, value: bytes) -> bool:
+        with self._lock:
+            if self._tree.search(key) is None:
+                return False
+            self._tree.insert(key, value)
+            return True
+
+    def delete(self, key: Any) -> bool:
+        with self._lock:
+            return self._tree.delete(key)
+
+    def range(self, lo: Any, hi: Any) -> Iterator[tuple[Any, bytes]]:
+        with self._lock:
+            return iter(list(self._tree.items(lo=lo, hi=hi)))
+
+    def __len__(self) -> int:
+        return len(self._tree)

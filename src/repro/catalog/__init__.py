@@ -1,0 +1,33 @@
+"""Relational catalog: column types, schemas and table metadata."""
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import (
+    BOTTOM,
+    TOP,
+    BooleanType,
+    ColumnType,
+    DateType,
+    DecimalType,
+    FloatType,
+    IntegerType,
+    TextType,
+    type_from_name,
+)
+
+__all__ = [
+    "BOTTOM",
+    "TOP",
+    "BooleanType",
+    "Catalog",
+    "Column",
+    "ColumnType",
+    "DateType",
+    "DecimalType",
+    "FloatType",
+    "IntegerType",
+    "Schema",
+    "TableInfo",
+    "TextType",
+    "type_from_name",
+]

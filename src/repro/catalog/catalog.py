@@ -1,0 +1,59 @@
+"""The database catalog: name → table resolution.
+
+The catalog itself is *trusted state*: it lives with the query engine
+inside the enclave (table definitions are tiny), so an adversary cannot
+point a query at a forged table.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Any
+
+from repro.catalog.schema import Schema
+from repro.errors import CatalogError
+
+
+@dataclass
+class TableInfo:
+    """Catalog entry: schema plus the storage-layer handle."""
+
+    name: str
+    schema: Schema
+    store: Any  # repro.storage.table_store.VerifiableTable (avoid cycle)
+
+
+class Catalog:
+    """Thread-safe registry of tables."""
+
+    def __init__(self):
+        self._tables: dict[str, TableInfo] = {}
+        self._lock = threading.Lock()
+
+    def register(self, info: TableInfo) -> None:
+        with self._lock:
+            key = info.name.lower()
+            if key in self._tables:
+                raise CatalogError(f"table {info.name!r} already exists")
+            self._tables[key] = info
+
+    def drop(self, name: str) -> TableInfo:
+        with self._lock:
+            info = self._tables.pop(name.lower(), None)
+        if info is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return info
+
+    def lookup(self, name: str) -> TableInfo:
+        info = self._tables.get(name.lower())
+        if info is None:
+            raise CatalogError(f"unknown table {name!r}")
+        return info
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return sorted(info.name for info in self._tables.values())

@@ -1,0 +1,255 @@
+"""Column types and the chain-key sentinels.
+
+The storage model of Definition 4.2 needs two special values: ``⊥``
+(before every key) and ``⊤`` (after every key). They are singletons with
+total-order comparisons against any other value, so they compose with
+composite (tuple) chain keys: ``(5, BOTTOM) < (5, x) < (5, TOP)`` for any
+``x``.
+
+Column types validate Python values and define SQL-level semantics;
+byte-level encoding is the record codec's job
+(:mod:`repro.storage.record`).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+from repro.errors import CatalogError
+
+
+class _Bottom:
+    """``⊥`` — compares less than every value except itself."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other):
+        return other is not self
+
+    def __le__(self, other):
+        return True
+
+    def __gt__(self, other):
+        return False
+
+    def __ge__(self, other):
+        return other is self
+
+    def __eq__(self, other):
+        return other is self
+
+    def __hash__(self):
+        return hash("repro.catalog.BOTTOM")
+
+    def __repr__(self):
+        return "⊥"
+
+
+class _Top:
+    """``⊤`` — compares greater than every value except itself."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __lt__(self, other):
+        return False
+
+    def __le__(self, other):
+        return other is self
+
+    def __gt__(self, other):
+        return other is not self
+
+    def __ge__(self, other):
+        return True
+
+    def __eq__(self, other):
+        return other is self
+
+    def __hash__(self):
+        return hash("repro.catalog.TOP")
+
+    def __repr__(self):
+        return "⊤"
+
+
+BOTTOM = _Bottom()
+TOP = _Top()
+
+
+class ColumnType:
+    """Base class for column types."""
+
+    name = "ANY"
+    python_types: tuple = ()
+
+    def validate(self, value: Any) -> Any:
+        """Check (and possibly normalize) a value; raises CatalogError."""
+        if value is None:
+            return None
+        if not isinstance(value, self.python_types):
+            raise CatalogError(
+                f"value {value!r} is not valid for column type {self.name}"
+            )
+        return value
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self):
+        return self.name
+
+
+class IntegerType(ColumnType):
+    """64-bit signed integer."""
+
+    name = "INTEGER"
+    python_types = (int,)
+
+    _MIN = -(2**63)
+    _MAX = 2**63 - 1
+
+    def validate(self, value):
+        if isinstance(value, bool):
+            raise CatalogError("booleans are not INTEGERs")
+        value = super().validate(value)
+        if value is not None and not (self._MIN <= value <= self._MAX):
+            raise CatalogError(f"integer {value} out of 64-bit range")
+        return value
+
+
+class FloatType(ColumnType):
+    """IEEE-754 double."""
+
+    name = "FLOAT"
+    python_types = (float, int)
+
+    def validate(self, value):
+        if isinstance(value, bool):
+            raise CatalogError("booleans are not FLOATs")
+        value = super().validate(value)
+        return float(value) if value is not None else None
+
+
+class TextType(ColumnType):
+    """Variable-length unicode string."""
+
+    name = "TEXT"
+    python_types = (str,)
+
+
+class BooleanType(ColumnType):
+    name = "BOOLEAN"
+    python_types = (bool,)
+
+
+class DateType(ColumnType):
+    """Calendar date, normalized to ``datetime.date``.
+
+    Dates order correctly and participate in chain keys; the codec stores
+    them as ordinal integers.
+    """
+
+    name = "DATE"
+    python_types = (datetime.date, str)
+
+    def validate(self, value):
+        if value is None:
+            return None
+        if isinstance(value, str):
+            try:
+                return datetime.date.fromisoformat(value)
+            except ValueError as exc:
+                raise CatalogError(f"bad date literal {value!r}") from exc
+        if isinstance(value, datetime.datetime):
+            raise CatalogError("DATE columns take dates, not datetimes")
+        if isinstance(value, datetime.date):
+            return value
+        raise CatalogError(f"value {value!r} is not valid for DATE")
+
+
+class DecimalType(ColumnType):
+    """Fixed-point decimal stored as a scaled integer.
+
+    TPC-H money columns are DECIMAL(12,2); values are held as integers in
+    units of ``10**-scale`` so arithmetic and ordering are exact. Use
+    :meth:`from_display` / :meth:`to_display` at the edges.
+    """
+
+    name = "DECIMAL"
+    python_types = (int,)
+
+    def __init__(self, scale: int = 2):
+        if scale < 0:
+            raise CatalogError("decimal scale must be non-negative")
+        self.scale = scale
+
+    @property
+    def unit(self) -> int:
+        return 10**self.scale
+
+    def from_display(self, value: float) -> int:
+        return round(value * self.unit)
+
+    def to_display(self, value: int) -> float:
+        return value / self.unit
+
+    def validate(self, value):
+        if isinstance(value, bool):
+            raise CatalogError("booleans are not DECIMALs")
+        return super().validate(value)
+
+    def __repr__(self):
+        return f"DECIMAL(scale={self.scale})"
+
+
+class OpaqueTupleType(ColumnType):
+    """Internal: a whole row stored as one value.
+
+    Used by the intermediate-state spill path (Section 5.4's future-work
+    direction, implemented here): operator state beyond the EPC budget is
+    parked in a temporary verifiable table whose payload column holds the
+    original tuples verbatim. Not exposed to SQL DDL.
+    """
+
+    name = "OPAQUE_TUPLE"
+    python_types = (tuple,)
+
+
+_TYPES_BY_NAME = {
+    "INTEGER": IntegerType,
+    "INT": IntegerType,
+    "BIGINT": IntegerType,
+    "FLOAT": FloatType,
+    "DOUBLE": FloatType,
+    "REAL": FloatType,
+    "TEXT": TextType,
+    "VARCHAR": TextType,
+    "CHAR": TextType,
+    "STRING": TextType,
+    "BOOLEAN": BooleanType,
+    "BOOL": BooleanType,
+    "DATE": DateType,
+    "DECIMAL": DecimalType,
+}
+
+
+def type_from_name(name: str) -> ColumnType:
+    """Resolve a SQL type name (used by ``CREATE TABLE``)."""
+    cls = _TYPES_BY_NAME.get(name.upper())
+    if cls is None:
+        raise CatalogError(f"unknown column type {name!r}")
+    return cls()

@@ -1,0 +1,32 @@
+"""VeriDB: the assembled system (Figure 2).
+
+* :class:`~repro.core.database.VeriDB` — the server: an enclave hosting
+  the query portal, compiler and execution engine over verifiable
+  storage in untrusted memory.
+* :class:`~repro.core.client.VeriDBClient` — the client library:
+  attestation handshake, query authentication, endorsement checking and
+  the sequence-number rollback audit.
+* :class:`~repro.core.portal.QueryPortal` — the enclave-resident entry
+  point (Section 5.1).
+* :mod:`repro.core.recovery` — failure recovery by replaying a replica
+  through the normal write path.
+"""
+
+from repro.core.client import ClientResult, VeriDBClient
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.core.incident import IncidentReport, audit_table, investigate
+from repro.core.portal import AuthenticatedQuery, EndorsedResult, QueryPortal
+
+__all__ = [
+    "AuthenticatedQuery",
+    "ClientResult",
+    "EndorsedResult",
+    "IncidentReport",
+    "QueryPortal",
+    "VeriDB",
+    "VeriDBClient",
+    "VeriDBConfig",
+    "audit_table",
+    "investigate",
+]

@@ -1,0 +1,200 @@
+"""The client library.
+
+Per Section 5.1 the user keeps a *small piece of data* — the set of
+sequence numbers already observed, compressed into intervals — and
+verifies that no number ever repeats; repetition proves a rollback.
+Every query is stamped with a fresh qid and MACed; every result's
+endorsement is checked before the rows are trusted.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import AuthenticationError, RollbackDetected
+from repro.core.portal import AuthenticatedQuery, EndorsedResult, digest_result
+
+
+class IntervalSet:
+    """Integers stored as merged, sorted, disjoint [lo, hi] intervals.
+
+    This is the paper's optimization for the client's sequence-number
+    log: under normal operation the received numbers are consecutive, so
+    storage stays O(1) regardless of query volume.
+    """
+
+    def __init__(self):
+        self._intervals: list[list[int]] = []  # sorted [lo, hi] pairs
+
+    # ------------------------------------------------------------------
+    # persistence: the audit log must survive the client's own restarts,
+    # otherwise a rollback attack staged across client sessions goes
+    # unnoticed (Section 5.1 requires the user to "maintain a small
+    # piece of data")
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        out = bytearray()
+        out += len(self._intervals).to_bytes(4, "little")
+        for lo, hi in self._intervals:
+            out += int(lo).to_bytes(8, "little")
+            out += int(hi).to_bytes(8, "little")
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "IntervalSet":
+        instance = cls()
+        count = int.from_bytes(blob[:4], "little")
+        expected = 4 + count * 16
+        if len(blob) != expected:
+            raise ValueError("malformed interval-set blob")
+        offset = 4
+        previous_hi = None
+        for _ in range(count):
+            lo = int.from_bytes(blob[offset : offset + 8], "little")
+            hi = int.from_bytes(blob[offset + 8 : offset + 16], "little")
+            offset += 16
+            if lo > hi or (previous_hi is not None and lo <= previous_hi + 1):
+                raise ValueError("interval-set blob is not canonical")
+            instance._intervals.append([lo, hi])
+            previous_hi = hi
+        return instance
+
+    def add(self, value: int) -> bool:
+        """Insert; returns False (without change) if already present."""
+        intervals = self._intervals
+        i = bisect_right(intervals, [value, float("inf")])
+        if i > 0 and intervals[i - 1][1] >= value:
+            return False  # already covered
+        # attach to the left neighbour?
+        extends_left = i > 0 and intervals[i - 1][1] == value - 1
+        extends_right = i < len(intervals) and intervals[i][0] == value + 1
+        if extends_left and extends_right:
+            intervals[i - 1][1] = intervals[i][1]
+            del intervals[i]
+        elif extends_left:
+            intervals[i - 1][1] = value
+        elif extends_right:
+            intervals[i][0] = value
+        else:
+            intervals.insert(i, [value, value])
+        return True
+
+    def __contains__(self, value: int) -> bool:
+        i = bisect_right(self._intervals, [value, float("inf")])
+        return i > 0 and self._intervals[i - 1][1] >= value
+
+    def __len__(self) -> int:
+        return sum(hi - lo + 1 for lo, hi in self._intervals)
+
+    @property
+    def interval_count(self) -> int:
+        return len(self._intervals)
+
+    def intervals(self) -> list[tuple[int, int]]:
+        return [tuple(pair) for pair in self._intervals]
+
+
+@dataclass
+class ClientResult:
+    """A verified query result as seen by the client."""
+
+    columns: tuple
+    rows: tuple
+    rowcount: int
+    sequence_number: int
+
+
+class VeriDBClient:
+    """A client connection: authenticates queries, audits responses."""
+
+    def __init__(
+        self,
+        submit,
+        mac_key: bytes,
+        name: str = "client",
+        audit_state: bytes | None = None,
+    ):
+        """``submit`` is the transport to the portal (an ECall in the
+        simulated deployment); ``mac_key`` is the key established during
+        the attestation handshake. ``audit_state`` restores a previous
+        session's sequence-number log (see :meth:`export_audit_state`) —
+        without it, a rollback staged across client restarts would be
+        invisible."""
+        self._submit = submit
+        self._mac = MessageAuthenticator(mac_key)
+        self.name = name
+        self._qid_counter = itertools.count()
+        self._qid_salt = os.urandom(8)
+        self._seen_sequence_numbers = (
+            IntervalSet.from_bytes(audit_state)
+            if audit_state is not None
+            else IntervalSet()
+        )
+        self._lock = threading.Lock()
+
+    def export_audit_state(self) -> bytes:
+        """Serialize the rollback-audit log for persistent storage."""
+        with self._lock:
+            return self._seen_sequence_numbers.to_bytes()
+
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, join_hint: Optional[str] = None) -> ClientResult:
+        """Run a query end to end with full verification."""
+        qid = self._fresh_qid()
+        mac = self._mac.tag(qid, sql.encode("utf-8"))
+        endorsed: EndorsedResult = self._submit(
+            AuthenticatedQuery(qid=qid, sql=sql, mac=mac, join_hint=join_hint)
+        )
+        self._check(qid, endorsed)
+        return ClientResult(
+            columns=endorsed.columns,
+            rows=endorsed.rows,
+            rowcount=endorsed.rowcount,
+            sequence_number=endorsed.sequence_number,
+        )
+
+    # ------------------------------------------------------------------
+    def _check(self, qid: bytes, endorsed: EndorsedResult) -> None:
+        if endorsed.qid != qid:
+            raise AuthenticationError("response does not match the query id")
+        digest = digest_result(
+            endorsed.columns, endorsed.rows, endorsed.rowcount
+        )
+        if digest != endorsed.result_digest:
+            raise AuthenticationError("result digest mismatch")
+        if not self._mac.verify(
+            endorsed.endorsement,
+            qid,
+            endorsed.sequence_number.to_bytes(8, "little"),
+            endorsed.result_digest,
+        ):
+            raise AuthenticationError(
+                "result endorsement invalid: not produced by the enclave"
+            )
+        with self._lock:
+            if not self._seen_sequence_numbers.add(endorsed.sequence_number):
+                raise RollbackDetected(
+                    f"sequence number {endorsed.sequence_number} repeated: "
+                    f"the service was rolled back to an old state"
+                )
+
+    def _fresh_qid(self) -> bytes:
+        with self._lock:
+            n = next(self._qid_counter)
+        return self._qid_salt + n.to_bytes(8, "little")
+
+    # ------------------------------------------------------------------
+    @property
+    def audit_storage_intervals(self) -> int:
+        """How many intervals the rollback audit currently keeps."""
+        return self._seen_sequence_numbers.interval_count
+
+    @property
+    def queries_verified(self) -> int:
+        return len(self._seen_sequence_numbers)

@@ -1,0 +1,36 @@
+"""Top-level configuration for a VeriDB instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.config import StorageConfig
+
+
+@dataclass
+class VeriDBConfig:
+    """Knobs for the whole system.
+
+    ``storage`` carries the paper's evaluated storage configurations
+    (see :class:`~repro.storage.config.StorageConfig`).
+    ``ops_per_page_scan`` enables continuous non-quiescent verification
+    — the Figure 10 knob — scanning one page per N operations; None
+    leaves verification to explicit :meth:`VeriDB.verify_now` calls or a
+    background thread started by the caller.
+    """
+
+    storage: StorageConfig = field(default_factory=StorageConfig)
+    ops_per_page_scan: int | None = None
+    key_seed: int | None = None  # deterministic keys for tests/benchmarks
+
+    @classmethod
+    def baseline(cls) -> "VeriDBConfig":
+        """Figure 9's Baseline: no verifiability machinery at all."""
+        return cls(storage=StorageConfig(verification=False))
+
+    @classmethod
+    def rsws(cls, verify_metadata: bool = False, **kwargs) -> "VeriDBConfig":
+        """Figure 9's RSWS configurations."""
+        return cls(
+            storage=StorageConfig(verify_metadata=verify_metadata, **kwargs)
+        )

@@ -1,0 +1,170 @@
+"""The assembled VeriDB server.
+
+One :class:`VeriDB` owns the simulated enclave, the verifiable storage
+engine, the catalog, the SQL engine and the query portal. The portal is
+reachable only through an ECall, so the Figure 2 workflow is reproduced
+end to end: clients attest the enclave, establish the shared MAC key,
+and submit authenticated queries; the complete query — compilation,
+execution, access-method verification — runs inside the boundary with a
+single crossing per query.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.catalog.schema import Schema
+from repro.core.client import VeriDBClient
+from repro.core.config import VeriDBConfig
+from repro.core.portal import QueryPortal
+from repro.crypto.keys import KeyChain, generate_key
+from repro.sgx.attestation import PlatformQuotingKey, verify_quote
+from repro.sgx.enclave import Enclave
+from repro.sql.executor import ExecutionResult, QueryEngine
+from repro.storage.engine import StorageEngine
+from repro.storage.table_store import VerifiableTable
+
+#: measured identity of the engine build (what clients expect to attest)
+ENGINE_CODE_IDENTITY = b"veridb-engine-v1.0"
+
+
+class VeriDB:
+    """An SGX-based verifiable database instance."""
+
+    def __init__(self, config: VeriDBConfig | None = None):
+        self.config = config or VeriDBConfig()
+        keychain = KeyChain(seed=self.config.key_seed)
+        platform_seed = (
+            None if self.config.key_seed is None else self.config.key_seed + 1
+        )
+        self.platform = PlatformQuotingKey(generate_key(seed=platform_seed))
+        self.enclave = Enclave(
+            name="veridb", keychain=keychain, platform=self.platform
+        )
+        self.enclave.load_code(ENGINE_CODE_IDENTITY)
+        self.storage = StorageEngine(self.config.storage, keychain=keychain)
+        self.catalog = Catalog()
+        self.engine = QueryEngine(self.catalog, self.storage, epc=self.enclave.epc)
+        self.portal = QueryPortal(
+            self.engine, keychain.mac_key, self.enclave.counter
+        )
+        self.enclave.register_ecall("submit_query", self.portal.submit)
+        if self.config.ops_per_page_scan is not None:
+            self.storage.enable_continuous_verification(
+                self.config.ops_per_page_scan
+            )
+        # account the trusted synopsis against the EPC model; refreshed
+        # lazily whenever stats are read
+        self.enclave.epc.allocate(
+            "verification-synopsis", self.storage.vmem.enclave_state_bytes()
+        )
+        self._expected_measurement = self.enclave.measurement
+
+    # ------------------------------------------------------------------
+    # client connections
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        name: str = "client",
+        challenge: bytes | None = None,
+        expected_measurement: bytes | None = None,
+        audit_state: bytes | None = None,
+    ) -> VeriDBClient:
+        """Attest the enclave and open an authenticated connection.
+
+        The handshake checks a remote-attestation quote against the
+        engine code identity the client expects; only then is the shared
+        MAC key considered established (in a real deployment the key
+        exchange would ride on the attested channel).
+        """
+        challenge = challenge if challenge is not None else generate_key()
+        report = self.enclave.attest(challenge)
+        expected = (
+            expected_measurement
+            if expected_measurement is not None
+            else self._expected_measurement
+        )
+        verify_quote(self.platform, report, expected, challenge)
+        submit = lambda query: self.enclave.ecall("submit_query", query)
+        return VeriDBClient(
+            submit,
+            self.enclave.keychain.mac_key,
+            name=name,
+            audit_state=audit_state,
+        )
+
+    # ------------------------------------------------------------------
+    # server-side conveniences (trusted administration path)
+    # ------------------------------------------------------------------
+    def sql(self, statement: str, join_hint: Optional[str] = None) -> ExecutionResult:
+        """Execute SQL directly (admin/benchmark path, skips the portal)."""
+        return self.engine.execute(statement, join_hint=join_hint)
+
+    def session(self, name: str = "session", lock_timeout: float = 5.0):
+        """Open a transactional statement session (BEGIN/COMMIT/ROLLBACK).
+
+        See :class:`repro.sql.session.Session` for the isolation model.
+        """
+        from repro.sql.session import Session
+
+        return Session(self.engine, name=name, lock_timeout=lock_timeout)
+
+    def create_table(self, name: str, schema: Schema) -> VerifiableTable:
+        """Create a table from schema objects (programmatic DDL)."""
+        store = VerifiableTable(name, schema, self.storage)
+        self.catalog.register(TableInfo(name, schema, store))
+        return store
+
+    def table(self, name: str) -> VerifiableTable:
+        """Direct handle to a table's storage interface."""
+        return self.catalog.lookup(name).store
+
+    def load_rows(self, name: str, rows: Iterable[tuple]) -> int:
+        """Bulk-insert rows through the verified write path."""
+        store = self.table(name)
+        count = 0
+        for row in rows:
+            store.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # verification control
+    # ------------------------------------------------------------------
+    def verify_now(self) -> None:
+        """Run one synchronous verification pass over all storage."""
+        self.storage.verify_now()
+
+    def start_background_verification(self, pause_seconds: float = 0.0) -> None:
+        if self.storage.verifier is not None:
+            self.storage.verifier.start_background(pause_seconds)
+
+    def stop_background_verification(self) -> None:
+        if self.storage.verifier is not None:
+            self.storage.verifier.stop_background()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        vmem = self.storage.vmem
+        self.enclave.epc.resize(
+            "verification-synopsis", vmem.enclave_state_bytes()
+        )
+        return {
+            "tables": self.catalog.table_names(),
+            "memory": vars(vmem.stats).copy(),
+            "rsws_operations": vmem.rsws.total_operations(),
+            "rsws_contention_waits": vmem.rsws.total_contention_waits(),
+            "prf_calls": vmem.prf.calls,
+            "enclave_state_bytes": vmem.enclave_state_bytes(),
+            "cycles": self.enclave.meter.snapshot(),
+            "epc": self.enclave.epc.usage(),
+            "verifier": (
+                vars(self.storage.verifier.stats).copy()
+                if self.storage.verifier is not None
+                else None
+            ),
+            "queries_served": self.portal.seen_query_count(),
+        }

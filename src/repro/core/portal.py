@@ -1,0 +1,112 @@
+"""The query portal (Section 5.1), the enclave's front door.
+
+Responsibilities:
+
+* **Query authorization** — every query carries a unique query id and a
+  MAC under the key shared with the client; replayed qids and forged
+  MACs are rejected, so a compromised host cannot issue its own SQL
+  against the protected storage.
+* **Sequence numbers** — a strictly increasing trusted counter stamps
+  each query; the client's audit of these numbers is what detects
+  rollback attacks (a replayed old state inevitably re-issues a number
+  the client has already seen).
+* **Result endorsement** — results are MACed (qid, sequence number,
+  result digest), standing in for the SGX-signed channel of Step 7 in
+  Figure 2.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import AuthenticationError
+from repro.sgx.counter import MonotonicCounter
+from repro.sql.executor import QueryEngine
+from repro.storage.record import RecordCodec
+
+
+@dataclass(frozen=True)
+class AuthenticatedQuery:
+    """What the client sends: SQL, a unique query id, and a MAC."""
+
+    qid: bytes
+    sql: str
+    mac: bytes
+    join_hint: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class EndorsedResult:
+    """What the portal returns: the result endorsed by the enclave."""
+
+    qid: bytes
+    sequence_number: int
+    columns: tuple
+    rows: tuple
+    rowcount: int
+    result_digest: bytes
+    endorsement: bytes
+
+
+def digest_result(columns: tuple, rows: tuple, rowcount: int) -> bytes:
+    """Canonical digest of a query result (used in the endorsement)."""
+    codec = RecordCodec()
+    h = hashlib.sha256()
+    h.update(codec.encode(tuple(columns)))
+    h.update(rowcount.to_bytes(8, "little"))
+    for row in rows:
+        h.update(codec.encode(tuple(row)))
+    return h.digest()
+
+
+class QueryPortal:
+    """Enclave-resident portal wrapping a query engine."""
+
+    def __init__(self, engine: QueryEngine, mac_key: bytes, counter: MonotonicCounter):
+        self._engine = engine
+        self._mac = MessageAuthenticator(mac_key)
+        self._counter = counter
+        self._seen_qids: set[bytes] = set()
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def submit(self, query: AuthenticatedQuery) -> EndorsedResult:
+        """Authorize, execute and endorse one client query."""
+        if not self._mac.verify(query.mac, query.qid, query.sql.encode("utf-8")):
+            raise AuthenticationError(
+                "query MAC invalid: not initiated by the client"
+            )
+        with self._lock:
+            if query.qid in self._seen_qids:
+                raise AuthenticationError(
+                    f"query id {query.qid.hex()} was already executed (replay)"
+                )
+            self._seen_qids.add(query.qid)
+        sequence_number = self._counter.increment()
+        result = self._engine.execute(query.sql, join_hint=query.join_hint)
+        columns = tuple(result.columns)
+        rows = tuple(tuple(row) for row in result.rows)
+        digest = digest_result(columns, rows, result.rowcount)
+        endorsement = self._mac.tag(
+            query.qid,
+            sequence_number.to_bytes(8, "little"),
+            digest,
+        )
+        return EndorsedResult(
+            qid=query.qid,
+            sequence_number=sequence_number,
+            columns=columns,
+            rows=rows,
+            rowcount=result.rowcount,
+            result_digest=digest,
+            endorsement=endorsement,
+        )
+
+    # ------------------------------------------------------------------
+    def seen_query_count(self) -> int:
+        with self._lock:
+            return len(self._seen_qids)

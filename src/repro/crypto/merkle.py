@@ -1,0 +1,37 @@
+"""Merkle hashing helpers for the MB-Tree baseline.
+
+The comparative study (Section 6.2) pits VeriDB against MB-Tree, a Merkle
+B+-tree in which each leaf hashes a record and each interior node hashes
+the concatenation of its children's hashes. These helpers define that
+hash discipline; the tree itself lives in
+:mod:`repro.baselines.mbtree`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable, Sequence
+
+NODE_DIGEST_SIZE = 32
+
+_LEAF_TAG = b"\x00"
+_INTERIOR_TAG = b"\x01"
+
+
+def hash_leaf(key: bytes, value: bytes) -> bytes:
+    """Hash of a leaf entry; domain-separated from interior nodes."""
+    h = hashlib.sha256()
+    h.update(_LEAF_TAG)
+    h.update(len(key).to_bytes(4, "little"))
+    h.update(key)
+    h.update(value)
+    return h.digest()
+
+
+def hash_interior(child_hashes: Sequence[bytes] | Iterable[bytes]) -> bytes:
+    """Hash of an interior node from its ordered child hashes."""
+    h = hashlib.sha256()
+    h.update(_INTERIOR_TAG)
+    for child in child_hashes:
+        h.update(child)
+    return h.digest()

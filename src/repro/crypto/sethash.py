@@ -1,0 +1,79 @@
+"""XOR-homomorphic multiset hash.
+
+The write-read consistent memory (Section 4.1) maintains
+``h(RS) = XOR-sum of PRF(element) over the ReadSet`` and likewise for the
+WriteSet. Because XOR is commutative, associative and self-inverse, set
+equality reduces to digest equality with overwhelming probability, and the
+accumulator can be updated incrementally in O(1) per element — the property
+that removes the MHT root-hash bottleneck.
+
+Note on multisets: plain XOR cancels *pairs* of identical elements, so it
+hashes sets, not multisets. The memory checker never feeds duplicate
+elements, because every PRF input includes a strictly-increasing timestamp;
+the combination is therefore collision-resistant for its use here.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.prf import DIGEST_SIZE
+
+_ZERO = 0
+
+
+class SetHash:
+    """An incrementally-updatable XOR accumulator over PRF digests.
+
+    Internally the digest is an ``int`` (Python's arbitrary-precision XOR
+    is faster than byte-wise loops); :meth:`digest` exposes canonical
+    bytes.
+    """
+
+    __slots__ = ("_acc", "_size")
+
+    def __init__(self, digest_size: int = DIGEST_SIZE):
+        self._acc = _ZERO
+        self._size = digest_size
+
+    def add(self, element: bytes) -> None:
+        """Fold one element digest into the accumulator."""
+        self._acc ^= int.from_bytes(element, "little")
+
+    def remove(self, element: bytes) -> None:
+        """Remove one element digest (XOR is its own inverse)."""
+        self._acc ^= int.from_bytes(element, "little")
+
+    def merge(self, other: "SetHash") -> None:
+        """Fold another accumulator into this one (disjoint-union hash)."""
+        self._acc ^= other._acc
+
+    def copy(self) -> "SetHash":
+        clone = SetHash(self._size)
+        clone._acc = self._acc
+        return clone
+
+    def reset(self) -> None:
+        """Return the accumulator to the empty-set digest."""
+        self._acc = _ZERO
+
+    def digest(self) -> bytes:
+        """Canonical byte encoding of the accumulator."""
+        return self._acc.to_bytes(self._size, "little")
+
+    def hex(self) -> str:
+        return self.digest().hex()
+
+    @property
+    def is_zero(self) -> bool:
+        """True iff the accumulator equals the empty-set digest."""
+        return self._acc == _ZERO
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, SetHash):
+            return self._acc == other._acc
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(self._acc)
+
+    def __repr__(self) -> str:
+        return f"SetHash({self.hex()})"

@@ -1,0 +1,116 @@
+"""Exception hierarchy for the VeriDB reproduction.
+
+Every failure mode that the paper treats as a *detection event* (memory
+tampering, forged proofs, replayed queries, rollback) raises a subclass of
+:class:`IntegrityError`, so callers can distinguish "the adversary was
+caught" from ordinary programming or usage errors.
+"""
+
+from __future__ import annotations
+
+
+class VeriDBError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ConfigurationError(VeriDBError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class IntegrityError(VeriDBError):
+    """Base class for detected integrity violations.
+
+    Raising (or recording) an :class:`IntegrityError` corresponds to the
+    paper's "verification failure alarm": the evidence chain no longer
+    proves that the untrusted host behaved correctly.
+    """
+
+
+class VerificationFailure(IntegrityError):
+    """The offline memory checker found ``h(RS) != h(WS)`` at epoch close.
+
+    This is the deferred detection point of the write-read consistent
+    memory (Section 4.1): some value in untrusted memory was modified,
+    replayed, omitted or fabricated outside the protected Read/Write path.
+    """
+
+    def __init__(self, message: str, partition: int | None = None):
+        super().__init__(message)
+        self.partition = partition
+
+
+class ProofError(IntegrityError):
+    """An access-method proof (``key``/``nKey`` evidence) failed to check.
+
+    Raised when an index lies about a record location, when a range scan's
+    records do not form a contiguous key chain, or when a point lookup's
+    evidence does not cover the queried key (Section 5.2).
+    """
+
+
+class AuthenticationError(IntegrityError):
+    """A MAC did not verify, or a query id was replayed (Section 5.1)."""
+
+
+class RollbackDetected(IntegrityError):
+    """The client observed a repeated sequence number (Section 5.1).
+
+    A strictly-increasing trusted counter stamps every query; seeing the
+    same number twice proves the service was reverted to an old state.
+    """
+
+
+class EnclaveError(VeriDBError):
+    """Misuse of the simulated SGX enclave (bad ECall, sealed-data abuse)."""
+
+
+class AttestationError(IntegrityError):
+    """A remote-attestation quote failed to verify."""
+
+
+class StorageError(VeriDBError):
+    """A storage-layer invariant was violated by the caller (not an attack).
+
+    Examples: inserting a duplicate primary key, deleting a missing key,
+    or addressing a page that was never registered.
+    """
+
+
+class PageFullError(StorageError):
+    """A record does not fit in the target page (caller should retry)."""
+
+
+class CatalogError(VeriDBError):
+    """Unknown table/column, duplicate definition, or schema mismatch."""
+
+
+class TransactionError(VeriDBError):
+    """Transaction misuse (nested BEGIN, COMMIT outside a transaction)."""
+
+
+class TransactionAborted(VeriDBError):
+    """The transaction was rolled back (lock timeout or statement failure).
+
+    The session is back in autocommit mode; all of the transaction's
+    changes were undone through the verified write path.
+    """
+
+
+class SQLError(VeriDBError):
+    """Base class for SQL front-end failures."""
+
+
+class ParseError(SQLError):
+    """The query text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        super().__init__(message)
+        self.position = position
+
+
+class PlanningError(SQLError):
+    """The query is well-formed but cannot be planned (e.g. type error)."""
+
+
+class ExecutionError(SQLError):
+    """A runtime error occurred while executing a physical plan."""

@@ -1,0 +1,12 @@
+"""Untrusted access-path structures.
+
+The index lives entirely in untrusted memory and — crucially — *does not
+need to be verifiable* (Section 5.2): it only proposes record locations,
+and the access methods validate every answer against the
+``(key, nKey)`` evidence read from the verifiable storage. A lying index
+can cause a proof failure, never a wrong accepted result.
+"""
+
+from repro.index.btree import BPlusTree
+
+__all__ = ["BPlusTree"]

@@ -1,0 +1,42 @@
+"""Write-read consistent memory (Blum et al. / Concerto style).
+
+This subpackage implements the paper's Section 4.1:
+
+* :mod:`repro.memory.cells` — the cell model and the page-structured
+  address space.
+* :mod:`repro.memory.untrusted` — the host memory the adversary controls.
+* :mod:`repro.memory.rsws` — partitioned ReadSet/WriteSet digests with
+  per-partition locks (the "multiple RSWSs" optimization, Section 4.3).
+* :mod:`repro.memory.verified` — the protected Read/Write/Alloc/Free
+  procedures of Algorithm 1, extended with Concerto-style timestamps.
+* :mod:`repro.memory.verifier` — the non-quiescent epoch verification of
+  Algorithm 2, plus the touched-page optimization.
+* :mod:`repro.memory.adversary` — a first-class attack API used by the
+  security tests.
+"""
+
+from repro.memory.adversary import Adversary
+from repro.memory.cells import (
+    PAGE_OFFSET_BITS,
+    Cell,
+    make_addr,
+    offset_of,
+    page_of,
+)
+from repro.memory.rsws import RSWSGroup
+from repro.memory.untrusted import UntrustedMemory
+from repro.memory.verified import VerifiedMemory
+from repro.memory.verifier import Verifier
+
+__all__ = [
+    "Adversary",
+    "Cell",
+    "PAGE_OFFSET_BITS",
+    "RSWSGroup",
+    "UntrustedMemory",
+    "VerifiedMemory",
+    "Verifier",
+    "make_addr",
+    "offset_of",
+    "page_of",
+]

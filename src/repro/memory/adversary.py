@@ -1,0 +1,105 @@
+"""A first-class adversary over untrusted memory.
+
+The threat model (Section 3.1) grants the service provider full control of
+everything outside the enclave. The security tests exercise that power
+through this façade rather than poking at internals, so each attack the
+paper claims to detect has a named, documented implementation:
+
+* :meth:`Adversary.corrupt` — overwrite a cell's bytes in place.
+* :meth:`Adversary.replay` — put back a previously-observed (stale)
+  value *with its original timestamp*, the classic freshness attack.
+* :meth:`Adversary.erase` — drop a cell and its directory entry
+  (omission).
+* :meth:`Adversary.fabricate` — conjure a record that was never written
+  through the enclave.
+* :meth:`Adversary.swap` — exchange the contents of two addresses.
+* :meth:`Adversary.snapshot` / :meth:`Adversary.rollback_memory` —
+  capture and restore whole-memory state, the rollback attack of
+  Section 5.1 (combined with wiping enclave counters).
+
+None of these raise by themselves — the point is that the *verifier*
+(or the client's sequence-number audit) must catch them later.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.memory.cells import Cell
+from repro.memory.untrusted import UntrustedMemory
+
+
+class Adversary:
+    """Byzantine host operator with direct access to untrusted memory."""
+
+    def __init__(self, memory: UntrustedMemory):
+        self.memory = memory
+        self._observed: dict[int, Cell] = {}
+
+    # ------------------------------------------------------------------
+    # reconnaissance
+    # ------------------------------------------------------------------
+    def observe(self, addr: int) -> Cell:
+        """Record a cell's current contents for a later replay."""
+        cell = self.memory.raw_read(addr)
+        stale = Cell(cell.data, cell.timestamp)
+        self._observed[addr] = stale
+        return stale
+
+    # ------------------------------------------------------------------
+    # attacks
+    # ------------------------------------------------------------------
+    def corrupt(self, addr: int, data: bytes) -> None:
+        """Flip a cell's payload, keeping its timestamp (stealthiest form)."""
+        cell = self.memory.raw_read(addr)
+        self.memory.raw_write(addr, data, cell.timestamp)
+
+    def corrupt_timestamp(self, addr: int, timestamp: int) -> None:
+        """Tamper with just the stored logical timestamp."""
+        cell = self.memory.raw_read(addr)
+        self.memory.raw_write(addr, cell.data, timestamp)
+
+    def replay(self, addr: int) -> None:
+        """Restore the value recorded by :meth:`observe` (stale data)."""
+        stale = self._observed.get(addr)
+        if stale is None:
+            raise KeyError(f"no observed value for address {addr:#x}")
+        self.memory.raw_write(addr, stale.data, stale.timestamp)
+
+    def erase(self, addr: int) -> Cell:
+        """Delete a cell outright (omission attack)."""
+        return self.memory.remove(addr)
+
+    def fabricate(self, addr: int, data: bytes, timestamp: int = 0) -> None:
+        """Insert a cell that was never written through the enclave."""
+        self.memory.raw_write(addr, data, timestamp)
+
+    def swap(self, addr_a: int, addr_b: int) -> None:
+        """Exchange the contents of two cells (a relocation attack)."""
+        cell_a = self.memory.raw_read(addr_a)
+        cell_b = self.memory.raw_read(addr_b)
+        self.memory.raw_write(addr_a, cell_b.data, cell_b.timestamp)
+        self.memory.raw_write(addr_b, cell_a.data, cell_a.timestamp)
+
+    # ------------------------------------------------------------------
+    # rollback
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[int, Cell]:
+        """Capture the entire memory image."""
+        return {
+            addr: Cell(cell.data, cell.timestamp)
+            for addr, cell in self.memory.cells()
+        }
+
+    def rollback_memory(self, image: dict[int, Cell]) -> None:
+        """Restore a previously captured memory image wholesale."""
+        current = [addr for addr, _ in self.memory.cells()]
+        for addr in current:
+            if addr not in image:
+                self.memory.remove(addr)
+        for addr, cell in image.items():
+            self.memory.raw_write(addr, cell.data, cell.timestamp)
+
+    def copy_observed(self) -> dict[int, Cell]:
+        """The adversary's notebook of stale values (for assertions)."""
+        return copy.deepcopy(self._observed)

@@ -1,0 +1,110 @@
+"""Untrusted host memory.
+
+Everything here sits *outside* the trust boundary: the adversary (and the
+test-suite's :class:`~repro.memory.adversary.Adversary`) may read and
+mutate cells, timestamps and the per-page address directory at will. No
+secret ever lives here, and nothing here is believed without verification
+— correctness comes from the enclave-side digests in
+:mod:`repro.memory.verified`.
+
+The per-page directory of live addresses mirrors a slotted page's pointer
+array. Letting the untrusted side drive "which cells exist in this page"
+is sound: omitting a written cell from a scan leaves its WriteSet entry
+unmatched, fabricating one adds an unmatched ReadSet entry, and either
+breaks ``h(RS) = h(WS)`` (see the soundness tests in
+``tests/memory/test_attacks.py``).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterator
+
+from repro.errors import StorageError
+from repro.memory.cells import Cell, page_of
+
+
+class UntrustedMemory:
+    """A flat address space of timestamped cells plus a page directory."""
+
+    def __init__(self):
+        self._cells: dict[int, Cell] = {}
+        self._page_addrs: dict[int, set[int]] = {}
+        # Guards structural changes to the maps (not cell contents): the
+        # verified layer serializes same-partition ops with its own locks,
+        # but distinct partitions legitimately mutate the dicts in parallel.
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # cell access (used by both the verified path and the adversary)
+    # ------------------------------------------------------------------
+    def exists(self, addr: int) -> bool:
+        return addr in self._cells
+
+    def raw_read(self, addr: int) -> Cell:
+        cell = self._cells.get(addr)
+        if cell is None:
+            raise StorageError(f"no cell at address {addr:#x}")
+        return cell
+
+    def try_read(self, addr: int) -> Cell | None:
+        return self._cells.get(addr)
+
+    def raw_write(
+        self, addr: int, data: bytes, timestamp: int, checked: bool = True
+    ) -> None:
+        """Store (or overwrite) a cell, updating the page directory."""
+        with self._lock:
+            if addr not in self._cells:
+                self._page_addrs.setdefault(page_of(addr), set()).add(addr)
+            self._cells[addr] = Cell(data, timestamp, checked)
+
+    def set_timestamp(self, addr: int, timestamp: int) -> None:
+        cell = self._cells.get(addr)
+        if cell is None:
+            raise StorageError(f"no cell at address {addr:#x}")
+        cell.timestamp = timestamp
+
+    def remove(self, addr: int) -> Cell:
+        with self._lock:
+            cell = self._cells.pop(addr, None)
+            if cell is None:
+                raise StorageError(f"no cell at address {addr:#x}")
+            page = page_of(addr)
+            addrs = self._page_addrs.get(page)
+            if addrs is not None:
+                addrs.discard(addr)
+                if not addrs:
+                    del self._page_addrs[page]
+        return cell
+
+    # ------------------------------------------------------------------
+    # page directory
+    # ------------------------------------------------------------------
+    def page_addresses(self, page_id: int) -> list[int]:
+        """Live cell addresses of a page, in address order.
+
+        This list is untrusted input to the verifier's scan; see the
+        module docstring for why that is sound.
+        """
+        with self._lock:
+            return sorted(self._page_addrs.get(page_id, ()))
+
+    def pages(self) -> list[int]:
+        with self._lock:
+            return sorted(self._page_addrs)
+
+    def cells(self) -> Iterator[tuple[int, Cell]]:
+        """Iterate over a snapshot of all (addr, cell) pairs."""
+        with self._lock:
+            items = list(self._cells.items())
+        return iter(items)
+
+    def page_bytes(self, page_id: int) -> int:
+        """Total payload bytes currently stored in a page."""
+        with self._lock:
+            addrs = self._page_addrs.get(page_id, ())
+            return sum(len(self._cells[a].data) for a in addrs)
+
+    def __len__(self) -> int:
+        return len(self._cells)

@@ -1,0 +1,380 @@
+"""The protected Read/Write procedures (Algorithm 1).
+
+:class:`VerifiedMemory` is the enclave-resident interface to untrusted
+memory. Every operation folds PRF digests of the affected cell into the
+ReadSet/WriteSet of the cell's partition, exactly as in the paper:
+
+* ``read(addr)`` fetches the cell, adds ``PRF(addr, data, ts)`` to the
+  ReadSet, then *virtually writes the data back* with a fresh timestamp —
+  adding the new digest to the WriteSet (Algorithm 1 lines 2-5).
+* ``write(addr, new)`` consumes the old cell into the ReadSet and opens
+  the new value in the WriteSet (lines 8-11).
+* ``alloc(addr, data)`` opens a fresh cell (WriteSet only) — Blum's
+  treatment of allocation.
+* ``free(addr)`` consumes a cell without reopening it (ReadSet only) —
+  deallocation; the cell is retired and never scanned again.
+
+The *unverified* variants bypass the digests entirely; the storage layer
+uses them for page metadata when the "exclude page metadata" optimization
+(Section 4.3) is on.
+
+Trusted state held here: the PRF key (via the PRF object), the partition
+digests, the page→epoch-parity map, the touched-page set, and — when the
+touched-page verification strategy is active — one per-page open-cell
+digest. All of it is small and is what the paper keeps inside SGX.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable
+
+from repro.crypto.prf import PRF
+from repro.crypto.sethash import SetHash
+from repro.errors import StorageError, VerificationFailure
+from repro.memory.cells import page_of
+from repro.memory.rsws import RSWSGroup
+from repro.memory.untrusted import UntrustedMemory
+
+
+@dataclass
+class MemoryStats:
+    """Operation counters exposed to the benchmarks."""
+
+    verified_reads: int = 0
+    verified_writes: int = 0
+    allocs: int = 0
+    frees: int = 0
+    unverified_ops: int = 0
+
+
+class VerifiedMemory:
+    """Write-read consistent memory over an untrusted cell store.
+
+    Args:
+        memory: the untrusted backing store.
+        prf: keyed PRF whose key lives inside the enclave.
+        rsws: partitioned digest state; ``RSWSGroup(n_partitions=...)``
+            controls the lock granularity studied in Figure 13.
+        track_touched_pages: maintain the 1-bit-per-page "touched since
+            last scan" set (Section 4.3).
+        page_digests: additionally maintain a per-page digest of all
+            currently-open cells, enabling the touched-page verification
+            strategy (scan only touched pages). Costs two extra XORs per
+            operation, no extra PRF evaluations.
+        touched_group_size: granularity of touched tracking. Section 4.3
+            suggests grouping (e.g. 16 pages per bit) to shrink the
+            enclave-resident tracking structure for very large memories;
+            touching any page marks its whole group for the next scan.
+    """
+
+    def __init__(
+        self,
+        memory: UntrustedMemory | None = None,
+        prf: PRF | None = None,
+        rsws: RSWSGroup | None = None,
+        track_touched_pages: bool = True,
+        page_digests: bool = False,
+        touched_group_size: int = 1,
+    ):
+        if touched_group_size < 1:
+            raise StorageError("touched_group_size must be >= 1")
+        self.memory = memory if memory is not None else UntrustedMemory()
+        self.prf = prf if prf is not None else PRF(b"\x00" * 32)
+        self.rsws = rsws if rsws is not None else RSWSGroup()
+        self.stats = MemoryStats()
+        self.track_touched_pages = track_touched_pages
+        self.page_digests_enabled = page_digests
+        self.touched_group_size = touched_group_size
+
+        self._clock = itertools.count(1)
+        self._registry_lock = threading.Lock()
+        self._pages: dict[int, Callable[[int], None] | None] = {}
+        self._page_parity: dict[int, int] = {}
+        self._touched: set[int] = set()
+        self._page_digest: dict[int, SetHash] = {}
+        self._epoch = 0
+        self._in_pass = False
+        # post-operation hooks (the non-quiescent verifier's trigger)
+        self._on_op: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # page registry (the Register interface of Section 4.2)
+    # ------------------------------------------------------------------
+    def register_page(
+        self, page_id: int, on_scan: Callable[[int], None] | None = None
+    ) -> None:
+        """Include a page in the verification process.
+
+        ``on_scan`` is an optional callback the verifier invokes right
+        after re-stamping the page's cells (while the page is still
+        locked); the storage layer uses it to fold compaction into the
+        verification scan (Section 4.3).
+        """
+        with self._registry_lock:
+            if page_id in self._pages:
+                raise StorageError(f"page {page_id} already registered")
+            self._pages[page_id] = on_scan
+            # Pages that appear while a pass is running join the *new*
+            # epoch: the pass's closing check only covers its snapshot.
+            parity = (self._epoch + 1) & 1 if self._in_pass else self._epoch & 1
+            self._page_parity[page_id] = parity
+            if self.page_digests_enabled:
+                self._page_digest[page_id] = SetHash()
+
+    def deregister_page(self, page_id: int) -> None:
+        """Remove a page, retiring all of its live cells."""
+        for addr in self.memory.page_addresses(page_id):
+            cell = self.memory.try_read(addr)
+            if cell is None:
+                continue
+            if cell.checked:
+                self.free(addr)
+            else:
+                self.free_unverified(addr)
+        with self._registry_lock:
+            self._pages.pop(page_id, None)
+            self._page_parity.pop(page_id, None)
+            self._touched.discard(page_id)
+            self._page_digest.pop(page_id, None)
+
+    def registered_pages(self) -> list[int]:
+        with self._registry_lock:
+            return sorted(self._pages)
+
+    def scan_hook(self, page_id: int) -> Callable[[int], None] | None:
+        with self._registry_lock:
+            return self._pages.get(page_id)
+
+    def is_registered(self, page_id: int) -> bool:
+        with self._registry_lock:
+            return page_id in self._pages
+
+    # ------------------------------------------------------------------
+    # Algorithm 1: protected operations
+    # ------------------------------------------------------------------
+    def read(self, addr: int) -> bytes:
+        """Verified read: RS gets the old stamp, WS the virtual write-back."""
+        page = page_of(addr)
+        partition = self.rsws.partition_for_page(page)
+        partition.acquire()
+        try:
+            cell = self.memory.try_read(addr)
+            if cell is None:
+                raise VerificationFailure(
+                    f"cell {addr:#x} vanished from untrusted memory",
+                    partition=partition.index,
+                )
+            parity = self._parity_of(page)
+            consumed = self.prf.cell(addr, cell.data, cell.timestamp)
+            partition.record_read(parity, consumed)
+            new_ts = next(self._clock)
+            opened = self.prf.cell(addr, cell.data, new_ts)
+            partition.record_write(parity, opened)
+            self.memory.set_timestamp(addr, new_ts)
+            if self.page_digests_enabled:
+                digest = self._page_digest[page]
+                digest.remove(consumed)
+                digest.add(opened)
+            self._mark_touched(page)
+            data = cell.data
+        finally:
+            partition.release()
+        self.stats.verified_reads += 1
+        self._fire_hooks()
+        return data
+
+    def write(self, addr: int, data: bytes) -> None:
+        """Verified overwrite of an existing cell."""
+        page = page_of(addr)
+        partition = self.rsws.partition_for_page(page)
+        partition.acquire()
+        try:
+            cell = self.memory.try_read(addr)
+            if cell is None:
+                raise VerificationFailure(
+                    f"cell {addr:#x} vanished from untrusted memory",
+                    partition=partition.index,
+                )
+            parity = self._parity_of(page)
+            consumed = self.prf.cell(addr, cell.data, cell.timestamp)
+            partition.record_read(parity, consumed)
+            new_ts = next(self._clock)
+            opened = self.prf.cell(addr, data, new_ts)
+            partition.record_write(parity, opened)
+            self.memory.raw_write(addr, data, new_ts)
+            if self.page_digests_enabled:
+                digest = self._page_digest[page]
+                digest.remove(consumed)
+                digest.add(opened)
+            self._mark_touched(page)
+        finally:
+            partition.release()
+        self.stats.verified_writes += 1
+        self._fire_hooks()
+
+    def alloc(self, addr: int, data: bytes) -> None:
+        """Open a fresh cell (first write; no prior read to consume)."""
+        page = page_of(addr)
+        if not self.is_registered(page):
+            raise StorageError(f"page {page} is not registered for verification")
+        partition = self.rsws.partition_for_page(page)
+        partition.acquire()
+        try:
+            if self.memory.exists(addr):
+                raise StorageError(f"cell {addr:#x} already allocated")
+            parity = self._parity_of(page)
+            new_ts = next(self._clock)
+            opened = self.prf.cell(addr, data, new_ts)
+            partition.record_write(parity, opened)
+            self.memory.raw_write(addr, data, new_ts)
+            if self.page_digests_enabled:
+                self._page_digest[page].add(opened)
+            self._mark_touched(page)
+        finally:
+            partition.release()
+        self.stats.allocs += 1
+        self._fire_hooks()
+
+    def free(self, addr: int) -> bytes:
+        """Retire a cell: consume its last write without reopening it."""
+        page = page_of(addr)
+        partition = self.rsws.partition_for_page(page)
+        partition.acquire()
+        try:
+            cell = self.memory.try_read(addr)
+            if cell is None:
+                raise VerificationFailure(
+                    f"cell {addr:#x} vanished from untrusted memory",
+                    partition=partition.index,
+                )
+            parity = self._parity_of(page)
+            consumed = self.prf.cell(addr, cell.data, cell.timestamp)
+            partition.record_read(parity, consumed)
+            self.memory.remove(addr)
+            if self.page_digests_enabled:
+                self._page_digest[page].remove(consumed)
+            self._mark_touched(page)
+            data = cell.data
+        finally:
+            partition.release()
+        self.stats.frees += 1
+        self._fire_hooks()
+        return data
+
+    # ------------------------------------------------------------------
+    # unverified access (metadata-exclusion optimization, Section 4.3)
+    # ------------------------------------------------------------------
+    def read_unverified(self, addr: int) -> bytes:
+        self.stats.unverified_ops += 1
+        return self.memory.raw_read(addr).data
+
+    def write_unverified(self, addr: int, data: bytes) -> None:
+        self.stats.unverified_ops += 1
+        self.memory.raw_write(addr, data, 0, checked=False)
+
+    def alloc_unverified(self, addr: int, data: bytes) -> None:
+        if self.memory.exists(addr):
+            raise StorageError(f"cell {addr:#x} already allocated")
+        self.stats.unverified_ops += 1
+        self.memory.raw_write(addr, data, 0, checked=False)
+
+    def free_unverified(self, addr: int) -> bytes:
+        self.stats.unverified_ops += 1
+        return self.memory.remove(addr).data
+
+    # ------------------------------------------------------------------
+    # verifier-facing internals
+    # ------------------------------------------------------------------
+    def next_timestamp(self) -> int:
+        return next(self._clock)
+
+    def begin_pass(self, snapshot: Iterable[int]) -> None:
+        """Mark the start of an epoch scan over ``snapshot`` pages."""
+        with self._registry_lock:
+            self._in_pass = True
+            del snapshot  # snapshot ownership stays with the verifier
+
+    def end_pass(self) -> None:
+        """Advance the epoch after a completed scan."""
+        with self._registry_lock:
+            self._epoch += 1
+            self._in_pass = False
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def parity_of_page(self, page_id: int) -> int:
+        return self._parity_of(page_id)
+
+    def flip_parity(self, page_id: int) -> int:
+        """Move a page into the next epoch; returns the *old* parity."""
+        with self._registry_lock:
+            old = self._page_parity[page_id]
+            self._page_parity[page_id] = old ^ 1
+            return old
+
+    def touched_pages(self) -> set[int]:
+        """Registered pages whose tracking group was touched since last
+        cleared. With group size 1 this is exact per-page tracking."""
+        with self._registry_lock:
+            if self.touched_group_size == 1:
+                return set(self._touched)
+            return {
+                page
+                for page in self._pages
+                if page // self.touched_group_size in self._touched
+            }
+
+    def clear_touched(self, pages: Iterable[int]) -> None:
+        with self._registry_lock:
+            self._touched.difference_update(
+                page // self.touched_group_size for page in pages
+            )
+
+    def page_digest(self, page_id: int) -> SetHash:
+        if not self.page_digests_enabled:
+            raise StorageError("page digests are not enabled")
+        return self._page_digest[page_id]
+
+    def enclave_state_bytes(self) -> int:
+        """Approximate size of the trusted synopsis (EPC budget check)."""
+        digest_bytes = 16
+        per_partition = 4 * digest_bytes  # two generations of (rs, ws)
+        with self._registry_lock:
+            n_pages = len(self._pages)
+            page_digest_bytes = len(self._page_digest) * digest_bytes
+        return (
+            self.rsws.n_partitions * per_partition
+            # touched bitmap: 1 bit per tracking group (Section 4.3)
+            + n_pages // (8 * self.touched_group_size)
+            + n_pages // 8  # parity bitmap
+            + page_digest_bytes
+        )
+
+    def add_op_hook(self, hook: Callable[[], None]) -> None:
+        """Run ``hook`` after every verified operation (verifier trigger)."""
+        self._on_op.append(hook)
+
+    def remove_op_hook(self, hook: Callable[[], None]) -> None:
+        self._on_op.remove(hook)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _parity_of(self, page_id: int) -> int:
+        parity = self._page_parity.get(page_id)
+        if parity is None:
+            raise StorageError(f"page {page_id} is not registered for verification")
+        return parity
+
+    def _mark_touched(self, page_id: int) -> None:
+        if self.track_touched_pages:
+            self._touched.add(page_id // self.touched_group_size)
+
+    def _fire_hooks(self) -> None:
+        for hook in self._on_op:
+            hook()

@@ -1,0 +1,360 @@
+"""Non-quiescent verification (Algorithm 2) and the touched-page variant.
+
+The verifier closes *epochs*: it scans pages one at a time — locking only
+the page's RSWS partition, so routine reads and writes on other pages
+proceed concurrently — reading every live cell into the closing epoch's
+ReadSet and re-stamping it into the opening epoch's WriteSet. When the
+scan has covered every page, the closing epoch's ``h(RS)`` must equal its
+``h(WS)``; any out-of-band tampering, replay, omission or fabrication
+since the previous pass breaks the equality and raises
+:class:`~repro.errors.VerificationFailure`.
+
+Two strategies are provided (DESIGN.md discusses the trade-off):
+
+* ``mode="full"`` — the paper's Algorithm 2: every registered page is
+  scanned each pass; global (per-partition) digest equality closes the
+  epoch.
+* ``mode="touched"`` — the "avoid scanning unvisited pages" optimization
+  (Section 4.3): only pages touched since their last scan are visited,
+  and each page is checked against a per-page digest of its open cells
+  maintained incrementally inside the enclave. The paper budgets one
+  *bit* of enclave state per page and leaves the mechanism unspecified;
+  we keep one 16-byte digest per page instead (still far inside the EPC
+  budget at database scale, and coarse page-grouping would shrink it
+  further).
+
+Verification can run synchronously (:meth:`Verifier.run_pass`), step-wise
+driven by an operation-count trigger — the paper's "scan one page every
+x operations" knob of Figure 10 — or on a background thread.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.crypto.sethash import SetHash
+from repro.errors import ConfigurationError, VerificationFailure
+from repro.memory.verified import VerifiedMemory
+
+
+@dataclass
+class VerifierStats:
+    passes_completed: int = 0
+    pages_scanned: int = 0
+    cells_scanned: int = 0
+    alarms: int = 0
+    pages_skipped_untouched: int = 0
+
+
+class Verifier:
+    """Epoch verifier over a :class:`VerifiedMemory`."""
+
+    def __init__(self, vmem: VerifiedMemory, mode: str = "full"):
+        if mode not in ("full", "touched"):
+            raise ConfigurationError(f"unknown verifier mode {mode!r}")
+        if mode == "touched" and not vmem.page_digests_enabled:
+            raise ConfigurationError(
+                "touched-page verification requires VerifiedMemory(page_digests=True)"
+            )
+        self.vmem = vmem
+        self.mode = mode
+        self.stats = VerifierStats()
+        self._pass_lock = threading.Lock()
+        # state of an in-progress incremental pass
+        self._pending_pages: list[int] | None = None
+        self._step_lock = threading.Lock()
+        self._trigger_count = 0
+        self._trigger_interval = 0
+        self._trigger_hook = None
+        self._in_step = threading.local()
+        self._bg_thread: threading.Thread | None = None
+        self._bg_stop = threading.Event()
+        self._bg_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # synchronous full pass
+    # ------------------------------------------------------------------
+    def run_pass(self, workers: int = 1) -> None:
+        """Scan and close one full epoch; raises on detected inconsistency.
+
+        If an *incremental* pass (driven by the op-count trigger) is
+        currently open, it is completed and closed first — scanning a
+        page twice within one pass would corrupt both epoch generations,
+        so all verification activity serializes on the step lock.
+
+        With ``workers > 1``, the fresh pass's page snapshot is split
+        into disjoint sections scanned by parallel threads — the
+        "multiple verifiers" of Figure 2. Pages are independent units of
+        scanning (each scan holds only its page's RSWS partition lock),
+        so the only synchronization point is the epoch close after all
+        workers join.
+        """
+        with self._pass_lock:
+            # Compaction hooks issue verified operations; the re-entrancy
+            # guard stops those from re-triggering the op-count stepper.
+            self._in_step.active = True
+            try:
+                with self._step_lock:
+                    self._drain_open_pass_locked()
+                    pages = self._snapshot_pages()
+                    self.vmem.begin_pass(pages)
+                    try:
+                        if workers <= 1 or len(pages) < 2:
+                            for page_id in pages:
+                                self._scan_page(page_id)
+                        else:
+                            self._scan_parallel(pages, workers)
+                    finally:
+                        self._close_epoch()
+            finally:
+                self._in_step.active = False
+
+    def _drain_open_pass_locked(self) -> None:
+        """Finish and close a trigger-driven pass left mid-flight.
+
+        Caller holds the step lock. The open pass's remaining pages are
+        scanned and its epoch closed, so the fresh full pass that follows
+        starts from a clean generation.
+        """
+        if self._pending_pages is None:
+            return
+        while self._pending_pages:
+            page_id = self._pending_pages.pop()
+            if self.vmem.is_registered(page_id):
+                self._scan_page(page_id)
+        self._pending_pages = None
+        self._close_epoch()
+
+    def _scan_parallel(self, pages: list[int], workers: int) -> None:
+        """Fan page scanning out to ``workers`` verifier threads."""
+        sections = [pages[i::workers] for i in range(workers)]
+        failures: list[BaseException] = []
+
+        def scan_section(section: list[int]) -> None:
+            self._in_step.active = True  # thread-local: set per worker
+            try:
+                for page_id in section:
+                    self._scan_page(page_id)
+            except BaseException as exc:
+                failures.append(exc)
+            finally:
+                self._in_step.active = False
+
+        threads = [
+            threading.Thread(target=scan_section, args=(section,))
+            for section in sections
+            if section
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            raise failures[0]
+
+    # ------------------------------------------------------------------
+    # incremental (non-quiescent) stepping
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Scan the next page of the current pass; close the epoch when done.
+
+        Returns True when this step completed a pass.
+        """
+        with self._step_lock:
+            self._in_step.active = True
+            try:
+                if self._pending_pages is None:
+                    pages = self._snapshot_pages()
+                    self.vmem.begin_pass(pages)
+                    self._pending_pages = pages
+                while self._pending_pages:
+                    page_id = self._pending_pages.pop()
+                    if self.vmem.is_registered(page_id):
+                        self._scan_page(page_id)
+                        if self._pending_pages:
+                            return False
+                        break
+                self._pending_pages = None
+                self._close_epoch()
+                return True
+            finally:
+                self._in_step.active = False
+
+    def install_trigger(self, ops_per_step: int) -> None:
+        """Scan one page after every ``ops_per_step`` verified operations.
+
+        This is the Figure 10 knob: smaller values verify more eagerly and
+        interfere more with routine operations.
+        """
+        if ops_per_step < 1:
+            raise ConfigurationError("ops_per_step must be >= 1")
+        self.remove_trigger()
+        self._trigger_interval = ops_per_step
+        self._trigger_count = 0
+
+        def hook() -> None:
+            # Re-entrancy guard: scans and compaction themselves perform
+            # verified operations.
+            if getattr(self._in_step, "active", False):
+                return
+            self._trigger_count += 1
+            if self._trigger_count >= self._trigger_interval:
+                self._trigger_count = 0
+                self.step()
+
+        self._trigger_hook = hook
+        self.vmem.add_op_hook(hook)
+
+    def remove_trigger(self) -> None:
+        if self._trigger_hook is not None:
+            self.vmem.remove_op_hook(self._trigger_hook)
+            self._trigger_hook = None
+
+    # ------------------------------------------------------------------
+    # background thread
+    # ------------------------------------------------------------------
+    def start_background(self, pause_seconds: float = 0.0) -> None:
+        """Run passes continuously on a daemon thread until stopped."""
+        if self._bg_thread is not None:
+            raise ConfigurationError("background verifier already running")
+        self._bg_stop.clear()
+        self._bg_error = None
+
+        def loop() -> None:
+            while not self._bg_stop.is_set():
+                try:
+                    self.run_pass()
+                except VerificationFailure as exc:
+                    self._bg_error = exc
+                    return
+                if pause_seconds:
+                    self._bg_stop.wait(pause_seconds)
+
+        self._bg_thread = threading.Thread(
+            target=loop, name="veridb-verifier", daemon=True
+        )
+        self._bg_thread.start()
+
+    def stop_background(self) -> None:
+        """Stop the background thread, re-raising any alarm it recorded."""
+        if self._bg_thread is None:
+            return
+        self._bg_stop.set()
+        self._bg_thread.join()
+        self._bg_thread = None
+        if self._bg_error is not None:
+            error, self._bg_error = self._bg_error, None
+            raise error
+
+    # ------------------------------------------------------------------
+    # scanning internals
+    # ------------------------------------------------------------------
+    def _snapshot_pages(self) -> list[int]:
+        if self.mode == "touched":
+            touched = self.vmem.touched_pages()
+            all_pages = self.vmem.registered_pages()
+            self.stats.pages_skipped_untouched += len(all_pages) - len(
+                touched.intersection(all_pages)
+            )
+            return sorted(p for p in all_pages if p in touched)
+        return self.vmem.registered_pages()
+
+    def _scan_page(self, page_id: int) -> None:
+        if self.mode == "touched":
+            self._scan_page_touched(page_id)
+        else:
+            self._scan_page_full(page_id)
+
+    def _scan_page_full(self, page_id: int) -> None:
+        """Algorithm 2 body: read every cell, re-stamp into the next epoch."""
+        vmem = self.vmem
+        partition = vmem.rsws.partition_for_page(page_id)
+        partition.acquire()
+        try:
+            old_parity = vmem.flip_parity(page_id)
+            new_parity = old_parity ^ 1
+            cells = 0
+            for addr in vmem.memory.page_addresses(page_id):
+                cell = vmem.memory.try_read(addr)
+                if cell is None:
+                    # Listed by the (untrusted) directory but absent: the
+                    # unmatched WriteSet entry will fail the epoch check.
+                    continue
+                if not cell.checked:
+                    # Unchecked metadata cell (Section 4.3); see Cell docs
+                    # for why honouring this untrusted flag is sound.
+                    continue
+                partition.record_read(
+                    old_parity, vmem.prf.cell(addr, cell.data, cell.timestamp)
+                )
+                new_ts = vmem.next_timestamp()
+                partition.record_write(
+                    new_parity, vmem.prf.cell(addr, cell.data, new_ts)
+                )
+                vmem.memory.set_timestamp(addr, new_ts)
+                cells += 1
+            self.stats.cells_scanned += cells
+            self.stats.pages_scanned += 1
+            hook = vmem.scan_hook(page_id)
+            if hook is not None:
+                hook(page_id)
+        finally:
+            partition.release()
+
+    def _scan_page_touched(self, page_id: int) -> None:
+        """Compare the page's cells against its trusted open-cell digest."""
+        vmem = self.vmem
+        partition = vmem.rsws.partition_for_page(page_id)
+        partition.acquire()
+        try:
+            observed = SetHash()
+            cells = 0
+            for addr in vmem.memory.page_addresses(page_id):
+                cell = vmem.memory.try_read(addr)
+                if cell is None or not cell.checked:
+                    continue
+                observed.add(vmem.prf.cell(addr, cell.data, cell.timestamp))
+                cells += 1
+            self.stats.cells_scanned += cells
+            self.stats.pages_scanned += 1
+            expected = vmem.page_digest(page_id)
+            if observed != expected:
+                self.stats.alarms += 1
+                raise VerificationFailure(
+                    f"page {page_id} content does not match its trusted digest",
+                    partition=partition.index,
+                )
+            vmem.clear_touched([page_id])
+            hook = vmem.scan_hook(page_id)
+            if hook is not None:
+                hook(page_id)
+        finally:
+            partition.release()
+
+    def _close_epoch(self) -> None:
+        vmem = self.vmem
+        if self.mode == "touched":
+            # Per-page checks already ran; just advance the epoch marker.
+            vmem.end_pass()
+            self.stats.passes_completed += 1
+            return
+        old_parity = vmem.epoch & 1
+        bad: list[int] = []
+        for partition in vmem.rsws.partitions:
+            partition.acquire()
+            try:
+                if not partition.consistent(old_parity):
+                    bad.append(partition.index)
+                partition.reset_generation(old_parity)
+            finally:
+                partition.release()
+        vmem.end_pass()
+        self.stats.passes_completed += 1
+        if bad:
+            self.stats.alarms += 1
+            raise VerificationFailure(
+                "write-read consistency violated: h(RS) != h(WS) "
+                f"in partition(s) {bad}",
+                partition=bad[0],
+            )

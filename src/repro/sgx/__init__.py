@@ -1,0 +1,39 @@
+"""Software simulation of Intel SGX.
+
+No SGX hardware is available in this environment, so this subpackage
+provides the closest synthetic equivalent of the primitives VeriDB relies
+on (see DESIGN.md, "Substitutions"):
+
+* :class:`~repro.sgx.enclave.Enclave` — a trust boundary: private state
+  and code reachable only through registered ECalls, with per-call cycle
+  accounting.
+* :class:`~repro.sgx.epc.EnclavePageCache` — the limited protected memory
+  (default 96 MB usable, Section 3.3) with paging penalties.
+* :mod:`repro.sgx.attestation` — measurement-based remote attestation.
+* :class:`~repro.sgx.counter.MonotonicCounter` — the strictly increasing
+  query counter used against rollback (Section 5.1).
+* :class:`~repro.sgx.costs.CostModel` — the cycle costs the paper quotes
+  (ECall ~8000 cycles, EPC page swap ~40000 cycles).
+
+The simulation enforces the boundary *behaviourally*: everything the
+adversary may touch is represented by explicit untrusted structures with a
+first-class tamper API (:mod:`repro.memory.adversary`), while enclave
+internals are only reachable through the ECall interface.
+"""
+
+from repro.sgx.attestation import AttestationReport, PlatformQuotingKey, verify_quote
+from repro.sgx.costs import CostModel, CycleMeter
+from repro.sgx.counter import MonotonicCounter
+from repro.sgx.enclave import Enclave
+from repro.sgx.epc import EnclavePageCache
+
+__all__ = [
+    "AttestationReport",
+    "CostModel",
+    "CycleMeter",
+    "Enclave",
+    "EnclavePageCache",
+    "MonotonicCounter",
+    "PlatformQuotingKey",
+    "verify_quote",
+]

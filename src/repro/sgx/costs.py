@@ -1,0 +1,104 @@
+"""Cycle-cost model for SGX operations.
+
+The paper motivates VeriDB's architecture with two hardware costs
+(Section 2.1): crossing the enclave boundary (an ECall is ~8000 cycles)
+and EPC paging (~40000 cycles per swapped page). Colocating the query
+engine with the storage interfaces inside the enclave exists precisely to
+avoid paying these. The simulation cannot reproduce the wall-clock cost,
+but it *accounts* for every crossing and swap so benchmarks and tests can
+assert, e.g., that executing a whole query costs O(1) ECalls rather than
+O(rows).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Cycle costs of SGX primitives, from the numbers quoted in the paper.
+
+    Attributes:
+        ecall_cycles: cost of entering the enclave (paper: ~8000 [20, 27]).
+        ocall_cycles: cost of calling out of the enclave (same order).
+        epc_swap_cycles: cost of swapping one EPC page (paper: ~40000 [2, 6]).
+        page_size: EPC page granularity in bytes.
+    """
+
+    ecall_cycles: int = 8000
+    ocall_cycles: int = 8000
+    epc_swap_cycles: int = 40000
+    page_size: int = 4096
+
+
+class CycleMeter:
+    """Thread-safe accumulator of simulated cycle costs.
+
+    Components charge the meter as they cross the boundary or page the
+    EPC; benchmarks read the totals to report the *modelled* hardware cost
+    alongside measured wall-clock time.
+    """
+
+    def __init__(self, model: CostModel | None = None):
+        self.model = model or CostModel()
+        self._lock = threading.Lock()
+        self.cycles = 0
+        self.ecalls = 0
+        self.ocalls = 0
+        self.epc_swaps = 0
+
+    def charge_ecall(self) -> None:
+        with self._lock:
+            self.ecalls += 1
+            self.cycles += self.model.ecall_cycles
+
+    def charge_ocall(self) -> None:
+        with self._lock:
+            self.ocalls += 1
+            self.cycles += self.model.ocall_cycles
+
+    def charge_epc_swaps(self, count: int) -> None:
+        if count <= 0:
+            return
+        with self._lock:
+            self.epc_swaps += count
+            self.cycles += count * self.model.epc_swap_cycles
+
+    def snapshot(self) -> dict:
+        """Return a point-in-time copy of all counters."""
+        with self._lock:
+            return {
+                "cycles": self.cycles,
+                "ecalls": self.ecalls,
+                "ocalls": self.ocalls,
+                "epc_swaps": self.epc_swaps,
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self.cycles = 0
+            self.ecalls = 0
+            self.ocalls = 0
+            self.epc_swaps = 0
+
+
+@dataclass
+class CostReport:
+    """Convenience diff between two :class:`CycleMeter` snapshots."""
+
+    cycles: int = 0
+    ecalls: int = 0
+    ocalls: int = 0
+    epc_swaps: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @classmethod
+    def between(cls, before: dict, after: dict) -> "CostReport":
+        return cls(
+            cycles=after["cycles"] - before["cycles"],
+            ecalls=after["ecalls"] - before["ecalls"],
+            ocalls=after["ocalls"] - before["ocalls"],
+            epc_swaps=after["epc_swaps"] - before["epc_swaps"],
+        )

@@ -1,0 +1,40 @@
+"""Trusted monotonic counter.
+
+Section 5.1 defends against rollback with a strictly increasing counter
+maintained inside the enclave: every query is stamped with the next value,
+and a client that ever observes a repeated sequence number has proof the
+service was reverted. The counter here is thread-safe and exposes an
+explicit, test-only reset hook so the attack can be simulated.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class MonotonicCounter:
+    """A strictly increasing counter protected by the enclave."""
+
+    def __init__(self, start: int = 0):
+        self._value = start
+        self._lock = threading.Lock()
+
+    def increment(self) -> int:
+        """Advance and return the new value (the query's sequence number)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+    def read(self) -> int:
+        with self._lock:
+            return self._value
+
+    def _simulate_power_loss(self, restored_value: int = 0) -> None:
+        """Adversary hook: model losing enclave state to a power failure.
+
+        Only the attack-simulation tests call this; a real enclave would
+        lose the counter exactly this way when the machine restarts from a
+        stale snapshot.
+        """
+        with self._lock:
+            self._value = restored_value

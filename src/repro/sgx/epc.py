@@ -1,0 +1,136 @@
+"""Enclave Page Cache (EPC) capacity accounting.
+
+SGX reserves a small protected memory region — the paper works with 96 MB
+usable (Section 3.3) — and going beyond it triggers encrypted page swaps
+costing ~40000 cycles each. VeriDB's design keeps only a tiny synopsis in
+the EPC (RS/WS digests, the touched-page bitmap, per-query operator
+state); the database itself lives outside.
+
+This module tracks allocations attributed to the enclave and models LRU
+paging when the resident set exceeds capacity, charging a
+:class:`~repro.sgx.costs.CycleMeter`. Tests use it to assert the enclave
+footprint of VeriDB stays within budget (e.g. the 0.5 MB touched-page
+bitmap estimate in Section 4.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+from repro.errors import EnclaveError
+from repro.sgx.costs import CycleMeter
+
+DEFAULT_EPC_BYTES = 96 * 1024 * 1024
+
+
+class EnclavePageCache:
+    """Byte-accounted protected memory with simulated LRU paging.
+
+    Components inside the enclave register named allocations
+    (:meth:`allocate` / :meth:`resize` / :meth:`free`). When the resident
+    set exceeds ``capacity_bytes``, least-recently-used allocations are
+    marked swapped-out and the swap cost is charged; touching a swapped
+    allocation charges the swap-in.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_EPC_BYTES,
+        meter: CycleMeter | None = None,
+    ):
+        if capacity_bytes <= 0:
+            raise EnclaveError("EPC capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.meter = meter or CycleMeter()
+        self._lock = threading.Lock()
+        # name -> size; insertion order doubles as LRU order (most recent last)
+        self._resident: OrderedDict[str, int] = OrderedDict()
+        self._swapped: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # allocation API
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, size: int) -> None:
+        """Register an allocation of ``size`` bytes under ``name``."""
+        if size < 0:
+            raise EnclaveError("allocation size must be non-negative")
+        with self._lock:
+            if name in self._resident or name in self._swapped:
+                raise EnclaveError(f"EPC allocation {name!r} already exists")
+            self._resident[name] = size
+            self._evict_if_needed()
+
+    def resize(self, name: str, size: int) -> None:
+        """Change the size of an existing allocation (touches it)."""
+        if size < 0:
+            raise EnclaveError("allocation size must be non-negative")
+        with self._lock:
+            self._touch_locked(name)
+            self._resident[name] = size
+            self._evict_if_needed()
+
+    def free(self, name: str) -> None:
+        with self._lock:
+            if self._resident.pop(name, None) is None:
+                if self._swapped.pop(name, None) is None:
+                    raise EnclaveError(f"unknown EPC allocation {name!r}")
+
+    def touch(self, name: str) -> None:
+        """Record an access; swapped-out allocations are paged back in."""
+        with self._lock:
+            self._touch_locked(name)
+            self._evict_if_needed()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(self._resident.values())
+
+    @property
+    def swapped_bytes(self) -> int:
+        with self._lock:
+            return sum(self._swapped.values())
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self._resident.values()) + sum(self._swapped.values())
+
+    def usage(self) -> dict:
+        with self._lock:
+            return {
+                "capacity": self.capacity_bytes,
+                "resident": sum(self._resident.values()),
+                "swapped": sum(self._swapped.values()),
+                "allocations": len(self._resident) + len(self._swapped),
+            }
+
+    # ------------------------------------------------------------------
+    # internals (callers hold self._lock)
+    # ------------------------------------------------------------------
+    def _touch_locked(self, name: str) -> None:
+        if name in self._resident:
+            self._resident.move_to_end(name)
+            return
+        size = self._swapped.pop(name, None)
+        if size is None:
+            raise EnclaveError(f"unknown EPC allocation {name!r}")
+        # swap back in
+        self.meter.charge_epc_swaps(self._pages_for(size))
+        self._resident[name] = size
+
+    def _evict_if_needed(self) -> None:
+        used = sum(self._resident.values())
+        while used > self.capacity_bytes and len(self._resident) > 1:
+            victim, size = self._resident.popitem(last=False)
+            self._swapped[victim] = size
+            self.meter.charge_epc_swaps(self._pages_for(size))
+            used -= size
+
+    def _pages_for(self, size: int) -> int:
+        page = self.meter.model.page_size
+        return max(1, (size + page - 1) // page)

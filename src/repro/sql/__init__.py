@@ -1,0 +1,20 @@
+"""SQL front end and the enclave-resident volcano execution engine.
+
+Section 3.3: query compilation and optimization must happen *inside* the
+trusted environment — verifying post-hoc that an untrusted plan is
+equivalent to the submitted SQL is NP-hard — so the whole pipeline here
+(parse → plan → optimize → execute) is part of the enclave's measured
+code. The leaf operators are the secure access methods of Section 5.2;
+everything above them is trusted-by-construction given verified inputs.
+
+Supported surface: SPJA queries (SELECT / PROJECT / JOIN / AGGREGATE)
+with WHERE, GROUP BY, HAVING, ORDER BY, LIMIT; INSERT / UPDATE / DELETE;
+CREATE TABLE (with a ``CHAIN (col, ...)`` extension declaring verifiable
+secondary key chains) and DROP TABLE.
+"""
+
+from repro.sql.executor import ExecutionResult, QueryEngine
+from repro.sql.parser import parse_statement
+from repro.sql.session import Session
+
+__all__ = ["ExecutionResult", "QueryEngine", "Session", "parse_statement"]

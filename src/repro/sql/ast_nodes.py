@@ -1,0 +1,257 @@
+"""Abstract syntax for the supported SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+# ----------------------------------------------------------------------
+# expressions
+# ----------------------------------------------------------------------
+class Expr:
+    """Base class for expressions."""
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def __repr__(self):
+        return f"Lit({self.value!r})"
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+    qualifier: Optional[str] = None  # table name or alias
+
+    def __repr__(self):
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expr):
+    op: str  # + - * / % = != < <= > >= AND OR
+    left: Expr
+    right: Expr
+
+    def __repr__(self):
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str  # NOT, NEG
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class IsNull(Expr):
+    operand: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    operand: Expr
+    items: tuple
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    operand: Expr
+    low: Expr
+    high: Expr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    operand: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    func: str  # COUNT, SUM, AVG, MIN, MAX
+    argument: Optional[Expr]  # None for COUNT(*)
+    distinct: bool = False
+
+    def __repr__(self):
+        inner = "*" if self.argument is None else repr(self.argument)
+        return f"{self.func}({inner})"
+
+
+class ScalarSubquery(Expr):
+    """``(SELECT …)`` used as a value; must yield one column, ≤1 row.
+
+    Subquery nodes use identity equality (a ``Select`` is mutable); the
+    planner resolves them to literals before compilation, so they never
+    appear in structural-rewrite maps.
+    """
+
+    def __init__(self, select: "Select"):
+        self.select = select
+
+    def __repr__(self):
+        return "ScalarSubquery(…)"
+
+
+class InSubquery(Expr):
+    """``expr [NOT] IN (SELECT …)``; the subquery must yield one column."""
+
+    def __init__(self, operand: Expr, select: "Select", negated: bool = False):
+        self.operand = operand
+        self.select = select
+        self.negated = negated
+
+    def __repr__(self):
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand!r} {maybe_not}IN (SELECT …))"
+
+
+class ExistsSubquery(Expr):
+    """``[NOT] EXISTS (SELECT …)``."""
+
+    def __init__(self, select: "Select", negated: bool = False):
+        self.select = select
+        self.negated = negated
+
+    def __repr__(self):
+        return f"{'NOT ' if self.negated else ''}EXISTS(SELECT …)"
+
+
+class InSet(Expr):
+    """Planner-internal: membership test against materialized values.
+
+    Produced by resolving an ``InSubquery``; carries SQL's three-valued
+    ``IN`` semantics: a miss against a set that contained NULL is
+    unknown, not false.
+    """
+
+    def __init__(self, operand: Expr, values: frozenset, had_null: bool,
+                 negated: bool = False):
+        self.operand = operand
+        self.values = values
+        self.had_null = had_null
+        self.negated = negated
+
+    def __repr__(self):
+        maybe_not = "NOT " if self.negated else ""
+        return f"({self.operand!r} {maybe_not}IN <{len(self.values)} values>)"
+
+
+# ----------------------------------------------------------------------
+# statements
+# ----------------------------------------------------------------------
+class Statement:
+    """Base class for statements."""
+
+
+@dataclass
+class SelectItem:
+    expr: Expr
+    alias: Optional[str] = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: Optional[str] = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class JoinClause:
+    table: TableRef
+    condition: Optional[Expr]  # None means cross join
+    outer: bool = False  # True for LEFT [OUTER] JOIN
+
+
+@dataclass
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class Select(Statement):
+    items: Sequence[SelectItem]  # empty means SELECT *
+    tables: Sequence[TableRef]
+    joins: Sequence[JoinClause] = field(default_factory=list)
+    where: Optional[Expr] = None
+    group_by: Sequence[Expr] = field(default_factory=list)
+    having: Optional[Expr] = None
+    order_by: Sequence[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    star: bool = False
+    distinct: bool = False
+
+
+@dataclass
+class Insert(Statement):
+    table: str
+    columns: Sequence[str]  # empty: positional
+    rows: Sequence[Sequence[Expr]] = field(default_factory=list)
+    select: Optional["Select"] = None  # INSERT INTO … SELECT …
+
+
+@dataclass
+class Explain(Statement):
+    select: "Select"
+    join_hint: Optional[str] = None
+
+
+@dataclass
+class Update(Statement):
+    table: str
+    assignments: Sequence[tuple[str, Expr]]
+    where: Optional[Expr] = None
+
+
+@dataclass
+class Delete(Statement):
+    table: str
+    where: Optional[Expr] = None
+
+
+@dataclass
+class ColumnDef:
+    name: str
+    type_name: str
+    primary_key: bool = False
+    not_null: bool = False
+
+
+@dataclass
+class CreateTable(Statement):
+    name: str
+    columns: Sequence[ColumnDef]
+    primary_key: Optional[str] = None
+    chain_columns: Sequence[str] = field(default_factory=list)
+
+
+@dataclass
+class DropTable(Statement):
+    name: str
+
+
+@dataclass
+class Begin(Statement):
+    pass
+
+
+@dataclass
+class Commit(Statement):
+    pass
+
+
+@dataclass
+class Rollback(Statement):
+    pass

@@ -1,0 +1,253 @@
+"""Statement execution.
+
+:class:`QueryEngine` is the enclave-resident engine of Figure 2: it
+compiles (plans) statements and drives the volcano operators. DML and
+DDL act directly on the verifiable tables through the catalog.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import type_from_name
+from repro.errors import ExecutionError, PlanningError
+from repro.sql.ast_nodes import (
+    CreateTable,
+    Delete,
+    DropTable,
+    Explain,
+    Insert,
+    Select,
+    Statement,
+    Update,
+)
+from repro.sql.expressions import RowSchema, compile_expr
+from repro.sql.operators.base import PhysicalOp
+from repro.sql.parser import parse_statement
+from repro.sql.planner import Planner
+from repro.storage.engine import StorageEngine
+from repro.storage.table_store import VerifiableTable
+
+
+@dataclass
+class ExecutionResult:
+    """Rows plus execution metadata for one statement."""
+
+    columns: list[str] = field(default_factory=list)
+    rows: list[tuple] = field(default_factory=list)
+    rowcount: int = 0
+    plan: Optional[PhysicalOp] = None
+
+    # ------------------------------------------------------------------
+    # Figure 12 instrumentation: scan-node vs other-node self time
+    # ------------------------------------------------------------------
+    def scan_seconds(self) -> float:
+        if self.plan is None:
+            return 0.0
+        total = 0.0
+        for op in self.plan.walk():
+            if op.is_scan:
+                total += op.self_seconds
+            total += op.internal_scan_seconds
+        return total
+
+    def other_seconds(self) -> float:
+        if self.plan is None:
+            return 0.0
+        total = 0.0
+        for op in self.plan.walk():
+            if not op.is_scan:
+                total += op.self_seconds - op.internal_scan_seconds
+        return max(0.0, total)
+
+    def total_seconds(self) -> float:
+        return 0.0 if self.plan is None else self.plan.total_seconds
+
+    def explain(self) -> str:
+        return "" if self.plan is None else self.plan.explain()
+
+
+class QueryEngine:
+    """Parses, plans and executes SQL against a catalog of tables."""
+
+    def __init__(self, catalog: Catalog, storage: StorageEngine, epc=None):
+        self.catalog = catalog
+        self.storage = storage
+        spill = None
+        if storage.config.spill_threshold_rows is not None:
+            from repro.sql.spill import SpillManager
+
+            spill = SpillManager(
+                storage, storage.config.spill_threshold_rows, epc=epc
+            )
+        self.spill = spill
+        self.planner = Planner(
+            catalog,
+            subquery_executor=lambda select: self._run_select(select, None).rows,
+            spill=spill,
+        )
+
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str | Statement,
+        join_hint: Optional[str] = None,
+        undo: Optional[list] = None,
+    ) -> ExecutionResult:
+        """Run one statement.
+
+        ``undo`` (used by :class:`~repro.sql.session.Session`) collects
+        one inverse callable per applied row change, appended in apply
+        order, so a transaction can roll back by replaying it reversed.
+        """
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(stmt, Explain):
+            plan = self.planner.plan_select(stmt.select, join_hint)
+            rows = [(line,) for line in plan.explain().splitlines()]
+            return ExecutionResult(
+                columns=["plan"], rows=rows, rowcount=len(rows)
+            )
+        if isinstance(stmt, Select):
+            return self._run_select(stmt, join_hint)
+        if isinstance(stmt, Insert):
+            return self._run_insert(stmt, undo)
+        if isinstance(stmt, Update):
+            return self._run_update(stmt, undo)
+        if isinstance(stmt, Delete):
+            return self._run_delete(stmt, undo)
+        if isinstance(stmt, CreateTable):
+            return self._run_create(stmt)
+        if isinstance(stmt, DropTable):
+            return self._run_drop(stmt)
+        raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    def plan(self, sql: str, join_hint: Optional[str] = None) -> PhysicalOp:
+        """Compile without executing (EXPLAIN support)."""
+        stmt = parse_statement(sql)
+        if not isinstance(stmt, Select):
+            raise PlanningError("plan() only supports SELECT statements")
+        return self.planner.plan_select(stmt, join_hint)
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def _run_select(self, stmt: Select, join_hint: Optional[str]) -> ExecutionResult:
+        plan = self.planner.plan_select(stmt, join_hint)
+        rows = list(plan.timed_rows())
+        return ExecutionResult(
+            columns=plan.output.names, rows=rows, rowcount=len(rows), plan=plan
+        )
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+    def _run_insert(
+        self, stmt: Insert, undo: Optional[list] = None
+    ) -> ExecutionResult:
+        info = self.catalog.lookup(stmt.table)
+        schema = info.schema
+        if stmt.select is not None:
+            source_rows = self._run_select(stmt.select, None).rows
+        else:
+            empty = RowSchema([])
+            source_rows = [
+                tuple(compile_expr(e, empty)(()) for e in value_exprs)
+                for value_exprs in stmt.rows
+            ]
+        pk_index = schema.primary_key_index
+        count = 0
+        for values in source_rows:
+            if stmt.columns:
+                if len(values) != len(stmt.columns):
+                    raise ExecutionError(
+                        "INSERT column list and source arity differ"
+                    )
+                row = schema.row_from_dict(dict(zip(stmt.columns, values)))
+            else:
+                row = schema.validate_row(values)
+            info.store.insert(row)
+            if undo is not None:
+                undo.append(
+                    lambda store=info.store, pk=row[pk_index]: store.delete(pk)
+                )
+            count += 1
+        return ExecutionResult(rowcount=count)
+
+    def _run_update(
+        self, stmt: Update, undo: Optional[list] = None
+    ) -> ExecutionResult:
+        info = self.catalog.lookup(stmt.table)
+        schema = info.schema
+        plan = self.planner.plan_table_filter(stmt.table, stmt.where)
+        matching = list(plan.timed_rows())
+        assign_fns = [
+            (column, compile_expr(expr, plan.output))
+            for column, expr in stmt.assignments
+        ]
+        pk_index = schema.primary_key_index
+        count = 0
+        for row in matching:
+            updates = {column: fn(row) for column, fn in assign_fns}
+            if info.store.update(row[pk_index], updates):
+                if undo is not None:
+                    new_pk = updates.get(
+                        schema.primary_key, row[pk_index]
+                    )
+
+                    def restore(store=info.store, new_pk=new_pk, old=row):
+                        store.delete(new_pk)
+                        store.insert(old)
+
+                    undo.append(restore)
+                count += 1
+        return ExecutionResult(rowcount=count)
+
+    def _run_delete(
+        self, stmt: Delete, undo: Optional[list] = None
+    ) -> ExecutionResult:
+        info = self.catalog.lookup(stmt.table)
+        plan = self.planner.plan_table_filter(stmt.table, stmt.where)
+        pk_index = info.schema.primary_key_index
+        matching = list(plan.timed_rows())
+        count = 0
+        for row in matching:
+            if info.store.delete(row[pk_index]):
+                if undo is not None:
+                    undo.append(
+                        lambda store=info.store, old=row: store.insert(old)
+                    )
+                count += 1
+        return ExecutionResult(rowcount=count)
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _run_create(self, stmt: CreateTable) -> ExecutionResult:
+        if stmt.primary_key is None:
+            raise PlanningError(
+                f"table {stmt.name!r} needs a PRIMARY KEY (the chain-0 key)"
+            )
+        columns = [
+            Column(
+                definition.name,
+                type_from_name(definition.type_name),
+                nullable=not definition.not_null,
+            )
+            for definition in stmt.columns
+        ]
+        schema = Schema(
+            columns=columns,
+            primary_key=stmt.primary_key,
+            chain_columns=tuple(stmt.chain_columns),
+        )
+        store = VerifiableTable(stmt.name, schema, self.storage)
+        self.catalog.register(TableInfo(stmt.name, schema, store))
+        return ExecutionResult()
+
+    def _run_drop(self, stmt: DropTable) -> ExecutionResult:
+        info = self.catalog.drop(stmt.name)
+        info.store.destroy()
+        return ExecutionResult()

@@ -1,0 +1,371 @@
+"""Expression compilation and evaluation.
+
+Expressions are compiled once per plan into Python closures over row
+tuples, with columns resolved to positions against a :class:`RowSchema`.
+NULL follows (lightweight) three-valued logic: comparisons and
+arithmetic involving NULL yield NULL, ``AND``/``OR``/``NOT`` combine
+unknowns the SQL way, and filters treat a NULL predicate result as
+not-satisfied.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from typing import Any, Callable, Optional
+
+from repro.errors import PlanningError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    ExistsSubquery,
+    Expr,
+    InList,
+    InSet,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    ScalarSubquery,
+    UnaryOp,
+)
+
+RowFn = Callable[[tuple], Any]
+
+
+class RowSchema:
+    """The (qualifier, name) bindings of a row pipeline's positions."""
+
+    def __init__(self, bindings: list[tuple[Optional[str], str]]):
+        self.bindings = list(bindings)
+
+    def resolve(self, ref: ColumnRef) -> int:
+        """Position of a column reference; ambiguity and misses raise."""
+        matches = [
+            i
+            for i, (qualifier, name) in enumerate(self.bindings)
+            if name == ref.name
+            and (ref.qualifier is None or ref.qualifier == qualifier)
+        ]
+        if not matches:
+            raise PlanningError(f"unknown column {ref!r}")
+        if len(matches) > 1:
+            raise PlanningError(f"ambiguous column {ref!r}")
+        return matches[0]
+
+    def concat(self, other: "RowSchema") -> "RowSchema":
+        return RowSchema(self.bindings + other.bindings)
+
+    @property
+    def names(self) -> list[str]:
+        return [name for _, name in self.bindings]
+
+    def __len__(self) -> int:
+        return len(self.bindings)
+
+    def __repr__(self) -> str:
+        return f"RowSchema({self.bindings})"
+
+
+# ----------------------------------------------------------------------
+# three-valued helpers
+# ----------------------------------------------------------------------
+def _and3(a, b):
+    if a is False or b is False:
+        return False
+    if a is None or b is None:
+        return None
+    return True
+
+
+def _or3(a, b):
+    if a is True or b is True:
+        return True
+    if a is None or b is None:
+        return None
+    return False
+
+
+def _not3(a):
+    return None if a is None else (not a)
+
+
+def _null_guard(fn):
+    def wrapped(a, b):
+        if a is None or b is None:
+            return None
+        return fn(a, b)
+
+    return wrapped
+
+
+_ARITH = {
+    "+": _null_guard(operator.add),
+    "-": _null_guard(operator.sub),
+    "*": _null_guard(operator.mul),
+    "%": _null_guard(operator.mod),
+}
+_COMPARE = {
+    "=": _null_guard(operator.eq),
+    "!=": _null_guard(operator.ne),
+    "<": _null_guard(operator.lt),
+    "<=": _null_guard(operator.le),
+    ">": _null_guard(operator.gt),
+    ">=": _null_guard(operator.ge),
+}
+
+
+def _divide(a, b):
+    if a is None or b is None:
+        return None
+    if b == 0:
+        raise ZeroDivisionError("division by zero in SQL expression")
+    if isinstance(a, int) and isinstance(b, int) and a % b == 0:
+        return a // b
+    return a / b
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Translate a SQL LIKE pattern (%, _) into an anchored regex."""
+    out = []
+    for ch in pattern:
+        if ch == "%":
+            out.append(".*")
+        elif ch == "_":
+            out.append(".")
+        else:
+            out.append(re.escape(ch))
+    return re.compile("".join(out) + r"\Z", re.DOTALL)
+
+
+# ----------------------------------------------------------------------
+# compilation
+# ----------------------------------------------------------------------
+def compile_expr(expr: Expr, schema: RowSchema) -> RowFn:
+    """Compile an expression to a row → value closure."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, ColumnRef):
+        position = schema.resolve(expr)
+        return lambda row: row[position]
+    if isinstance(expr, BinaryOp):
+        if expr.op == "AND":
+            lf, rf = compile_expr(expr.left, schema), compile_expr(expr.right, schema)
+            return lambda row: _and3(lf(row), rf(row))
+        if expr.op == "OR":
+            lf, rf = compile_expr(expr.left, schema), compile_expr(expr.right, schema)
+            return lambda row: _or3(lf(row), rf(row))
+        lf, rf = compile_expr(expr.left, schema), compile_expr(expr.right, schema)
+        if expr.op == "/":
+            return lambda row: _divide(lf(row), rf(row))
+        fn = _ARITH.get(expr.op) or _COMPARE.get(expr.op)
+        if fn is None:
+            raise PlanningError(f"unsupported operator {expr.op!r}")
+        return lambda row: fn(lf(row), rf(row))
+    if isinstance(expr, UnaryOp):
+        inner = compile_expr(expr.operand, schema)
+        if expr.op == "NOT":
+            return lambda row: _not3(inner(row))
+        if expr.op == "NEG":
+            return lambda row: None if inner(row) is None else -inner(row)
+        raise PlanningError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, IsNull):
+        inner = compile_expr(expr.operand, schema)
+        if expr.negated:
+            return lambda row: inner(row) is not None
+        return lambda row: inner(row) is None
+    if isinstance(expr, InList):
+        inner = compile_expr(expr.operand, schema)
+        item_fns = [compile_expr(item, schema) for item in expr.items]
+        negated = expr.negated
+
+        def evaluate_in(row):
+            value = inner(row)
+            if value is None:
+                return None
+            hit = any(value == fn(row) for fn in item_fns)
+            return (not hit) if negated else hit
+
+        return evaluate_in
+    if isinstance(expr, Between):
+        inner = compile_expr(expr.operand, schema)
+        low = compile_expr(expr.low, schema)
+        high = compile_expr(expr.high, schema)
+        negated = expr.negated
+
+        def evaluate_between(row):
+            value = inner(row)
+            lo, hi = low(row), high(row)
+            if value is None or lo is None or hi is None:
+                return None
+            hit = lo <= value <= hi
+            return (not hit) if negated else hit
+
+        return evaluate_between
+    if isinstance(expr, Like):
+        inner = compile_expr(expr.operand, schema)
+        regex = like_to_regex(expr.pattern)
+        negated = expr.negated
+
+        def evaluate_like(row):
+            value = inner(row)
+            if value is None:
+                return None
+            hit = regex.match(value) is not None
+            return (not hit) if negated else hit
+
+        return evaluate_like
+    if isinstance(expr, InSet):
+        inner = compile_expr(expr.operand, schema)
+        values = expr.values
+        had_null = expr.had_null
+        negated = expr.negated
+
+        def evaluate_in_set(row):
+            value = inner(row)
+            if value is None:
+                return None
+            hit = value in values
+            if not hit and had_null:
+                # a miss against a set containing NULL is unknown (SQL IN)
+                return None
+            return (not hit) if negated else hit
+
+        return evaluate_in_set
+    if isinstance(expr, (ScalarSubquery, InSubquery, ExistsSubquery)):
+        raise PlanningError(
+            "subqueries must be resolved by the planner before compilation "
+            "(standalone expression compilation does not execute SQL)"
+        )
+    if isinstance(expr, Aggregate):
+        raise PlanningError(
+            f"aggregate {expr!r} is only valid in SELECT or HAVING of a "
+            f"grouped query"
+        )
+    raise PlanningError(f"cannot compile expression {expr!r}")
+
+
+def compile_predicate(expr: Expr, schema: RowSchema) -> Callable[[tuple], bool]:
+    """Compile a boolean expression; NULL results count as not-satisfied."""
+    fn = compile_expr(expr, schema)
+    return lambda row: fn(row) is True
+
+
+# ----------------------------------------------------------------------
+# AST utilities shared with the planner
+# ----------------------------------------------------------------------
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a predicate into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def referenced_columns(expr: Expr) -> set[ColumnRef]:
+    """All column references occurring in an expression."""
+    refs: set[ColumnRef] = set()
+
+    def walk(node):
+        if isinstance(node, ColumnRef):
+            refs.add(node)
+        elif isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, Like):
+            walk(node.operand)
+        elif isinstance(node, Aggregate):
+            if node.argument is not None:
+                walk(node.argument)
+        elif isinstance(node, (InSubquery, InSet)):
+            # subquery bodies are uncorrelated: only the operand refers
+            # to the outer row
+            walk(node.operand)
+
+    walk(expr)
+    return refs
+
+
+def find_aggregates(expr: Expr) -> list[Aggregate]:
+    """All aggregate calls in an expression, in discovery order."""
+    found: list[Aggregate] = []
+
+    def walk(node):
+        if isinstance(node, Aggregate):
+            found.append(node)
+            return  # aggregates do not nest
+        if isinstance(node, BinaryOp):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, UnaryOp):
+            walk(node.operand)
+        elif isinstance(node, IsNull):
+            walk(node.operand)
+        elif isinstance(node, InList):
+            walk(node.operand)
+            for item in node.items:
+                walk(item)
+        elif isinstance(node, Between):
+            walk(node.operand)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, Like):
+            walk(node.operand)
+        elif isinstance(node, (InSubquery, InSet)):
+            walk(node.operand)
+
+    walk(expr)
+    return found
+
+
+def substitute(expr: Expr, mapping: dict[Expr, Expr]) -> Expr:
+    """Structurally replace subexpressions (used to rewrite aggregates)."""
+    if expr in mapping:
+        return mapping[expr]
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op, substitute(expr.left, mapping), substitute(expr.right, mapping)
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, substitute(expr.operand, mapping))
+    if isinstance(expr, IsNull):
+        return IsNull(substitute(expr.operand, mapping), expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            substitute(expr.operand, mapping),
+            tuple(substitute(item, mapping) for item in expr.items),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            substitute(expr.operand, mapping),
+            substitute(expr.low, mapping),
+            substitute(expr.high, mapping),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(substitute(expr.operand, mapping), expr.pattern, expr.negated)
+    if isinstance(expr, InSet):
+        return InSet(
+            substitute(expr.operand, mapping),
+            expr.values,
+            expr.had_null,
+            expr.negated,
+        )
+    return expr

@@ -1,0 +1,99 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ParseError
+
+KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "LIMIT",
+    "ASC", "DESC", "AS", "AND", "OR", "NOT", "IN", "BETWEEN", "LIKE", "IS",
+    "NULL", "TRUE", "FALSE", "JOIN", "INNER", "LEFT", "ON", "INSERT", "INTO",
+    "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE", "DROP",
+    "PRIMARY", "KEY", "CHAIN", "DATE", "DISTINCT", "COUNT", "SUM", "AVG",
+    "MIN", "MAX", "EXISTS", "OUTER", "EXPLAIN", "BEGIN", "COMMIT",
+    "ROLLBACK", "START", "TRANSACTION",
+}
+
+_PUNCT = {
+    "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
+    "/", "%", ".", ";",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | PUNCT | EOF
+    value: str
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split SQL text into tokens; raises ParseError on bad input."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if text.startswith("--", i):
+            end = text.find("\n", i)
+            i = n if end < 0 else end + 1
+            continue
+        if ch == "'":
+            j = i + 1
+            buf = []
+            while True:
+                if j >= n:
+                    raise ParseError("unterminated string literal", position=i)
+                if text[j] == "'":
+                    if j + 1 < n and text[j + 1] == "'":  # escaped quote
+                        buf.append("'")
+                        j += 2
+                        continue
+                    break
+                buf.append(text[j])
+                j += 1
+            tokens.append(Token("STRING", "".join(buf), i))
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # a dot not followed by a digit is punctuation (t.col)
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        two = text[i : i + 2]
+        if two in _PUNCT:
+            tokens.append(Token("PUNCT", two, i))
+            i += 2
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token("PUNCT", ch, i))
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", position=i)
+    tokens.append(Token("EOF", "", n))
+    return tokens

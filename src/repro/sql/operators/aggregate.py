@@ -1,0 +1,116 @@
+"""Grouping and aggregation."""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.errors import PlanningError
+from repro.sql.ast_nodes import Aggregate, Expr
+from repro.sql.expressions import RowSchema, compile_expr
+from repro.sql.operators.base import PhysicalOp
+
+
+class _AggState:
+    """Accumulator for one aggregate function over one group."""
+
+    __slots__ = ("func", "distinct", "count", "total", "best", "seen")
+
+    def __init__(self, func: str, distinct: bool):
+        self.func = func
+        self.distinct = distinct
+        self.count = 0
+        self.total: Any = None
+        self.best: Any = None
+        self.seen: set | None = set() if distinct else None
+
+    def feed(self, value: Any) -> None:
+        if self.func == "COUNT" and value is _STAR:
+            self.count += 1
+            return
+        if value is None:
+            return  # SQL aggregates skip NULLs
+        if self.seen is not None:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+        if self.func in ("SUM", "AVG"):
+            self.total = value if self.total is None else self.total + value
+        elif self.func == "MIN":
+            self.best = value if self.best is None else min(self.best, value)
+        elif self.func == "MAX":
+            self.best = value if self.best is None else max(self.best, value)
+
+    def result(self) -> Any:
+        if self.func == "COUNT":
+            return self.count
+        if self.func == "SUM":
+            return self.total
+        if self.func == "AVG":
+            return None if self.count == 0 else self.total / self.count
+        return self.best
+
+
+class _Star:
+    def __repr__(self):
+        return "*"
+
+
+_STAR = _Star()
+
+
+class HashAggregateOp(PhysicalOp):
+    """Hash aggregation over group-by expressions.
+
+    Output row = group-key values followed by aggregate results, with the
+    synthetic names supplied by the planner (which rewrites aggregate
+    references above this operator into column refs).
+    """
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        group_exprs: list[Expr],
+        aggregates: list[Aggregate],
+        output_names: list[str],
+    ):
+        if len(output_names) != len(group_exprs) + len(aggregates):
+            raise PlanningError("aggregate output arity mismatch")
+        super().__init__(
+            RowSchema([(None, name) for name in output_names]), [child]
+        )
+        self.group_exprs = group_exprs
+        self.aggregates = aggregates
+        self._group_fns = [compile_expr(e, child.output) for e in group_exprs]
+        self._arg_fns = [
+            compile_expr(agg.argument, child.output)
+            if agg.argument is not None
+            else None
+            for agg in aggregates
+        ]
+
+    def rows(self) -> Iterator[tuple]:
+        groups: dict[tuple, list[_AggState]] = {}
+        order: list[tuple] = []
+        for row in self.children[0].timed_rows():
+            key = tuple(fn(row) for fn in self._group_fns)
+            states = groups.get(key)
+            if states is None:
+                states = [
+                    _AggState(agg.func, agg.distinct) for agg in self.aggregates
+                ]
+                groups[key] = states
+                order.append(key)
+            for state, arg_fn in zip(states, self._arg_fns):
+                state.feed(_STAR if arg_fn is None else arg_fn(row))
+        if not groups and not self.group_exprs:
+            # global aggregate over an empty input still yields one row
+            states = [_AggState(agg.func, agg.distinct) for agg in self.aggregates]
+            yield tuple(state.result() for state in states)
+            return
+        for key in order:
+            yield key + tuple(state.result() for state in groups[key])
+
+    def describe(self) -> str:
+        aggs = ", ".join(repr(a) for a in self.aggregates)
+        return f"HashAggregate(by={self.group_exprs!r}, aggs=[{aggs}])"

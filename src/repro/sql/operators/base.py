@@ -1,0 +1,80 @@
+"""Operator base class: schema, children, timing."""
+
+from __future__ import annotations
+
+import time
+from typing import Iterator
+
+from repro.sql.expressions import RowSchema
+
+
+class PhysicalOp:
+    """Base of all physical operators.
+
+    Subclasses implement :meth:`rows` (a fresh iterator per call).
+    Consumers iterate :meth:`timed_rows`, which accumulates the wall
+    time spent *producing* each row into ``total_seconds`` — inclusive
+    of children; ``self_seconds`` subtracts the children's totals, which
+    is what the per-node breakdown reports.
+    """
+
+    #: operators whose self-time counts as "scan nodes" in Figure 12
+    is_scan = False
+
+    def __init__(self, output: RowSchema, children: list["PhysicalOp"]):
+        self.output = output
+        self.children = children
+        self.total_seconds = 0.0
+        self.rows_out = 0
+        #: extra scan time incurred internally (index-nested-loop inner
+        #: lookups), counted toward scan nodes
+        self.internal_scan_seconds = 0.0
+        #: the "interesting order" this operator's output is known to
+        #: satisfy: a list of (qualifier, column, ascending) triples.
+        #: Chain scans emit rows in key order, and the planner uses this
+        #: to elide redundant sorts. Operators that preserve their input
+        #: order (Filter, Limit) propagate it; order-destroying operators
+        #: leave it empty.
+        self.ordering: list[tuple] = []
+
+    # ------------------------------------------------------------------
+    def rows(self) -> Iterator[tuple]:
+        raise NotImplementedError
+
+    def timed_rows(self) -> Iterator[tuple]:
+        # Time the rows() call itself: eager operators (scans, sorts)
+        # do their work during construction, and missing it would
+        # attribute their cost to an ancestor's self-time.
+        start = time.perf_counter()
+        iterator = self.rows()
+        self.total_seconds += time.perf_counter() - start
+        while True:
+            start = time.perf_counter()
+            try:
+                row = next(iterator)
+            except StopIteration:
+                self.total_seconds += time.perf_counter() - start
+                return
+            self.total_seconds += time.perf_counter() - start
+            self.rows_out += 1
+            yield row
+
+    # ------------------------------------------------------------------
+    @property
+    def self_seconds(self) -> float:
+        children_total = sum(c.total_seconds for c in self.children)
+        return max(0.0, self.total_seconds - children_total)
+
+    def walk(self) -> Iterator["PhysicalOp"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def explain(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.explain(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__

@@ -1,0 +1,25 @@
+"""DISTINCT operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sql.operators.base import PhysicalOp
+
+
+class DistinctOp(PhysicalOp):
+    """Drop duplicate rows, preserving first-occurrence order."""
+
+    def __init__(self, child: PhysicalOp):
+        super().__init__(child.output, [child])
+
+    def rows(self) -> Iterator[tuple]:
+        seen: set[tuple] = set()
+        for row in self.children[0].timed_rows():
+            if row in seen:
+                continue
+            seen.add(row)
+            yield row
+
+    def describe(self) -> str:
+        return "Distinct"

@@ -1,0 +1,28 @@
+"""Selection operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sql.ast_nodes import Expr
+from repro.sql.expressions import compile_predicate
+from repro.sql.operators.base import PhysicalOp
+
+
+class FilterOp(PhysicalOp):
+    """Emit input rows satisfying a predicate (NULL counts as false)."""
+
+    def __init__(self, child: PhysicalOp, predicate: Expr):
+        super().__init__(child.output, [child])
+        self.predicate = predicate
+        self._fn = compile_predicate(predicate, child.output)
+        self.ordering = list(child.ordering)  # selection preserves order
+
+    def rows(self) -> Iterator[tuple]:
+        fn = self._fn
+        for row in self.children[0].timed_rows():
+            if fn(row):
+                yield row
+
+    def describe(self) -> str:
+        return f"Filter({self.predicate!r})"

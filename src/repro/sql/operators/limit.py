@@ -1,0 +1,29 @@
+"""LIMIT operator."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.sql.operators.base import PhysicalOp
+
+
+class LimitOp(PhysicalOp):
+    """Stop after N rows (early termination propagates to children)."""
+
+    def __init__(self, child: PhysicalOp, limit: int):
+        super().__init__(child.output, [child])
+        self.limit = limit
+        self.ordering = list(child.ordering)  # a prefix preserves order
+
+    def rows(self) -> Iterator[tuple]:
+        if self.limit <= 0:
+            return
+        produced = 0
+        for row in self.children[0].timed_rows():
+            yield row
+            produced += 1
+            if produced >= self.limit:
+                return
+
+    def describe(self) -> str:
+        return f"Limit({self.limit})"

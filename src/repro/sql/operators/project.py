@@ -1,0 +1,37 @@
+"""Projection operator."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.sql.ast_nodes import Expr
+from repro.sql.expressions import RowSchema, compile_expr
+from repro.sql.operators.base import PhysicalOp
+
+
+class ProjectOp(PhysicalOp):
+    """Compute output columns from each input row."""
+
+    def __init__(
+        self,
+        child: PhysicalOp,
+        exprs: list[Expr],
+        names: list[str],
+        qualifiers: Optional[list[Optional[str]]] = None,
+    ):
+        if qualifiers is None:
+            qualifiers = [None] * len(names)
+        super().__init__(
+            RowSchema(list(zip(qualifiers, names))),
+            [child],
+        )
+        self.exprs = exprs
+        self._fns = [compile_expr(e, child.output) for e in exprs]
+
+    def rows(self) -> Iterator[tuple]:
+        fns = self._fns
+        for row in self.children[0].timed_rows():
+            yield tuple(fn(row) for fn in fns)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.output.names)})"

@@ -1,0 +1,103 @@
+"""Leaf operators: the secure access methods (Section 5.2).
+
+These are the only operators that touch untrusted memory. Every row
+they emit has passed the storage layer's evidence checks (point proofs
+and range-scan chain verification), so the operators above can trust
+their inputs unconditionally.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.sql.expressions import RowSchema
+from repro.sql.operators.base import PhysicalOp
+
+
+def table_schema(table, binding: str) -> RowSchema:
+    return RowSchema([(binding, name) for name in table.schema.column_names])
+
+
+class SeqScanOp(PhysicalOp):
+    """Full verified sequential scan (a (⊥, ⊤) range scan, Example 5.4)."""
+
+    is_scan = True
+
+    def __init__(self, table, binding: str):
+        super().__init__(table_schema(table, binding), [])
+        self.table = table
+        self.binding = binding
+        # the primary chain yields rows in primary-key order
+        self.ordering = [(binding, table.schema.primary_key, True)]
+
+    def rows(self) -> Iterator[tuple]:
+        return iter(self.table.seq_scan())
+
+    def describe(self) -> str:
+        return f"SeqScan({self.table.name} as {self.binding})"
+
+
+class RangeScanOp(PhysicalOp):
+    """Verified range scan over a chained column."""
+
+    is_scan = True
+
+    def __init__(
+        self,
+        table,
+        binding: str,
+        column: str,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+    ):
+        super().__init__(table_schema(table, binding), [])
+        self.table = table
+        self.binding = binding
+        self.column = column
+        self.lo, self.hi = lo, hi
+        self.include_lo, self.include_hi = include_lo, include_hi
+        # a chain scan walks its (key, nKey) chain: rows come back
+        # ordered by the chained column (ties broken by primary key)
+        self.ordering = [(binding, column, True)]
+        if column != table.schema.primary_key:
+            self.ordering.append((binding, table.schema.primary_key, True))
+
+    def rows(self) -> Iterator[tuple]:
+        return iter(
+            self.table.scan(
+                self.column, self.lo, self.hi, self.include_lo, self.include_hi
+            )
+        )
+
+    def describe(self) -> str:
+        lo_bracket = "[" if self.include_lo else "("
+        hi_bracket = "]" if self.include_hi else ")"
+        return (
+            f"RangeScan({self.table.name} as {self.binding}, {self.column} in "
+            f"{lo_bracket}{self.lo!r}, {self.hi!r}{hi_bracket})"
+        )
+
+
+class PointLookupOp(PhysicalOp):
+    """Verified primary-key index search (at most one row)."""
+
+    is_scan = True
+
+    def __init__(self, table, binding: str, key: Any):
+        super().__init__(table_schema(table, binding), [])
+        self.table = table
+        self.binding = binding
+        self.key = key
+
+    def rows(self) -> Iterator[tuple]:
+        row, _proof = self.table.get(self.key)
+        if row is not None:
+            yield row
+
+    def describe(self) -> str:
+        return (
+            f"IndexSearch({self.table.name} as {self.binding}, "
+            f"{self.table.schema.primary_key} = {self.key!r})"
+        )

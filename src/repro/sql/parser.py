@@ -1,0 +1,519 @@
+"""Recursive-descent SQL parser."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Begin,
+    Between,
+    BinaryOp,
+    ColumnDef,
+    Commit,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    DropTable,
+    ExistsSubquery,
+    Explain,
+    Expr,
+    InList,
+    InSubquery,
+    Insert,
+    IsNull,
+    JoinClause,
+    Like,
+    Literal,
+    OrderItem,
+    Rollback,
+    ScalarSubquery,
+    Select,
+    SelectItem,
+    Statement,
+    TableRef,
+    UnaryOp,
+    Update,
+)
+from repro.sql.lexer import Token, tokenize
+
+_AGG_FUNCS = {"COUNT", "SUM", "AVG", "MIN", "MAX"}
+_COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def parse_statement(sql: str) -> Statement:
+    """Parse one SQL statement (a trailing semicolon is allowed)."""
+    parser = _Parser(tokenize(sql))
+    stmt = parser.statement()
+    parser.accept_punct(";")
+    parser.expect_eof()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # token helpers
+    # ------------------------------------------------------------------
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        self._pos += 1
+        return token
+
+    def peek_keyword(self, *words: str) -> bool:
+        token = self._current
+        return token.kind == "KEYWORD" and token.value in words
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.peek_keyword(*words):
+            self._advance()
+            return True
+        return False
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            raise ParseError(
+                f"expected {word}, found {self._current.value!r}",
+                position=self._current.position,
+            )
+
+    def peek_punct(self, *symbols: str) -> bool:
+        token = self._current
+        return token.kind == "PUNCT" and token.value in symbols
+
+    def accept_punct(self, *symbols: str) -> bool:
+        if self.peek_punct(*symbols):
+            self._advance()
+            return True
+        return False
+
+    def expect_punct(self, symbol: str) -> None:
+        if not self.accept_punct(symbol):
+            raise ParseError(
+                f"expected {symbol!r}, found {self._current.value!r}",
+                position=self._current.position,
+            )
+
+    def expect_ident(self) -> str:
+        token = self._current
+        if token.kind == "IDENT":
+            self._advance()
+            return token.value
+        # allow non-reserved-looking keywords as identifiers where sane
+        if token.kind == "KEYWORD" and (
+            token.value in ("DATE", "KEY") or token.value in _AGG_FUNCS
+        ):
+            self._advance()
+            return token.value.lower()
+        raise ParseError(
+            f"expected identifier, found {token.value!r}", position=token.position
+        )
+
+    def expect_eof(self) -> None:
+        if self._current.kind != "EOF":
+            raise ParseError(
+                f"unexpected trailing input {self._current.value!r}",
+                position=self._current.position,
+            )
+
+    # ------------------------------------------------------------------
+    # statements
+    # ------------------------------------------------------------------
+    def statement(self) -> Statement:
+        if self.accept_keyword("BEGIN"):
+            self.accept_keyword("TRANSACTION")
+            return Begin()
+        if self.accept_keyword("START"):
+            self.expect_keyword("TRANSACTION")
+            return Begin()
+        if self.accept_keyword("COMMIT"):
+            return Commit()
+        if self.accept_keyword("ROLLBACK"):
+            return Rollback()
+        if self.accept_keyword("EXPLAIN"):
+            return Explain(self.select())
+        if self.peek_keyword("SELECT"):
+            return self.select()
+        if self.accept_keyword("INSERT"):
+            return self.insert()
+        if self.accept_keyword("UPDATE"):
+            return self.update()
+        if self.accept_keyword("DELETE"):
+            return self.delete()
+        if self.accept_keyword("CREATE"):
+            return self.create_table()
+        if self.accept_keyword("DROP"):
+            self.expect_keyword("TABLE")
+            return DropTable(self.expect_ident())
+        raise ParseError(
+            f"unsupported statement starting with {self._current.value!r}",
+            position=self._current.position,
+        )
+
+    def select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        star = False
+        items: list[SelectItem] = []
+        if self.accept_punct("*"):
+            star = True
+        else:
+            items.append(self.select_item())
+            while self.accept_punct(","):
+                items.append(self.select_item())
+        self.expect_keyword("FROM")
+        tables = [self.table_ref()]
+        joins: list[JoinClause] = []
+        while True:
+            if self.accept_punct(","):
+                tables.append(self.table_ref())
+                continue
+            if self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+                joins.append(self.join_clause())
+                continue
+            if self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                joins.append(self.join_clause(outer=True))
+                continue
+            if self.accept_keyword("JOIN"):
+                joins.append(self.join_clause())
+                continue
+            break
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        group_by: list[Expr] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.expression())
+            while self.accept_punct(","):
+                group_by.append(self.expression())
+        having = self.expression() if self.accept_keyword("HAVING") else None
+        order_by: list[OrderItem] = []
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            order_by.append(self.order_item())
+            while self.accept_punct(","):
+                order_by.append(self.order_item())
+        limit = None
+        if self.accept_keyword("LIMIT"):
+            token = self._advance()
+            if token.kind != "NUMBER" or "." in token.value:
+                raise ParseError("LIMIT takes an integer", position=token.position)
+            limit = int(token.value)
+        return Select(
+            items=items,
+            tables=tables,
+            joins=joins,
+            where=where,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            star=star,
+            distinct=distinct,
+        )
+
+    def select_item(self) -> SelectItem:
+        expr = self.expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self._current.kind == "IDENT":
+            alias = self._advance().value
+        return SelectItem(expr, alias)
+
+    def table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self._current.kind == "IDENT":
+            alias = self._advance().value
+        return TableRef(name, alias)
+
+    def join_clause(self, outer: bool = False) -> JoinClause:
+        table = self.table_ref()
+        condition = None
+        if self.accept_keyword("ON"):
+            condition = self.expression()
+        return JoinClause(table, condition, outer)
+
+    def order_item(self) -> OrderItem:
+        expr = self.expression()
+        ascending = True
+        if self.accept_keyword("DESC"):
+            ascending = False
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expr, ascending)
+
+    def insert(self) -> Insert:
+        self.expect_keyword("INTO")
+        table = self.expect_ident()
+        columns: list[str] = []
+        if self.accept_punct("("):
+            columns.append(self.expect_ident())
+            while self.accept_punct(","):
+                columns.append(self.expect_ident())
+            self.expect_punct(")")
+        if self.peek_keyword("SELECT"):
+            return Insert(table, columns, select=self.select())
+        self.expect_keyword("VALUES")
+        rows = [self.value_row()]
+        while self.accept_punct(","):
+            rows.append(self.value_row())
+        return Insert(table, columns, rows)
+
+    def value_row(self) -> list[Expr]:
+        self.expect_punct("(")
+        values = [self.expression()]
+        while self.accept_punct(","):
+            values.append(self.expression())
+        self.expect_punct(")")
+        return values
+
+    def update(self) -> Update:
+        table = self.expect_ident()
+        self.expect_keyword("SET")
+        assignments = [self.assignment()]
+        while self.accept_punct(","):
+            assignments.append(self.assignment())
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Update(table, assignments, where)
+
+    def assignment(self) -> tuple[str, Expr]:
+        column = self.expect_ident()
+        self.expect_punct("=")
+        return column, self.expression()
+
+    def delete(self) -> Delete:
+        self.expect_keyword("FROM")
+        table = self.expect_ident()
+        where = self.expression() if self.accept_keyword("WHERE") else None
+        return Delete(table, where)
+
+    def create_table(self) -> CreateTable:
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_punct("(")
+        columns: list[ColumnDef] = []
+        primary_key: str | None = None
+        chains: list[str] = []
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                self.expect_punct("(")
+                if primary_key is not None:
+                    raise ParseError("multiple PRIMARY KEY clauses")
+                primary_key = self.expect_ident()
+                self.expect_punct(")")
+            elif self.accept_keyword("CHAIN"):
+                self.expect_punct("(")
+                chains.append(self.expect_ident())
+                while self.accept_punct(","):
+                    chains.append(self.expect_ident())
+                self.expect_punct(")")
+            else:
+                columns.append(self.column_def())
+                if columns[-1].primary_key:
+                    if primary_key is not None:
+                        raise ParseError("multiple PRIMARY KEY declarations")
+                    primary_key = columns[-1].name
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        return CreateTable(name, columns, primary_key, chains)
+
+    def column_def(self) -> ColumnDef:
+        name = self.expect_ident()
+        token = self._current
+        if token.kind not in ("IDENT", "KEYWORD"):
+            raise ParseError(
+                f"expected a type name, found {token.value!r}",
+                position=token.position,
+            )
+        type_name = self._advance().value
+        if self.accept_punct("("):  # e.g. VARCHAR(32), DECIMAL(12, 2): ignored
+            while not self.accept_punct(")"):
+                self._advance()
+        primary_key = False
+        not_null = False
+        while True:
+            if self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+            elif self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+            else:
+                break
+        return ColumnDef(name, type_name, primary_key, not_null)
+
+    # ------------------------------------------------------------------
+    # expressions (precedence climbing)
+    # ------------------------------------------------------------------
+    def expression(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.not_expr())
+        return self.predicate()
+
+    def predicate(self) -> Expr:
+        left = self.additive()
+        negated = self.accept_keyword("NOT")
+        if self.accept_keyword("BETWEEN"):
+            low = self.additive()
+            self.expect_keyword("AND")
+            high = self.additive()
+            return Between(left, low, high, negated)
+        if self.accept_keyword("IN"):
+            self.expect_punct("(")
+            if self.peek_keyword("SELECT"):
+                subselect = self.select()
+                self.expect_punct(")")
+                return InSubquery(left, subselect, negated)
+            items = [self.expression()]
+            while self.accept_punct(","):
+                items.append(self.expression())
+            self.expect_punct(")")
+            return InList(left, tuple(items), negated)
+        if self.accept_keyword("LIKE"):
+            token = self._advance()
+            if token.kind != "STRING":
+                raise ParseError(
+                    "LIKE takes a string pattern", position=token.position
+                )
+            return Like(left, token.value, negated)
+        if negated:
+            raise ParseError(
+                "NOT must be followed by BETWEEN, IN or LIKE here",
+                position=self._current.position,
+            )
+        if self.accept_keyword("IS"):
+            is_negated = self.accept_keyword("NOT")
+            self.expect_keyword("NULL")
+            return IsNull(left, is_negated)
+        token = self._current
+        if token.kind == "PUNCT" and token.value in _COMPARISONS:
+            self._advance()
+            op = "!=" if token.value == "<>" else token.value
+            return BinaryOp(op, left, self.additive())
+        return left
+
+    def additive(self) -> Expr:
+        left = self.multiplicative()
+        while self.peek_punct("+", "-"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self.multiplicative())
+        return left
+
+    def multiplicative(self) -> Expr:
+        left = self.unary()
+        while self.peek_punct("*", "/", "%"):
+            op = self._advance().value
+            left = BinaryOp(op, left, self.unary())
+        return left
+
+    def unary(self) -> Expr:
+        if self.accept_punct("-"):
+            return UnaryOp("NEG", self.unary())
+        if self.accept_punct("+"):
+            return self.unary()
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self._current
+        if token.kind == "NUMBER":
+            self._advance()
+            if "." in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.kind == "STRING":
+            self._advance()
+            return Literal(token.value)
+        if self.accept_keyword("NULL"):
+            return Literal(None)
+        if self.accept_keyword("TRUE"):
+            return Literal(True)
+        if self.accept_keyword("FALSE"):
+            return Literal(False)
+        if self.peek_keyword("DATE"):
+            # DATE 'yyyy-mm-dd' literal; bare DATE falls through to ident
+            if self._tokens[self._pos + 1].kind == "STRING":
+                self._advance()
+                literal = self._advance()
+                try:
+                    return Literal(datetime.date.fromisoformat(literal.value))
+                except ValueError as exc:
+                    raise ParseError(
+                        f"bad DATE literal {literal.value!r}",
+                        position=literal.position,
+                    ) from exc
+        if (
+            token.kind == "KEYWORD"
+            and token.value in _AGG_FUNCS
+            and self._tokens[self._pos + 1].kind == "PUNCT"
+            and self._tokens[self._pos + 1].value == "("
+        ):
+            self._advance()
+            self.expect_punct("(")
+            distinct = self.accept_keyword("DISTINCT")
+            if self.accept_punct("*"):
+                if token.value != "COUNT":
+                    raise ParseError(
+                        f"{token.value}(*) is not valid", position=token.position
+                    )
+                argument = None
+            else:
+                argument = self.expression()
+            self.expect_punct(")")
+            return Aggregate(token.value, argument, distinct)
+        if self.accept_keyword("EXISTS"):
+            self.expect_punct("(")
+            subselect = self.select()
+            self.expect_punct(")")
+            return ExistsSubquery(subselect)
+        if self.accept_punct("("):
+            if self.peek_keyword("SELECT"):
+                subselect = self.select()
+                self.expect_punct(")")
+                return ScalarSubquery(subselect)
+            expr = self.expression()
+            self.expect_punct(")")
+            return expr
+        if token.kind == "IDENT" or (
+            token.kind == "KEYWORD"
+            and (token.value in ("DATE", "KEY") or token.value in _AGG_FUNCS)
+        ):
+            name = self.expect_ident()
+            if self.accept_punct("."):
+                column = self.expect_ident()
+                return ColumnRef(column, qualifier=name)
+            return ColumnRef(name)
+        raise ParseError(
+            f"unexpected token {token.value!r} in expression",
+            position=token.position,
+        )

@@ -1,0 +1,757 @@
+"""Query planning and optimization (runs inside the enclave, Section 3.3).
+
+Pipeline for SELECT:
+
+1. bind tables, pool the WHERE and JOIN-ON conjuncts;
+2. choose an access path per table — verified point lookup for a
+   primary-key equality, verified range scan when a chained column has
+   sargable bounds, verified sequential scan otherwise — with residual
+   conjuncts as filters;
+3. build a left-deep join tree in FROM order, picking the join
+   algorithm (index-nested-loop through the inner table's primary key,
+   hash, merge, or plain nested loops); callers may force one with
+   ``join_hint`` — the Figure 12 experiment compares Q19 under
+   ``merge`` vs ``nested_loop``;
+4. plan grouping/aggregation by rewriting aggregate expressions into
+   references over the aggregate operator's output;
+5. HAVING, projection, ORDER BY, LIMIT on top.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanningError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    ExistsSubquery,
+    Expr,
+    InSet,
+    InSubquery,
+    IsNull,
+    InList,
+    Like,
+    Literal,
+    OrderItem,
+    ScalarSubquery,
+    Select,
+    UnaryOp,
+)
+from repro.sql.expressions import (
+    find_aggregates,
+    referenced_columns,
+    split_conjuncts,
+    substitute,
+)
+from repro.sql.operators import (
+    DistinctOp,
+    FilterOp,
+    HashAggregateOp,
+    HashJoinOp,
+    IndexNestedLoopJoinOp,
+    LimitOp,
+    MergeJoinOp,
+    NestedLoopJoinOp,
+    PhysicalOp,
+    PointLookupOp,
+    ProjectOp,
+    RangeScanOp,
+    SeqScanOp,
+    SortOp,
+    TopNOp,
+)
+
+JOIN_HINTS = ("merge", "nested_loop", "hash", "index_nl")
+
+_FLIP = {"=": "=", "!=": "!=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+@dataclass
+class _Binding:
+    name: str  # alias or table name
+    info: Any  # TableInfo
+
+
+@dataclass
+class _Constraint:
+    column: str
+    op: str  # = < <= > >=
+    value: Any
+
+
+class Planner:
+    def __init__(self, catalog: Catalog, subquery_executor=None, spill=None):
+        self.catalog = catalog
+        #: callable(Select) -> list[tuple]; installed by the QueryEngine.
+        #: Uncorrelated subqueries are executed (through the same verified
+        #: pipeline) at planning time and folded into the outer plan.
+        self.subquery_executor = subquery_executor
+        #: optional SpillManager: materializing operators overflow their
+        #: intermediate state into verifiable storage (Section 5.4)
+        self.spill = spill
+
+    # ------------------------------------------------------------------
+    # SELECT
+    # ------------------------------------------------------------------
+    def plan_select(
+        self, stmt: Select, join_hint: Optional[str] = None
+    ) -> PhysicalOp:
+        if join_hint is not None and join_hint not in JOIN_HINTS:
+            raise PlanningError(
+                f"unknown join hint {join_hint!r}; use one of {JOIN_HINTS}"
+            )
+        stmt = self._resolve_statement_subqueries(stmt)
+        bindings = self._bind_tables(stmt)
+        # WHERE conjuncts and *inner*-join ON conjuncts form one pool and
+        # may be pushed freely; a LEFT JOIN's ON condition stays with its
+        # join (pushing it, or pulling WHERE predicates into it, changes
+        # which rows get NULL-extended).
+        conjuncts = list(split_conjuncts(stmt.where))
+        outer_conditions: dict[str, Optional[Expr]] = {}
+        for join in stmt.joins:
+            if join.outer:
+                outer_conditions[join.table.binding] = join.condition
+            else:
+                conjuncts.extend(split_conjuncts(join.condition))
+
+        # classify conjuncts by the set of bindings they touch
+        remaining: list[tuple[Expr, frozenset[str]]] = []
+        for conjunct in conjuncts:
+            touched = self._bindings_of(conjunct, bindings)
+            remaining.append((conjunct, touched))
+
+        plan: Optional[PhysicalOp] = None
+        joined: set[str] = set()
+        for position, binding in enumerate(bindings):
+            if binding.name in outer_conditions:
+                if plan is None:
+                    raise PlanningError(
+                        "LEFT JOIN needs a left-hand input"
+                    )
+                # WHERE conjuncts touching this binding stay in the pool
+                # and apply above the join (post-NULL-extension semantics)
+                plan = self._plan_outer_join(
+                    plan, binding, outer_conditions[binding.name], joined
+                )
+                joined.add(binding.name)
+                continue
+            local = [
+                c for c, refs in remaining if refs == frozenset({binding.name})
+            ]
+            remaining = [
+                (c, refs)
+                for c, refs in remaining
+                if refs != frozenset({binding.name})
+            ]
+            if plan is None:
+                plan = self._access_path(binding, local)
+                joined.add(binding.name)
+                continue
+            # conjuncts that become applicable once this binding joins
+            applicable = [
+                c
+                for c, refs in remaining
+                if refs and refs <= joined | {binding.name} and binding.name in refs
+            ]
+            remaining = [
+                (c, refs) for c, refs in remaining if c not in applicable
+            ]
+            plan = self._plan_join(
+                plan, binding, local, applicable, join_hint, joined
+            )
+            joined.add(binding.name)
+        assert plan is not None
+
+        # anything left (e.g. constant predicates) applies on top
+        for conjunct, _ in remaining:
+            plan = FilterOp(plan, conjunct)
+
+        plan, agg_output_map = self._plan_aggregation(plan, stmt)
+        plan = self._plan_projection_order_limit(plan, stmt, agg_output_map)
+        return plan
+
+    # ------------------------------------------------------------------
+    # uncorrelated subqueries (resolved at plan time)
+    # ------------------------------------------------------------------
+    def _resolve_statement_subqueries(self, stmt: Select) -> Select:
+        """Fold every subquery in the statement into literal values.
+
+        Correlated subqueries are not supported: the inner SELECT is
+        planned in its own scope, so a reference to an outer column
+        surfaces as an unknown-column planning error.
+        """
+        from dataclasses import replace
+        from repro.sql.ast_nodes import SelectItem
+
+        def fix(expr):
+            return None if expr is None else self.resolve_subqueries(expr)
+
+        return replace(
+            stmt,
+            items=[SelectItem(fix(i.expr), i.alias) for i in stmt.items],
+            joins=[
+                type(j)(j.table, fix(j.condition), j.outer) for j in stmt.joins
+            ],
+            where=fix(stmt.where),
+            group_by=[fix(e) for e in stmt.group_by],
+            having=fix(stmt.having),
+            order_by=[
+                OrderItem(fix(item.expr), item.ascending)
+                for item in stmt.order_by
+            ],
+        )
+
+    def resolve_subqueries(self, expr: Expr) -> Expr:
+        """Rewrite subquery nodes into literals / materialized sets."""
+        if isinstance(expr, ScalarSubquery):
+            rows = self._execute_subquery(expr.select)
+            if rows and len(rows[0]) != 1:
+                raise PlanningError("scalar subquery must return one column")
+            if len(rows) > 1:
+                raise PlanningError(
+                    f"scalar subquery returned {len(rows)} rows"
+                )
+            return Literal(rows[0][0] if rows else None)
+        if isinstance(expr, InSubquery):
+            rows = self._execute_subquery(expr.select)
+            if rows and len(rows[0]) != 1:
+                raise PlanningError("IN subquery must return one column")
+            values = {row[0] for row in rows}
+            had_null = None in values
+            values.discard(None)
+            return InSet(
+                self.resolve_subqueries(expr.operand),
+                frozenset(values),
+                had_null,
+                expr.negated,
+            )
+        if isinstance(expr, ExistsSubquery):
+            rows = self._execute_subquery(expr.select)
+            exists = bool(rows)
+            return Literal((not exists) if expr.negated else exists)
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self.resolve_subqueries(expr.left),
+                self.resolve_subqueries(expr.right),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(expr.op, self.resolve_subqueries(expr.operand))
+        if isinstance(expr, IsNull):
+            return IsNull(self.resolve_subqueries(expr.operand), expr.negated)
+        if isinstance(expr, InList):
+            return InList(
+                self.resolve_subqueries(expr.operand),
+                tuple(self.resolve_subqueries(item) for item in expr.items),
+                expr.negated,
+            )
+        if isinstance(expr, Between):
+            return Between(
+                self.resolve_subqueries(expr.operand),
+                self.resolve_subqueries(expr.low),
+                self.resolve_subqueries(expr.high),
+                expr.negated,
+            )
+        if isinstance(expr, Like):
+            return Like(
+                self.resolve_subqueries(expr.operand), expr.pattern, expr.negated
+            )
+        if isinstance(expr, Aggregate) and expr.argument is not None:
+            return Aggregate(
+                expr.func, self.resolve_subqueries(expr.argument), expr.distinct
+            )
+        return expr
+
+    def _execute_subquery(self, select: Select) -> list[tuple]:
+        if self.subquery_executor is None:
+            raise PlanningError(
+                "this planner has no subquery executor; nested queries "
+                "require planning through the QueryEngine"
+            )
+        return self.subquery_executor(select)
+
+    # ------------------------------------------------------------------
+    # table binding & column ownership
+    # ------------------------------------------------------------------
+    def _bind_tables(self, stmt: Select) -> list[_Binding]:
+        refs = list(stmt.tables) + [join.table for join in stmt.joins]
+        bindings: list[_Binding] = []
+        seen: set[str] = set()
+        for ref in refs:
+            name = ref.binding
+            if name in seen:
+                raise PlanningError(f"duplicate table binding {name!r}")
+            seen.add(name)
+            bindings.append(_Binding(name, self.catalog.lookup(ref.name)))
+        return bindings
+
+    def _bindings_of(
+        self, expr: Expr, bindings: list[_Binding]
+    ) -> frozenset[str]:
+        touched: set[str] = set()
+        for ref in referenced_columns(expr):
+            touched.add(self._owner(ref, bindings))
+        return frozenset(touched)
+
+    @staticmethod
+    def _owner(ref: ColumnRef, bindings: list[_Binding]) -> str:
+        if ref.qualifier is not None:
+            for binding in bindings:
+                if binding.name == ref.qualifier:
+                    if not binding.info.schema.has_column(ref.name):
+                        raise PlanningError(f"unknown column {ref!r}")
+                    return binding.name
+            raise PlanningError(f"unknown table qualifier {ref.qualifier!r}")
+        owners = [
+            b.name for b in bindings if b.info.schema.has_column(ref.name)
+        ]
+        if not owners:
+            raise PlanningError(f"unknown column {ref.name!r}")
+        if len(owners) > 1:
+            raise PlanningError(f"ambiguous column {ref.name!r}")
+        return owners[0]
+
+    # ------------------------------------------------------------------
+    # access-path selection
+    # ------------------------------------------------------------------
+    def _access_path(
+        self, binding: _Binding, conjuncts: list[Expr]
+    ) -> PhysicalOp:
+        table = binding.info.store
+        schema = binding.info.schema
+        constraints: list[_Constraint] = []
+        residual: list[Expr] = []
+        for conjunct in conjuncts:
+            extracted = self._sargable(conjunct, schema)
+            if extracted:
+                constraints.extend(extracted)
+                # equality/range info is fully captured by the bounds for
+                # single constraints; Between expands to two constraints
+                continue
+            residual.append(conjunct)
+
+        plan: PhysicalOp
+        chosen = self._choose_constraint_column(schema, constraints)
+        if chosen is None:
+            plan = SeqScanOp(table, binding.name)
+            used: set[int] = set()
+        else:
+            column, indexes = chosen
+            equality_index = next(
+                (i for i in indexes if constraints[i].op == "="), None
+            )
+            if equality_index is not None:
+                # Use one equality for the access path; every OTHER
+                # constraint on this column (further equalities, bounds)
+                # stays a residual filter — absorbing them here would
+                # silently drop contradictions like ``a = 1 AND a = 0``.
+                equality = constraints[equality_index].value
+                used = {equality_index}
+                if column == schema.primary_key:
+                    plan = PointLookupOp(table, binding.name, equality)
+                else:
+                    plan = RangeScanOp(
+                        table, binding.name, column, equality, equality
+                    )
+            else:
+                # bounds combine exactly: the tightest of each side wins
+                lo, hi = None, None
+                include_lo = include_hi = True
+                for i in indexes:
+                    con = constraints[i]
+                    if con.op in (">", ">="):
+                        candidate = (con.value, con.op == ">=")
+                        if lo is None or (candidate[0], not candidate[1]) > (
+                            lo,
+                            not include_lo,
+                        ):
+                            lo, include_lo = candidate
+                    elif con.op in ("<", "<="):
+                        candidate = (con.value, con.op == "<=")
+                        if hi is None or (candidate[0], candidate[1]) < (
+                            hi,
+                            include_hi,
+                        ):
+                            hi, include_hi = candidate
+                plan = RangeScanOp(
+                    table, binding.name, column, lo, hi, include_lo, include_hi
+                )
+                used = set(indexes)
+        # constraints on other columns stay as ordinary filters
+        for i, constraint in enumerate(constraints):
+            if i in used:
+                continue
+            residual.append(
+                BinaryOp(
+                    constraint.op,
+                    ColumnRef(constraint.column, binding.name),
+                    Literal(constraint.value),
+                )
+            )
+        for conjunct in residual:
+            plan = FilterOp(plan, conjunct)
+        return plan
+
+    @staticmethod
+    def _sargable(expr: Expr, schema) -> list[_Constraint]:
+        """Extract index-usable constraints from one conjunct, if any."""
+
+        def as_col_lit(e: Expr):
+            if (
+                isinstance(e, BinaryOp)
+                and isinstance(e.left, ColumnRef)
+                and isinstance(e.right, Literal)
+            ):
+                return e.op, e.left, e.right.value
+            if (
+                isinstance(e, BinaryOp)
+                and isinstance(e.right, ColumnRef)
+                and isinstance(e.left, Literal)
+            ):
+                return _FLIP.get(e.op), e.right, e.left.value
+            return None
+
+        if isinstance(expr, Between) and not expr.negated:
+            if (
+                isinstance(expr.operand, ColumnRef)
+                and isinstance(expr.low, Literal)
+                and isinstance(expr.high, Literal)
+                and schema.chain_id(expr.operand.name) is not None
+            ):
+                return [
+                    _Constraint(expr.operand.name, ">=", expr.low.value),
+                    _Constraint(expr.operand.name, "<=", expr.high.value),
+                ]
+            return []
+        simple = as_col_lit(expr)
+        if simple is None:
+            return []
+        op, col, value = simple
+        if op in ("=", "<", "<=", ">", ">=") and value is not None:
+            if schema.chain_id(col.name) is not None:
+                return [_Constraint(col.name, op, value)]
+        return []
+
+    @staticmethod
+    def _choose_constraint_column(schema, constraints: list[_Constraint]):
+        """Pick the most selective constrained chained column."""
+        by_column: dict[str, list[int]] = {}
+        for i, con in enumerate(constraints):
+            by_column.setdefault(con.column, []).append(i)
+        best = None
+        best_score = -1
+        for column, indexes in by_column.items():
+            ops = {constraints[i].op for i in indexes}
+            if "=" in ops:
+                score = 4 if column == schema.primary_key else 3
+            elif (ops & {">", ">="}) and (ops & {"<", "<="}):
+                score = 2
+            else:
+                score = 1
+            if score > best_score:
+                best_score = score
+                best = (column, indexes)
+        return best
+
+    # ------------------------------------------------------------------
+    # joins
+    # ------------------------------------------------------------------
+    def _plan_join(
+        self,
+        left: PhysicalOp,
+        binding: _Binding,
+        local: list[Expr],
+        applicable: list[Expr],
+        join_hint: Optional[str],
+        joined: set[str],
+    ) -> PhysicalOp:
+        # split the applicable conjuncts into equi-key pairs and residual
+        left_keys: list[Expr] = []
+        right_keys: list[Expr] = []
+        residual: list[Expr] = []
+        for conjunct in applicable:
+            pair = self._equi_pair(conjunct, binding, joined)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+        residual_expr = _and_all(residual)
+
+        hint = join_hint
+        if hint == "index_nl" or (
+            hint is None
+            and len(right_keys) == 1
+            and isinstance(right_keys[0], ColumnRef)
+            and right_keys[0].name == binding.info.schema.primary_key
+        ):
+            if (
+                len(right_keys) == 1
+                and isinstance(right_keys[0], ColumnRef)
+                and right_keys[0].name == binding.info.schema.primary_key
+            ):
+                inner_residual = _and_all(local + residual)
+                return IndexNestedLoopJoinOp(
+                    left,
+                    binding.info.store,
+                    binding.name,
+                    left_keys[0],
+                    inner_residual,
+                )
+            if hint == "index_nl":
+                raise PlanningError(
+                    "index_nl join requires a single equality on the inner "
+                    "table's primary key"
+                )
+        right = self._access_path(binding, local)
+        if not left_keys:
+            return NestedLoopJoinOp(
+                left, right, [], [], residual_expr, spill=self.spill
+            )
+        if hint == "merge":
+            return MergeJoinOp(
+                left, right, left_keys, right_keys, residual_expr,
+                spill=self.spill,
+            )
+        if hint == "nested_loop":
+            return NestedLoopJoinOp(
+                left, right, left_keys, right_keys, residual_expr,
+                spill=self.spill,
+            )
+        return HashJoinOp(left, right, left_keys, right_keys, residual_expr)
+
+    def _plan_outer_join(
+        self,
+        left: PhysicalOp,
+        binding: _Binding,
+        condition: Optional[Expr],
+        joined: set[str],
+    ) -> PhysicalOp:
+        """LEFT OUTER JOIN: the ON condition decides matching only.
+
+        Right-side-only ON conjuncts are pushed into the right input
+        (legal: they restrict which right rows can match); everything
+        else — including left-side-only conjuncts — participates in the
+        per-pair match test, never filtering left rows outright.
+        """
+        conjuncts = split_conjuncts(condition)
+        right_local: list[Expr] = []
+        match_conjuncts: list[Expr] = []
+        for conjunct in conjuncts:
+            try:
+                refs = self._bindings_of(conjunct, [binding])
+                only_right = refs == frozenset({binding.name})
+            except PlanningError:
+                only_right = False  # touches columns outside this binding
+            if only_right:
+                right_local.append(conjunct)
+            else:
+                match_conjuncts.append(conjunct)
+        right = self._access_path(binding, right_local)
+        left_keys: list[Expr] = []
+        right_keys: list[Expr] = []
+        residual: list[Expr] = []
+        for conjunct in match_conjuncts:
+            pair = self._equi_pair(conjunct, binding, joined)
+            if pair is not None:
+                left_keys.append(pair[0])
+                right_keys.append(pair[1])
+            else:
+                residual.append(conjunct)
+        residual_expr = _and_all(residual)
+        if left_keys:
+            return HashJoinOp(
+                left, right, left_keys, right_keys, residual_expr,
+                spill=self.spill, left_outer=True,
+            )
+        return NestedLoopJoinOp(
+            left, right, [], [], residual_expr,
+            spill=self.spill, left_outer=True,
+        )
+
+    def _equi_pair(self, conjunct: Expr, binding: _Binding, joined: set[str]):
+        """Return (left_expr, right_expr) for an equi-join conjunct."""
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            return None
+        sides = [conjunct.left, conjunct.right]
+        side_bindings = []
+        for side in sides:
+            refs = referenced_columns(side)
+            if not refs:
+                return None
+            owners = set()
+            for ref in refs:
+                if ref.qualifier is not None:
+                    owners.add(ref.qualifier)
+                else:
+                    return None  # unqualified in joins: keep as residual
+            side_bindings.append(owners)
+        left_side, right_side = side_bindings
+        if left_side <= joined and right_side == {binding.name}:
+            return sides[0], sides[1]
+        if right_side <= joined and left_side == {binding.name}:
+            return sides[1], sides[0]
+        return None
+
+    # ------------------------------------------------------------------
+    # aggregation
+    # ------------------------------------------------------------------
+    def _plan_aggregation(self, plan: PhysicalOp, stmt: Select):
+        """Insert a HashAggregate if the query is grouped/aggregated.
+
+        Returns (plan, mapping) where mapping rewrites the original
+        expressions (group keys and aggregate calls) into column
+        references over the aggregate output; mapping is None when the
+        query is not aggregated.
+        """
+        aggregates: list[Aggregate] = []
+        for item in stmt.items:
+            aggregates.extend(find_aggregates(item.expr))
+        if stmt.having is not None:
+            aggregates.extend(find_aggregates(stmt.having))
+        for item in stmt.order_by:
+            aggregates.extend(find_aggregates(item.expr))
+        if not aggregates and not stmt.group_by:
+            return plan, None
+        if stmt.star:
+            raise PlanningError("SELECT * is not valid in a grouped query")
+        # deduplicate aggregates structurally
+        unique_aggs: list[Aggregate] = []
+        for agg in aggregates:
+            if agg not in unique_aggs:
+                unique_aggs.append(agg)
+        group_exprs = list(stmt.group_by)
+        names = [f"__g{i}" for i in range(len(group_exprs))] + [
+            f"__a{i}" for i in range(len(unique_aggs))
+        ]
+        plan = HashAggregateOp(plan, group_exprs, unique_aggs, names)
+        mapping: dict[Expr, Expr] = {}
+        for i, expr in enumerate(group_exprs):
+            mapping[expr] = ColumnRef(f"__g{i}")
+        for i, agg in enumerate(unique_aggs):
+            mapping[agg] = ColumnRef(f"__a{i}")
+        if stmt.having is not None:
+            plan = FilterOp(plan, substitute(stmt.having, mapping))
+        return plan, mapping
+
+    # ------------------------------------------------------------------
+    # projection / order / limit
+    # ------------------------------------------------------------------
+    def _plan_projection_order_limit(
+        self,
+        plan: PhysicalOp,
+        stmt: Select,
+        agg_map: Optional[dict[Expr, Expr]],
+    ) -> PhysicalOp:
+        order_items = list(stmt.order_by)
+        if stmt.star:
+            if stmt.distinct:
+                plan = DistinctOp(plan)
+            if order_items and self._order_satisfied(plan, order_items):
+                order_items = []  # the chain scan already emits this order
+            if order_items and stmt.limit is not None:
+                return TopNOp(plan, order_items, stmt.limit)
+            if order_items:
+                plan = SortOp(plan, order_items, spill=self.spill)
+            if stmt.limit is not None:
+                plan = LimitOp(plan, stmt.limit)
+            return plan
+
+        exprs: list[Expr] = []
+        names: list[str] = []
+        for i, item in enumerate(stmt.items):
+            expr = item.expr
+            if agg_map is not None:
+                expr = substitute(expr, agg_map)
+            exprs.append(expr)
+            if item.alias:
+                names.append(item.alias)
+            elif isinstance(item.expr, ColumnRef):
+                names.append(item.expr.name)
+            else:
+                names.append(f"col{i}")
+
+        # ORDER BY may reference select aliases or pre-projection columns;
+        # all keys must sort together, so alias references are expanded to
+        # their select expressions and the whole sort runs below the
+        # projection.
+        sort_items: list[OrderItem] = []
+        for item in order_items:
+            expr = item.expr
+            if (
+                isinstance(expr, ColumnRef)
+                and expr.qualifier is None
+                and expr.name in names
+            ):
+                expr = exprs[names.index(expr.name)]
+            elif agg_map is not None:
+                expr = substitute(expr, agg_map)
+            sort_items.append(OrderItem(expr, item.ascending))
+        # a chain scan may already deliver the requested order
+        if sort_items and self._order_satisfied(plan, sort_items):
+            sort_items = []
+        # ORDER BY + LIMIT without DISTINCT fuses into a Top-N heap
+        # (DISTINCT must deduplicate before the limit applies, which
+        # breaks the fusion).
+        if sort_items and stmt.limit is not None and not stmt.distinct:
+            plan = TopNOp(plan, sort_items, stmt.limit)
+            return ProjectOp(plan, exprs, names)
+        if sort_items:
+            plan = SortOp(plan, sort_items, spill=self.spill)
+        plan = ProjectOp(plan, exprs, names)
+        if stmt.distinct:
+            plan = DistinctOp(plan)
+        if stmt.limit is not None:
+            plan = LimitOp(plan, stmt.limit)
+        return plan
+
+    @staticmethod
+    def _order_satisfied(plan: PhysicalOp, sort_items: list[OrderItem]) -> bool:
+        """Whether the plan's interesting order already covers the sort.
+
+        Chain scans emit rows in key order; if the requested ORDER BY is
+        a prefix-match of that order (same columns, same directions),
+        the sort is redundant and is elided.
+        """
+        if len(sort_items) > len(plan.ordering):
+            return False
+        for item, (qualifier, name, ascending) in zip(
+            sort_items, plan.ordering
+        ):
+            if not isinstance(item.expr, ColumnRef):
+                return False
+            if item.ascending != ascending:
+                return False
+            try:
+                wanted = plan.output.resolve(item.expr)
+                provided = plan.output.resolve(ColumnRef(name, qualifier))
+            except PlanningError:
+                return False
+            if wanted != provided:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # helper reused by DML: plan a filtered scan of one table
+    # ------------------------------------------------------------------
+    def plan_table_filter(self, table_name: str, where: Optional[Expr]) -> PhysicalOp:
+        info = self.catalog.lookup(table_name)
+        binding = _Binding(info.name, info)
+        if where is not None:
+            where = self.resolve_subqueries(where)
+        conjuncts = split_conjuncts(where)
+        for conjunct in conjuncts:
+            self._bindings_of(conjunct, [binding])  # validates columns
+        return self._access_path(binding, conjuncts)
+
+
+def _and_all(conjuncts: list[Expr]) -> Optional[Expr]:
+    expr: Optional[Expr] = None
+    for conjunct in conjuncts:
+        expr = conjunct if expr is None else BinaryOp("AND", expr, conjunct)
+    return expr

@@ -1,0 +1,249 @@
+"""Multi-statement transactions (BEGIN / COMMIT / ROLLBACK).
+
+The paper's prototype measures storage-operation workloads; a database a
+user would adopt also needs statement grouping. This layer provides
+serializable transactions over the verifiable storage with two classic
+ingredients:
+
+* **strict two-phase locking at table granularity** — a transaction
+  takes a table's transaction lock at first touch (read or write) and
+  holds it to commit/rollback. Coarse, but sound and simple to reason
+  about; conflicts resolve by lock-timeout abort rather than deadlock
+  detection.
+* **undo logging** — every applied row change records its inverse
+  (delete for insert, re-insert for delete, delete+re-insert for
+  update); ROLLBACK replays the log in reverse *through the verified
+  write path*, so an aborted transaction leaves the same evidence trail
+  as any other sequence of writes and the memory checker stays
+  consistent.
+
+Scope notes (documented limitations): transactions isolate against
+other :class:`Session` users of the same engine — direct
+``engine.execute``/storage-API calls bypass the transaction locks; DDL
+is not transactional and is rejected inside a transaction.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.errors import TransactionAborted, TransactionError
+from repro.sql.ast_nodes import (
+    Begin,
+    Commit,
+    CreateTable,
+    Delete,
+    DropTable,
+    ExistsSubquery,
+    Explain,
+    Expr,
+    InSubquery,
+    Insert,
+    Rollback,
+    ScalarSubquery,
+    Select,
+    Statement,
+    Update,
+)
+from repro.sql.executor import ExecutionResult, QueryEngine
+from repro.sql.parser import parse_statement
+
+
+class TxnLockRegistry:
+    """Per-engine registry of table transaction locks."""
+
+    def __init__(self):
+        self._locks: dict[str, threading.Lock] = {}
+        self._guard = threading.Lock()
+
+    def lock_for(self, table: str) -> threading.Lock:
+        key = table.lower()
+        with self._guard:
+            lock = self._locks.get(key)
+            if lock is None:
+                lock = threading.Lock()
+                self._locks[key] = lock
+            return lock
+
+
+class Session:
+    """One client's statement stream with optional transactions."""
+
+    def __init__(
+        self,
+        engine: QueryEngine,
+        name: str = "session",
+        lock_timeout: float = 5.0,
+    ):
+        self.engine = engine
+        self.name = name
+        self.lock_timeout = lock_timeout
+        self._registry = _registry_for(engine)
+        self._active = False
+        self._undo: list[Callable[[], None]] = []
+        self._held: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._active
+
+    def execute(
+        self, sql: str | Statement, join_hint: Optional[str] = None
+    ) -> ExecutionResult:
+        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if isinstance(stmt, Begin):
+            return self._begin()
+        if isinstance(stmt, Commit):
+            return self._commit()
+        if isinstance(stmt, Rollback):
+            return self._rollback()
+        if not self._active:
+            return self.engine.execute(stmt, join_hint=join_hint)
+        if isinstance(stmt, (CreateTable, DropTable)):
+            raise TransactionError("DDL is not allowed inside a transaction")
+        self._lock_tables(tables_touched(stmt))
+        try:
+            return self.engine.execute(
+                stmt, join_hint=join_hint, undo=self._undo
+            )
+        except Exception as exc:
+            # a failed statement may have applied part of its rows;
+            # abort the whole transaction so the state stays clean
+            self._rollback()
+            raise TransactionAborted(
+                f"transaction aborted by statement failure: {exc}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    def _begin(self) -> ExecutionResult:
+        if self._active:
+            raise TransactionError("transaction already in progress")
+        self._active = True
+        self._undo = []
+        return ExecutionResult()
+
+    def _commit(self) -> ExecutionResult:
+        if not self._active:
+            raise TransactionError("COMMIT outside a transaction")
+        self._finish()
+        return ExecutionResult()
+
+    def _rollback(self) -> ExecutionResult:
+        if not self._active:
+            raise TransactionError("ROLLBACK outside a transaction")
+        try:
+            for undo in reversed(self._undo):
+                undo()
+        finally:
+            self._finish()
+        return ExecutionResult()
+
+    def _finish(self) -> None:
+        self._active = False
+        self._undo = []
+        held, self._held = self._held, {}
+        for lock in held.values():
+            lock.release()
+
+    def _lock_tables(self, tables: list[str]) -> None:
+        # sorted acquisition bounds (but cannot fully prevent) deadlocks
+        # across statements; the timeout-abort handles the rest
+        for table in sorted(set(t.lower() for t in tables)):
+            if table in self._held:
+                continue
+            lock = self._registry.lock_for(table)
+            if not lock.acquire(timeout=self.lock_timeout):
+                self._rollback()
+                raise TransactionAborted(
+                    f"lock timeout on table {table!r}: transaction rolled back"
+                )
+            self._held[table] = lock
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._active:
+            self._rollback()
+
+
+_REGISTRIES: dict[int, TxnLockRegistry] = {}
+_REGISTRY_GUARD = threading.Lock()
+
+
+def _registry_for(engine: QueryEngine) -> TxnLockRegistry:
+    with _REGISTRY_GUARD:
+        registry = _REGISTRIES.get(id(engine))
+        if registry is None:
+            registry = TxnLockRegistry()
+            _REGISTRIES[id(engine)] = registry
+        return registry
+
+
+# ----------------------------------------------------------------------
+# statement analysis
+# ----------------------------------------------------------------------
+def tables_touched(stmt: Statement) -> list[str]:
+    """All table names a statement touches, subqueries included."""
+    tables: list[str] = []
+    if isinstance(stmt, Select):
+        _collect_select(stmt, tables)
+    elif isinstance(stmt, Explain):
+        _collect_select(stmt.select, tables)
+    elif isinstance(stmt, Insert):
+        tables.append(stmt.table)
+        if stmt.select is not None:
+            _collect_select(stmt.select, tables)
+        for row in stmt.rows:
+            for expr in row:
+                _collect_expr(expr, tables)
+    elif isinstance(stmt, Update):
+        tables.append(stmt.table)
+        for _, expr in stmt.assignments:
+            _collect_expr(expr, tables)
+        if stmt.where is not None:
+            _collect_expr(stmt.where, tables)
+    elif isinstance(stmt, Delete):
+        tables.append(stmt.table)
+        if stmt.where is not None:
+            _collect_expr(stmt.where, tables)
+    return tables
+
+
+def _collect_select(stmt: Select, tables: list[str]) -> None:
+    for ref in stmt.tables:
+        tables.append(ref.name)
+    for join in stmt.joins:
+        tables.append(join.table.name)
+        if join.condition is not None:
+            _collect_expr(join.condition, tables)
+    for item in stmt.items:
+        _collect_expr(item.expr, tables)
+    if stmt.where is not None:
+        _collect_expr(stmt.where, tables)
+    for expr in stmt.group_by:
+        _collect_expr(expr, tables)
+    if stmt.having is not None:
+        _collect_expr(stmt.having, tables)
+    for item in stmt.order_by:
+        _collect_expr(item.expr, tables)
+
+
+def _collect_expr(expr: Expr, tables: list[str]) -> None:
+    if isinstance(expr, (ScalarSubquery, ExistsSubquery)):
+        _collect_select(expr.select, tables)
+        return
+    if isinstance(expr, InSubquery):
+        _collect_select(expr.select, tables)
+        _collect_expr(expr.operand, tables)
+        return
+    for attr in ("left", "right", "operand", "low", "high", "argument"):
+        child = getattr(expr, attr, None)
+        if isinstance(child, Expr):
+            _collect_expr(child, tables)
+    for item in getattr(expr, "items", ()) or ():
+        if isinstance(item, Expr):
+            _collect_expr(item, tables)

@@ -1,0 +1,229 @@
+"""Spilling intermediate query state to the verifiable storage.
+
+Section 5.4: operator state normally stays inside the enclave, but when
+it outgrows the EPC the choices are SGX's secure swap (encryption +
+integrity checking, ~40000 cycles per page) or — the direction the paper
+proposes as future work and this module implements — *reusing VeriDB's
+own trusted storage*: spilled tuples are written through the verified
+write path into a temporary table, so their integrity is protected by
+the same write-read consistent memory as user data, at ordinary
+PRF-per-cell cost.
+
+Components:
+
+* :class:`SpillManager` — factory bound to the storage engine; accounts
+  the in-enclave portion against the EPC and creates/destroys the
+  temporary tables.
+* :class:`SpillBuffer` — an append-then-iterate row container that keeps
+  up to ``threshold_rows`` in enclave memory and overflows to a
+  verifiable table; supports repeated iteration (rows come back in
+  append order, overflow read back through verified sequential scans).
+* :func:`external_sort` — run-based external merge sort over spill
+  buffers, used by the Sort operator when its input exceeds the budget.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import IntegerType, OpaqueTupleType
+from repro.storage.engine import StorageEngine
+from repro.storage.table_store import VerifiableTable
+
+
+def _spill_schema() -> Schema:
+    return Schema(
+        columns=[
+            Column("seq", IntegerType(), nullable=False),
+            Column("row", OpaqueTupleType()),
+        ],
+        primary_key="seq",
+    )
+
+
+@dataclass
+class SpillStats:
+    buffers_created: int = 0
+    buffers_spilled: int = 0
+    rows_spilled: int = 0
+    sort_runs: int = 0
+
+
+class SpillManager:
+    """Creates spill buffers over one storage engine.
+
+    Args:
+        engine: the storage engine whose verified memory hosts spills.
+        threshold_rows: in-enclave rows per buffer before overflowing.
+        epc: optional EPC accountant; the in-enclave portions of live
+            buffers are registered so the paged-memory budget stays
+            honest.
+        row_bytes_estimate: per-row EPC charge.
+    """
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        threshold_rows: int,
+        epc=None,
+        row_bytes_estimate: int = 256,
+    ):
+        if threshold_rows < 1:
+            raise ValueError("threshold_rows must be >= 1")
+        self.engine = engine
+        self.threshold_rows = threshold_rows
+        self.epc = epc
+        self.row_bytes_estimate = row_bytes_estimate
+        self.stats = SpillStats()
+        self._ids = itertools.count()
+        self._lock = threading.Lock()
+
+    def buffer(
+        self, label: str = "spill", memory_limit: int | None = None
+    ) -> "SpillBuffer":
+        """Create a buffer; ``memory_limit`` overrides the per-buffer
+        in-enclave row budget (0 = everything goes straight to storage,
+        used for external-sort runs)."""
+        with self._lock:
+            buffer_id = next(self._ids)
+        self.stats.buffers_created += 1
+        return SpillBuffer(self, f"{label}-{buffer_id}", memory_limit)
+
+
+class SpillBuffer:
+    """Rows kept in the enclave up to a budget, then in verified storage."""
+
+    def __init__(
+        self,
+        manager: SpillManager,
+        name: str,
+        memory_limit: int | None = None,
+    ):
+        self._manager = manager
+        self.name = name
+        self._memory_limit = (
+            manager.threshold_rows if memory_limit is None else memory_limit
+        )
+        self._memory_rows: list[tuple] = []
+        self._table: Optional[VerifiableTable] = None
+        self._spilled_count = 0
+        self._closed = False
+        if manager.epc is not None:
+            manager.epc.allocate(f"spill:{name}", 0)
+
+    # ------------------------------------------------------------------
+    def append(self, row: tuple) -> None:
+        if self._closed:
+            raise RuntimeError(f"spill buffer {self.name} is closed")
+        if len(self._memory_rows) < self._memory_limit:
+            self._memory_rows.append(row)
+            if self._manager.epc is not None:
+                self._manager.epc.resize(
+                    f"spill:{self.name}",
+                    len(self._memory_rows) * self._manager.row_bytes_estimate,
+                )
+            return
+        if self._table is None:
+            self._table = VerifiableTable(
+                f"__{self.name}", _spill_schema(), self._manager.engine
+            )
+            self._manager.stats.buffers_spilled += 1
+        self._table.insert((self._spilled_count, row))
+        self._spilled_count += 1
+        self._manager.stats.rows_spilled += 1
+
+    def extend(self, rows: Iterable[tuple]) -> None:
+        for row in rows:
+            self.append(row)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[tuple]:
+        yield from self._memory_rows
+        if self._table is not None:
+            # verified sequential scan: overflow comes back in seq order
+            # with full integrity/completeness checking
+            for seq_row in self._table.seq_scan():
+                yield seq_row[1]
+
+    def __len__(self) -> int:
+        return len(self._memory_rows) + self._spilled_count
+
+    @property
+    def spilled(self) -> bool:
+        return self._table is not None
+
+    @property
+    def rows_in_enclave(self) -> int:
+        return len(self._memory_rows)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release enclave memory and retire the overflow table's pages."""
+        if self._closed:
+            return
+        self._closed = True
+        self._memory_rows = []
+        if self._manager.epc is not None:
+            self._manager.epc.free(f"spill:{self.name}")
+        if self._table is not None:
+            self._table.destroy()
+            self._table = None
+
+
+def external_sort(
+    rows: Iterable[tuple],
+    key: Callable[[tuple], Any],
+    manager: SpillManager,
+    reverse: bool = False,
+) -> Iterator[tuple]:
+    """Run-based external merge sort bounded by the manager's budget.
+
+    Consumes ``rows`` into sorted runs of at most ``threshold_rows``
+    each; runs beyond the first overflow into spill buffers; the merge
+    streams lazily via a heap. Stable within runs and across the merge
+    (ties broken by run order), matching ``sorted``'s stability for the
+    single-run case.
+    """
+    threshold = manager.threshold_rows
+    runs: list[list[tuple] | SpillBuffer] = []
+    chunk: list[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= threshold:
+            runs.append(_freeze_run(chunk, key, manager, reverse))
+            chunk = []
+    if chunk:
+        chunk.sort(key=key, reverse=reverse)
+        runs.append(chunk)
+    manager.stats.sort_runs += len(runs)
+    if not runs:
+        return iter(())
+
+    def stream() -> Iterator[tuple]:
+        try:
+            if len(runs) == 1:
+                yield from runs[0]
+            else:
+                yield from heapq.merge(*runs, key=key, reverse=reverse)
+        finally:
+            for run in runs:
+                if isinstance(run, SpillBuffer):
+                    run.close()
+
+    return stream()
+
+
+def _freeze_run(
+    chunk: list[tuple], key, manager: SpillManager, reverse: bool
+) -> SpillBuffer:
+    chunk.sort(key=key, reverse=reverse)
+    # runs live entirely in verifiable storage: the enclave only ever
+    # holds one in-flight chunk plus the merge heads
+    run = manager.buffer("sort-run", memory_limit=0)
+    run.extend(chunk)
+    return run

@@ -1,0 +1,56 @@
+"""Storage-layer configuration knobs.
+
+These map one-to-one onto the paper's evaluated configurations:
+
+* ``verify_metadata`` — Figure 9's "RSWS incl. metadata" (True) vs
+  "RSWS" (False, the Section 4.3 metadata-exclusion optimization).
+* ``verification`` — False gives Figure 9's "Baseline" (no RS/WS
+  maintenance at all).
+* ``compaction`` — "eager" relocates records at delete time (the default
+  page design the paper starts from), "deferred" delays reclamation and
+  folds it into the verification scan, "none" never reclaims.
+* ``rsws_partitions`` — the RSWS count swept in Figure 13.
+* ``verifier_mode`` — "full" (Algorithm 2) or "touched" (the
+  touched-page-tracking optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class StorageConfig:
+    page_size: int = 8192
+    verify_metadata: bool = False
+    verification: bool = True
+    compaction: str = "deferred"
+    compact_threshold: float = 0.25
+    rsws_partitions: int = 16
+    verifier_mode: str = "full"
+    #: pages per touched-tracking bit (Section 4.3 suggests e.g. 16 to
+    #: shrink the enclave-resident bitmap for very large memories)
+    touched_group_size: int = 1
+    #: when set, operators spill intermediate state beyond this many
+    #: rows into temporary verifiable tables instead of holding it in
+    #: enclave memory (the Section 5.4 future-work direction); None
+    #: keeps all intermediate state in the enclave
+    spill_threshold_rows: int | None = None
+
+    def __post_init__(self):
+        if self.page_size < 512:
+            raise ConfigurationError("page_size must be at least 512 bytes")
+        if self.compaction not in ("eager", "deferred", "none"):
+            raise ConfigurationError(f"unknown compaction mode {self.compaction!r}")
+        if self.verifier_mode not in ("full", "touched"):
+            raise ConfigurationError(f"unknown verifier mode {self.verifier_mode!r}")
+        if not 0.0 <= self.compact_threshold <= 1.0:
+            raise ConfigurationError("compact_threshold must be in [0, 1]")
+        if self.rsws_partitions < 1:
+            raise ConfigurationError("rsws_partitions must be >= 1")
+        if self.touched_group_size < 1:
+            raise ConfigurationError("touched_group_size must be >= 1")
+        if self.spill_threshold_rows is not None and self.spill_threshold_rows < 1:
+            raise ConfigurationError("spill_threshold_rows must be >= 1")

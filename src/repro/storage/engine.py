@@ -1,0 +1,66 @@
+"""The storage engine: shared verified memory, verifier and page ids.
+
+One :class:`StorageEngine` per database instance. It wires together the
+untrusted memory, the PRF (keyed from the enclave's key chain), the
+partitioned RSWS state and the epoch verifier, and hands out globally
+unique page ids to tables.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.crypto.keys import KeyChain
+from repro.crypto.prf import PRF
+from repro.memory.rsws import RSWSGroup
+from repro.memory.untrusted import UntrustedMemory
+from repro.memory.verified import VerifiedMemory
+from repro.memory.verifier import Verifier
+from repro.storage.config import StorageConfig
+
+
+class StorageEngine:
+    """Owns the verified-memory stack beneath every table."""
+
+    def __init__(
+        self,
+        config: StorageConfig | None = None,
+        keychain: KeyChain | None = None,
+    ):
+        self.config = config or StorageConfig()
+        self.keychain = keychain or KeyChain()
+        self.memory = UntrustedMemory()
+        self.vmem = VerifiedMemory(
+            memory=self.memory,
+            prf=PRF(self.keychain.prf_key),
+            rsws=RSWSGroup(n_partitions=self.config.rsws_partitions),
+            page_digests=(self.config.verifier_mode == "touched"),
+            touched_group_size=self.config.touched_group_size,
+        )
+        self.verifier = (
+            Verifier(self.vmem, mode=self.config.verifier_mode)
+            if self.config.verification
+            else None
+        )
+        self._page_ids = itertools.count(0)
+
+    @property
+    def verification_enabled(self) -> bool:
+        return self.config.verification
+
+    def new_page_id(self) -> int:
+        return next(self._page_ids)
+
+    def verify_now(self) -> None:
+        """Run one synchronous verification pass (no-op when disabled)."""
+        if self.verifier is not None:
+            self.verifier.run_pass()
+
+    def enable_continuous_verification(self, ops_per_page_scan: int) -> None:
+        """Scan one page per ``ops_per_page_scan`` operations (Figure 10)."""
+        if self.verifier is not None:
+            self.verifier.install_trigger(ops_per_page_scan)
+
+    def disable_continuous_verification(self) -> None:
+        if self.verifier is not None:
+            self.verifier.remove_trigger()

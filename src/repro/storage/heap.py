@@ -1,0 +1,142 @@
+"""Heap file: a table's collection of pages.
+
+Handles page allocation, free-space tracking and record placement.
+Records are addressed by :class:`RecordId` ``(page_id, slot)`` — the
+``(page, index)`` pairs of Algorithm 3. Placement policy: fill the
+current page; fall back to the first page on the free list that fits;
+otherwise open a fresh page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.engine import StorageEngine
+from repro.storage.page import Page
+
+
+@dataclass(frozen=True, order=True)
+class RecordId:
+    """Stable locator of a stored record: (page, slot)."""
+
+    page_id: int
+    slot: int
+
+
+class HeapFile:
+    """The pages backing one table."""
+
+    def __init__(
+        self,
+        engine: StorageEngine,
+        on_scan: Callable[[int], None] | None = None,
+    ):
+        self.engine = engine
+        self.config = engine.config
+        self._on_scan = on_scan
+        self._pages: dict[int, Page] = {}
+        self._current: Page | None = None
+        self._free_list: list[int] = []  # page ids believed to have room
+
+    # ------------------------------------------------------------------
+    # record placement
+    # ------------------------------------------------------------------
+    def insert(self, payload: bytes) -> RecordId:
+        """Store a payload somewhere with room; returns its RecordId."""
+        page = self._page_with_room(len(payload))
+        slot = page.insert(payload)
+        return RecordId(page.page_id, slot)
+
+    def read(self, rid: RecordId) -> bytes:
+        return self._page(rid.page_id).read(rid.slot)
+
+    def write(self, rid: RecordId, payload: bytes) -> None:
+        self._page(rid.page_id).write(rid.slot, payload)
+
+    def fits_in_place(self, rid: RecordId, payload_len: int) -> bool:
+        return self._page(rid.page_id).fits_in_place(rid.slot, payload_len)
+
+    def delete(self, rid: RecordId) -> bytes:
+        page = self._page(rid.page_id)
+        if self.config.compaction == "eager":
+            offset, length = page.slot_offset_for_compaction(rid.slot)
+            payload = page.delete(rid.slot)
+            page.relocate_down(offset, length)
+        else:
+            payload = page.delete(rid.slot)
+        if page is not self._current and page.page_id not in self._free_list:
+            self._free_list.append(page.page_id)
+        return payload
+
+    def move(self, rid: RecordId) -> RecordId:
+        """Atomically relocate a record (the Move interface, Section 4.2).
+
+        Used when an in-place update no longer fits its page. The payload
+        travels through verified free+alloc, so the relocation is
+        protected end to end.
+        """
+        payload = self.delete(rid)
+        return self.insert(payload)
+
+    # ------------------------------------------------------------------
+    # introspection / iteration
+    # ------------------------------------------------------------------
+    def pages(self) -> Iterator[Page]:
+        return iter(list(self._pages.values()))
+
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    def record_count(self) -> int:
+        return sum(p.record_count for p in self._pages.values())
+
+    def get_page(self, page_id: int) -> Page:
+        return self._page(page_id)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _page(self, page_id: int) -> Page:
+        page = self._pages.get(page_id)
+        if page is None:
+            raise StorageError(f"heap has no page {page_id}")
+        return page
+
+    def _page_with_room(self, payload_len: int) -> Page:
+        if self._current is not None and self._current.can_fit(payload_len):
+            return self._current
+        for i, page_id in enumerate(self._free_list):
+            page = self._pages[page_id]
+            if page.can_fit(payload_len):
+                del self._free_list[i]
+                if self._current is not None:
+                    self._free_list.append(self._current.page_id)
+                self._current = page
+                return page
+        page = self._open_page()
+        if not page.can_fit(payload_len):
+            raise PageFullError(
+                f"record of {payload_len} bytes exceeds page capacity "
+                f"{self.config.page_size}"
+            )
+        return page
+
+    def _open_page(self) -> Page:
+        page_id = self.engine.new_page_id()
+        verification = self.engine.verification_enabled
+        if verification:
+            self.engine.vmem.register_page(page_id, on_scan=self._on_scan)
+        page = Page(
+            page_id,
+            self.engine.vmem,
+            capacity=self.config.page_size,
+            verify_data=verification,
+            verify_metadata=self.config.verify_metadata,
+        )
+        self._pages[page_id] = page
+        if self._current is not None:
+            self._free_list.append(self._current.page_id)
+        self._current = page
+        return page

@@ -1,0 +1,134 @@
+"""Deterministic binary codec for stored records.
+
+Every record is serialized to bytes before entering untrusted memory —
+the PRF digests operate on those bytes, so encoding must be canonical
+(one value, one byte string). The codec is self-describing (tag per
+value), which keeps it independent of schemas and lets chain-key
+sentinels and composite keys nest freely.
+
+Supported values: None, int (64-bit), float, str, bool, datetime.date,
+the ``⊥``/``⊤`` sentinels and tuples of the above (used for composite
+secondary-chain keys).
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from typing import Any
+
+from repro.catalog.types import BOTTOM, TOP
+from repro.errors import StorageError
+
+_TAG_NULL = 0
+_TAG_INT = 1
+_TAG_FLOAT = 2
+_TAG_TEXT = 3
+_TAG_BOOL_FALSE = 4
+_TAG_BOOL_TRUE = 5
+_TAG_DATE = 6
+_TAG_BOTTOM = 7
+_TAG_TOP = 8
+_TAG_TUPLE = 9
+
+_I64 = struct.Struct("<q")
+_F64 = struct.Struct("<d")
+_U32 = struct.Struct("<I")
+
+
+class RecordCodec:
+    """Encode/decode tuples of SQL values to canonical bytes."""
+
+    def encode(self, values: tuple) -> bytes:
+        """Serialize a record (a tuple of values)."""
+        out = bytearray()
+        out += _U32.pack(len(values))
+        for value in values:
+            self._encode_value(out, value)
+        return bytes(out)
+
+    def decode(self, payload: bytes) -> tuple:
+        """Deserialize a record; raises StorageError on malformed bytes."""
+        try:
+            count = _U32.unpack_from(payload, 0)[0]
+            offset = 4
+            values = []
+            for _ in range(count):
+                value, offset = self._decode_value(payload, offset)
+                values.append(value)
+            if offset != len(payload):
+                raise StorageError("trailing bytes after record payload")
+            return tuple(values)
+        except (struct.error, IndexError, UnicodeDecodeError) as exc:
+            raise StorageError(f"malformed record payload: {exc}") from exc
+
+    # ------------------------------------------------------------------
+    # value encoding
+    # ------------------------------------------------------------------
+    def _encode_value(self, out: bytearray, value: Any) -> None:
+        if value is None:
+            out.append(_TAG_NULL)
+        elif value is BOTTOM:
+            out.append(_TAG_BOTTOM)
+        elif value is TOP:
+            out.append(_TAG_TOP)
+        elif isinstance(value, bool):
+            out.append(_TAG_BOOL_TRUE if value else _TAG_BOOL_FALSE)
+        elif isinstance(value, int):
+            out.append(_TAG_INT)
+            out += _I64.pack(value)
+        elif isinstance(value, float):
+            out.append(_TAG_FLOAT)
+            out += _F64.pack(value)
+        elif isinstance(value, str):
+            encoded = value.encode("utf-8")
+            out.append(_TAG_TEXT)
+            out += _U32.pack(len(encoded))
+            out += encoded
+        elif isinstance(value, datetime.date):
+            out.append(_TAG_DATE)
+            out += _I64.pack(value.toordinal())
+        elif isinstance(value, tuple):
+            out.append(_TAG_TUPLE)
+            out += _U32.pack(len(value))
+            for item in value:
+                self._encode_value(out, item)
+        else:
+            raise StorageError(f"cannot encode value of type {type(value).__name__}")
+
+    def _decode_value(self, payload: bytes, offset: int) -> tuple[Any, int]:
+        tag = payload[offset]
+        offset += 1
+        if tag == _TAG_NULL:
+            return None, offset
+        if tag == _TAG_BOTTOM:
+            return BOTTOM, offset
+        if tag == _TAG_TOP:
+            return TOP, offset
+        if tag == _TAG_BOOL_FALSE:
+            return False, offset
+        if tag == _TAG_BOOL_TRUE:
+            return True, offset
+        if tag == _TAG_INT:
+            return _I64.unpack_from(payload, offset)[0], offset + 8
+        if tag == _TAG_FLOAT:
+            return _F64.unpack_from(payload, offset)[0], offset + 8
+        if tag == _TAG_TEXT:
+            length = _U32.unpack_from(payload, offset)[0]
+            offset += 4
+            end = offset + length
+            if end > len(payload):
+                raise StorageError("text value overruns payload")
+            return payload[offset:end].decode("utf-8"), end
+        if tag == _TAG_DATE:
+            ordinal = _I64.unpack_from(payload, offset)[0]
+            return datetime.date.fromordinal(ordinal), offset + 8
+        if tag == _TAG_TUPLE:
+            count = _U32.unpack_from(payload, offset)[0]
+            offset += 4
+            items = []
+            for _ in range(count):
+                item, offset = self._decode_value(payload, offset)
+                items.append(item)
+            return tuple(items), offset
+        raise StorageError(f"unknown value tag {tag}")

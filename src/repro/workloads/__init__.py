@@ -1,0 +1,17 @@
+"""Workload generators and drivers for the paper's evaluation.
+
+* :mod:`repro.workloads.micro` — the Section 6.1 micro-benchmark:
+  integer keys, 500-byte values, a balanced mix of Get / Insert /
+  Delete / Update operations.
+* :mod:`repro.workloads.tpch` — TPC-H-shaped tables, data generator and
+  queries Q1 / Q6 / Q19 (Section 6.3, Figure 12).
+* :mod:`repro.workloads.tpcc` — TPC-C-shaped schema, population and the
+  five-transaction mix driven by concurrent clients (Figure 13).
+* :mod:`repro.workloads.runner` — latency/throughput measurement
+  helpers shared by the benchmarks.
+"""
+
+from repro.workloads.micro import KVTable, MicroWorkload
+from repro.workloads.runner import LatencyRecorder, run_operations
+
+__all__ = ["KVTable", "LatencyRecorder", "MicroWorkload", "run_operations"]

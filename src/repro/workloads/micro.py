@@ -1,0 +1,129 @@
+"""The micro-benchmark workload of Section 6.1.
+
+The paper initializes a database of N key-value pairs — 4-byte integer
+keys, 500-byte string values — and runs a mixed stream of operations
+with approximately equal counts of Update, Insert, Delete and Get. The
+same stream can be replayed against any store exposing the KV
+interface: the verifiable table (via :class:`KVTable`), the MB-Tree
+baseline, or the plain store.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import IntegerType, TextType
+from repro.storage.engine import StorageEngine
+from repro.storage.table_store import VerifiableTable
+
+OP_KINDS = ("get", "insert", "delete", "update")
+
+#: the paper's value size
+VALUE_BYTES = 500
+
+
+@dataclass(frozen=True)
+class Operation:
+    kind: str  # get | insert | delete | update
+    key: int
+    value: str | None = None  # for insert/update
+
+
+def kv_schema() -> Schema:
+    return Schema(
+        columns=[
+            Column("k", IntegerType(), nullable=False),
+            Column("v", TextType()),
+        ],
+        primary_key="k",
+    )
+
+
+class KVTable:
+    """KV adapter over a :class:`VerifiableTable` (2-column relation)."""
+
+    def __init__(self, engine: StorageEngine, name: str = "kv"):
+        self.table = VerifiableTable(name, kv_schema(), engine)
+
+    def get(self, key: int):
+        row, _proof = self.table.get(key)
+        return None if row is None else row[1]
+
+    def insert(self, key: int, value: str) -> None:
+        self.table.insert((key, value))
+
+    def update(self, key: int, value: str) -> bool:
+        return self.table.update(key, {"v": value})
+
+    def delete(self, key: int) -> bool:
+        return self.table.delete(key)
+
+    def __len__(self) -> int:
+        return self.table.row_count
+
+
+class MicroWorkload:
+    """Deterministic generator for the initial state and the op stream."""
+
+    def __init__(self, n_initial: int = 10_000, seed: int = 0):
+        self.n_initial = n_initial
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    def value(self) -> str:
+        """A fresh 500-byte printable value."""
+        return "".join(
+            self._rng.choices(string.ascii_letters + string.digits, k=VALUE_BYTES)
+        )
+
+    def initial_pairs(self) -> Iterator[tuple[int, str]]:
+        """Keys 1..N with random values (the paper's init state)."""
+        for key in range(1, self.n_initial + 1):
+            yield key, self.value()
+
+    def operations(self, count: int) -> list[Operation]:
+        """A mixed op stream with ~equal counts per kind.
+
+        The stream is feasible by construction: inserts use fresh keys,
+        deletes target keys known to be live, gets/updates hit live
+        keys.
+        """
+        live = list(range(1, self.n_initial + 1))
+        live_set = set(live)
+        next_fresh = self.n_initial + 1
+        ops: list[Operation] = []
+        rng = self._rng
+        for _ in range(count):
+            kind = rng.choice(OP_KINDS)
+            if kind == "insert" or not live:
+                ops.append(Operation("insert", next_fresh, self.value()))
+                live.append(next_fresh)
+                live_set.add(next_fresh)
+                next_fresh += 1
+                continue
+            index = rng.randrange(len(live))
+            key = live[index]
+            if kind == "delete":
+                live_set.discard(key)
+                live[index] = live[-1]
+                live.pop()
+                ops.append(Operation("delete", key))
+            elif kind == "update":
+                ops.append(Operation("update", key, self.value()))
+            else:
+                ops.append(Operation("get", key))
+        return ops
+
+
+def load_kv(store, pairs: Iterable[tuple[int, str]]) -> int:
+    """Populate any KV-interface store with the initial pairs."""
+    count = 0
+    for key, value in pairs:
+        store.insert(key, value)
+        count += 1
+    return count

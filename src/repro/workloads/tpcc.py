@@ -1,0 +1,352 @@
+"""TPC-C-shaped transactional workload (Section 6.3, Figure 13).
+
+A scaled-down TPC-C: the nine-table schema is reduced to the six tables
+the measured transactions touch, with synthetic scalar primary keys
+(TPC-C's composite keys encoded arithmetically). The five standard
+transactions run with the standard mix — NewOrder 45%, Payment 43%,
+OrderStatus 4%, Delivery 4%, StockLevel 4% — from concurrent client
+threads against one shared VeriDB instance.
+
+Transactions are sequences of verified storage operations; per-district
+application locks serialize the read-modify-write of
+``d_next_o_id`` (the engine provides per-operation atomicity, not
+multi-statement transactions — a documented simplification: the paper's
+prototype measures storage-op throughput under RSWS contention, which
+this preserves).
+
+Scaling defaults (full TPC-C in parentheses): 10 districts/warehouse
+(10), 30 customers/district (3000), 100 items (100k), order lines 5-15
+per order (5-15).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+from dataclasses import dataclass, field
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import FloatType, IntegerType, TextType
+from repro.core.database import VeriDB
+
+TX_MIX = (
+    ("new_order", 45),
+    ("payment", 43),
+    ("order_status", 4),
+    ("delivery", 4),
+    ("stock_level", 4),
+)
+
+
+def _int(name, nullable=False):
+    return Column(name, IntegerType(), nullable=nullable)
+
+
+def _float(name):
+    return Column(name, FloatType(), nullable=False)
+
+
+def _schemas() -> dict[str, Schema]:
+    return {
+        "warehouse": Schema(
+            [_int("w_id"), Column("w_name", TextType()), _float("w_tax"),
+             _float("w_ytd")],
+            primary_key="w_id",
+        ),
+        "district": Schema(
+            [_int("d_pk"), _int("w_id"), _int("d_id"), _float("d_tax"),
+             _float("d_ytd"), _int("d_next_o_id")],
+            primary_key="d_pk",
+        ),
+        "customer": Schema(
+            [_int("c_pk"), _int("w_id"), _int("d_id"), _int("c_id"),
+             Column("c_name", TextType()), _float("c_balance"),
+             _float("c_ytd_payment"), _int("c_payment_cnt"),
+             _int("c_delivery_cnt")],
+            primary_key="c_pk",
+        ),
+        "item": Schema(
+            [_int("i_id"), Column("i_name", TextType()), _float("i_price")],
+            primary_key="i_id",
+        ),
+        "stock": Schema(
+            [_int("s_pk"), _int("w_id"), _int("i_id"), _int("s_quantity"),
+             _float("s_ytd"), _int("s_order_cnt")],
+            primary_key="s_pk",
+        ),
+        "orders": Schema(
+            [_int("o_pk"), _int("w_id"), _int("d_id"), _int("o_id"),
+             _int("c_id"), _int("o_entry_seq"), _int("o_ol_cnt"),
+             _int("o_carrier_id", nullable=True)],
+            primary_key="o_pk",
+        ),
+        "new_order": Schema(
+            [_int("no_pk"), _int("w_id"), _int("d_id"), _int("o_id")],
+            primary_key="no_pk",
+        ),
+        "order_line": Schema(
+            [_int("ol_pk"), _int("o_pk"), _int("ol_number"), _int("ol_i_id"),
+             _int("ol_quantity"), _float("ol_amount"),
+             _int("ol_delivery_seq", nullable=True)],
+            primary_key="ol_pk",
+        ),
+        "history": Schema(
+            [_int("h_pk"), _int("w_id"), _int("d_id"), _int("c_id"),
+             _float("h_amount"), _int("h_seq")],
+            primary_key="h_pk",
+        ),
+    }
+
+
+def district_pk(w: int, d: int) -> int:
+    return w * 100 + d
+
+
+def customer_pk(w: int, d: int, c: int) -> int:
+    return district_pk(w, d) * 100_000 + c
+
+
+def stock_pk(w: int, i: int) -> int:
+    return w * 1_000_000 + i
+
+
+def order_pk(w: int, d: int, o: int) -> int:
+    return district_pk(w, d) * 1_000_000 + o
+
+
+def order_line_pk(o_pk: int, number: int) -> int:
+    return o_pk * 100 + number
+
+
+@dataclass
+class _DistrictState:
+    """Driver-side per-district bookkeeping (TPC-C terminal state)."""
+
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    undelivered: list[int] = field(default_factory=list)  # o_ids, FIFO
+    last_order_of: dict[int, int] = field(default_factory=dict)  # c_id -> o_id
+
+
+class TPCCBench:
+    """Population plus the five transactions over one VeriDB instance."""
+
+    def __init__(
+        self,
+        db: VeriDB,
+        warehouses: int = 20,
+        districts: int = 10,
+        customers: int = 30,
+        items: int = 100,
+        seed: int = 0,
+    ):
+        self.db = db
+        self.warehouses = warehouses
+        self.districts = districts
+        self.customers = customers
+        self.items = items
+        self.seed = seed
+        self._history_pk = itertools.count(1)
+        self._seq = itertools.count(1)
+        self._district_state: dict[int, _DistrictState] = {}
+        self.tables: dict = {}
+
+    # ------------------------------------------------------------------
+    # population
+    # ------------------------------------------------------------------
+    def load(self) -> dict[str, int]:
+        rng = random.Random(self.seed)
+        for name, schema in _schemas().items():
+            self.tables[name] = self.db.create_table(name, schema)
+        counts = dict.fromkeys(self.tables, 0)
+        for i in range(1, self.items + 1):
+            self.tables["item"].insert((i, f"item-{i}", 1.0 + (i % 100)))
+            counts["item"] += 1
+        for w in range(1, self.warehouses + 1):
+            self.tables["warehouse"].insert(
+                (w, f"warehouse-{w}", rng.uniform(0.0, 0.2), 0.0)
+            )
+            counts["warehouse"] += 1
+            for i in range(1, self.items + 1):
+                self.tables["stock"].insert(
+                    (stock_pk(w, i), w, i, rng.randint(10, 100), 0.0, 0)
+                )
+                counts["stock"] += 1
+            for d in range(1, self.districts + 1):
+                d_pk = district_pk(w, d)
+                self.tables["district"].insert(
+                    (d_pk, w, d, rng.uniform(0.0, 0.2), 0.0, 1)
+                )
+                counts["district"] += 1
+                self._district_state[d_pk] = _DistrictState()
+                for c in range(1, self.customers + 1):
+                    self.tables["customer"].insert(
+                        (customer_pk(w, d, c), w, d, c, f"cust-{w}-{d}-{c}",
+                         0.0, 0.0, 0, 0)
+                    )
+                    counts["customer"] += 1
+        return counts
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+    def new_order(self, rng: random.Random) -> None:
+        w = rng.randint(1, self.warehouses)
+        d = rng.randint(1, self.districts)
+        c = rng.randint(1, self.customers)
+        d_pk = district_pk(w, d)
+        n_lines = rng.randint(5, 15)
+        line_items = [rng.randint(1, self.items) for _ in range(n_lines)]
+        state = self._district_state[d_pk]
+        with state.lock:
+            district_row, _ = self.tables["district"].get(d_pk)
+            o_id = district_row[5]
+            self.tables["district"].update(d_pk, {"d_next_o_id": o_id + 1})
+            o_pk = order_pk(w, d, o_id)
+            self.tables["orders"].insert(
+                (o_pk, w, d, o_id, c, next(self._seq), n_lines, None)
+            )
+            self.tables["new_order"].insert((o_pk, w, d, o_id))
+            state.undelivered.append(o_id)
+            state.last_order_of[c] = o_id
+        for number, i_id in enumerate(line_items, start=1):
+            item_row, _ = self.tables["item"].get(i_id)
+            price = item_row[2]
+            quantity = rng.randint(1, 10)
+            s_pk = stock_pk(w, i_id)
+            stock_row, _ = self.tables["stock"].get(s_pk)
+            new_qty = stock_row[3] - quantity
+            if new_qty < 10:
+                new_qty += 91
+            self.tables["stock"].update(
+                s_pk,
+                {
+                    "s_quantity": new_qty,
+                    "s_ytd": stock_row[4] + quantity,
+                    "s_order_cnt": stock_row[5] + 1,
+                },
+            )
+            self.tables["order_line"].insert(
+                (order_line_pk(o_pk, number), o_pk, number, i_id, quantity,
+                 price * quantity, None)
+            )
+
+    def payment(self, rng: random.Random) -> None:
+        w = rng.randint(1, self.warehouses)
+        d = rng.randint(1, self.districts)
+        c = rng.randint(1, self.customers)
+        amount = rng.uniform(1.0, 5000.0)
+        warehouse_row, _ = self.tables["warehouse"].get(w)
+        self.tables["warehouse"].update(w, {"w_ytd": warehouse_row[3] + amount})
+        d_pk = district_pk(w, d)
+        district_row, _ = self.tables["district"].get(d_pk)
+        self.tables["district"].update(d_pk, {"d_ytd": district_row[4] + amount})
+        c_pk = customer_pk(w, d, c)
+        customer_row, _ = self.tables["customer"].get(c_pk)
+        self.tables["customer"].update(
+            c_pk,
+            {
+                "c_balance": customer_row[5] - amount,
+                "c_ytd_payment": customer_row[6] + amount,
+                "c_payment_cnt": customer_row[7] + 1,
+            },
+        )
+        self.tables["history"].insert(
+            (next(self._history_pk), w, d, c, amount, next(self._seq))
+        )
+
+    def order_status(self, rng: random.Random) -> None:
+        w = rng.randint(1, self.warehouses)
+        d = rng.randint(1, self.districts)
+        c = rng.randint(1, self.customers)
+        d_pk = district_pk(w, d)
+        self.tables["customer"].get(customer_pk(w, d, c))
+        o_id = self._district_state[d_pk].last_order_of.get(c)
+        if o_id is None:
+            return
+        o_pk = order_pk(w, d, o_id)
+        order_row, _ = self.tables["orders"].get(o_pk)
+        if order_row is None:
+            return
+        self.tables["order_line"].scan(
+            lo=order_line_pk(o_pk, 1), hi=order_line_pk(o_pk, 99)
+        )
+
+    def delivery(self, rng: random.Random) -> None:
+        w = rng.randint(1, self.warehouses)
+        for d in range(1, self.districts + 1):
+            d_pk = district_pk(w, d)
+            state = self._district_state[d_pk]
+            with state.lock:
+                if not state.undelivered:
+                    continue
+                o_id = state.undelivered.pop(0)
+            o_pk = order_pk(w, d, o_id)
+            self.tables["new_order"].delete(o_pk)
+            order_row, _ = self.tables["orders"].get(o_pk)
+            if order_row is None:
+                continue
+            self.tables["orders"].update(o_pk, {"o_carrier_id": rng.randint(1, 10)})
+            lines = self.tables["order_line"].scan(
+                lo=order_line_pk(o_pk, 1), hi=order_line_pk(o_pk, 99)
+            )
+            total = 0.0
+            seq = next(self._seq)
+            for line in lines:
+                total += line[5]
+                self.tables["order_line"].update(
+                    line[0], {"ol_delivery_seq": seq}
+                )
+            c_pk = customer_pk(w, d, order_row[4])
+            customer_row, _ = self.tables["customer"].get(c_pk)
+            self.tables["customer"].update(
+                c_pk,
+                {
+                    "c_balance": customer_row[5] + total,
+                    "c_delivery_cnt": customer_row[8] + 1,
+                },
+            )
+
+    def stock_level(self, rng: random.Random) -> None:
+        w = rng.randint(1, self.warehouses)
+        d = rng.randint(1, self.districts)
+        d_pk = district_pk(w, d)
+        district_row, _ = self.tables["district"].get(d_pk)
+        next_o = district_row[5]
+        low = 0
+        for o_id in range(max(1, next_o - 20), next_o):
+            o_pk = order_pk(w, d, o_id)
+            lines = self.tables["order_line"].scan(
+                lo=order_line_pk(o_pk, 1), hi=order_line_pk(o_pk, 99)
+            )
+            for line in lines:
+                stock_row, _ = self.tables["stock"].get(stock_pk(w, line[3]))
+                if stock_row is not None and stock_row[3] < 15:
+                    low += 1
+
+    # ------------------------------------------------------------------
+    # driving
+    # ------------------------------------------------------------------
+    def run_transaction(self, rng: random.Random) -> str:
+        """Execute one transaction drawn from the standard mix."""
+        pick = rng.randrange(100)
+        acc = 0
+        for name, weight in TX_MIX:
+            acc += weight
+            if pick < acc:
+                getattr(self, name)(rng)
+                return name
+        raise AssertionError("mix weights do not sum to 100")  # pragma: no cover
+
+    def run_clients(self, n_clients: int, txns_per_client: int) -> float:
+        """Run the mix from N threads; returns throughput (TPS)."""
+        from repro.workloads.runner import run_threaded
+
+        def worker(index: int) -> int:
+            rng = random.Random(self.seed * 1000 + index)
+            for _ in range(txns_per_client):
+                self.run_transaction(rng)
+            return txns_per_client
+
+        elapsed, completed = run_threaded(worker, n_clients)
+        return completed / elapsed if elapsed > 0 else 0.0

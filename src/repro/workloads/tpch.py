@@ -1,0 +1,220 @@
+"""TPC-H-shaped analytical workload (Section 6.3, Figure 12).
+
+A seeded, scaled-down dbgen equivalent for the two tables the evaluated
+queries touch — ``lineitem`` and ``part`` — with the standard column
+sets and value distributions close enough to exercise the same plan
+shapes. Monetary/decimal columns are FLOATs (a documented substitution:
+the paper's engine is C++ with native decimals; float keeps the SQL
+expressions natural and does not change the cost profile).
+
+Queries:
+
+* **Q1** — pricing summary report: one full scan of ``lineitem`` with a
+  shipdate cutoff, grouped aggregation.
+* **Q6** — forecasting revenue change: one full scan with a
+  multidimensional selection, single SUM.
+* **Q19** — discounted revenue: JOIN of ``lineitem`` and ``part`` under
+  an OR of three brand/container/quantity/size clauses; the paper runs
+  it under both a MergeJoin and a NestedLoopJoin plan.
+
+At scale factor ``sf``, ``lineitem`` has ``6_000_000 * sf`` rows and
+``part`` has ``200_000 * sf`` (the TPC-H ratios).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from typing import Iterator
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import DateType, FloatType, IntegerType, TextType
+from repro.core.database import VeriDB
+
+_BRANDS = [f"Brand#{m}{n}" for m in range(1, 6) for n in range(1, 6)]
+_CONTAINERS_SM = ["SM CASE", "SM BOX", "SM PACK", "SM PKG"]
+_CONTAINERS_MED = ["MED BAG", "MED BOX", "MED PKG", "MED PACK"]
+_CONTAINERS_LG = ["LG CASE", "LG BOX", "LG PACK", "LG PKG"]
+_CONTAINERS = _CONTAINERS_SM + _CONTAINERS_MED + _CONTAINERS_LG + [
+    "JUMBO CASE", "JUMBO BOX", "WRAP CASE", "WRAP BOX",
+]
+_SHIPMODES = ["AIR", "AIR REG", "MAIL", "SHIP", "TRUCK", "RAIL", "FOB"]
+_SHIPINSTRUCT = [
+    "DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN",
+]
+_START = datetime.date(1992, 1, 1)
+_DAYS = (datetime.date(1998, 12, 1) - _START).days
+
+
+def lineitem_schema() -> Schema:
+    return Schema(
+        columns=[
+            Column("l_id", IntegerType(), nullable=False),
+            Column("l_orderkey", IntegerType(), nullable=False),
+            Column("l_partkey", IntegerType(), nullable=False),
+            Column("l_suppkey", IntegerType(), nullable=False),
+            Column("l_linenumber", IntegerType(), nullable=False),
+            Column("l_quantity", FloatType(), nullable=False),
+            Column("l_extendedprice", FloatType(), nullable=False),
+            Column("l_discount", FloatType(), nullable=False),
+            Column("l_tax", FloatType(), nullable=False),
+            Column("l_returnflag", TextType(), nullable=False),
+            Column("l_linestatus", TextType(), nullable=False),
+            Column("l_shipdate", DateType(), nullable=False),
+            Column("l_commitdate", DateType(), nullable=False),
+            Column("l_receiptdate", DateType(), nullable=False),
+            Column("l_shipinstruct", TextType(), nullable=False),
+            Column("l_shipmode", TextType(), nullable=False),
+            Column("l_comment", TextType()),
+        ],
+        primary_key="l_id",
+        chain_columns=("l_shipdate",),
+    )
+
+
+def part_schema() -> Schema:
+    return Schema(
+        columns=[
+            Column("p_partkey", IntegerType(), nullable=False),
+            Column("p_name", TextType(), nullable=False),
+            Column("p_mfgr", TextType(), nullable=False),
+            Column("p_brand", TextType(), nullable=False),
+            Column("p_type", TextType(), nullable=False),
+            Column("p_size", IntegerType(), nullable=False),
+            Column("p_container", TextType(), nullable=False),
+            Column("p_retailprice", FloatType(), nullable=False),
+            Column("p_comment", TextType()),
+        ],
+        primary_key="p_partkey",
+    )
+
+
+class TPCHGenerator:
+    """Seeded generator of TPC-H-shaped rows."""
+
+    def __init__(self, scale_factor: float = 0.001, seed: int = 0):
+        self.sf = scale_factor
+        self.n_lineitem = max(1, int(6_000_000 * scale_factor))
+        self.n_part = max(1, int(200_000 * scale_factor))
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    def parts(self) -> Iterator[tuple]:
+        rng = random.Random(self.seed * 7 + 1)
+        for pk in range(1, self.n_part + 1):
+            yield (
+                pk,
+                f"part {pk} " + rng.choice("abcdefgh") * 3,
+                f"Manufacturer#{rng.randint(1, 5)}",
+                rng.choice(_BRANDS),
+                f"TYPE {rng.randint(1, 25)}",
+                rng.randint(1, 50),
+                rng.choice(_CONTAINERS),
+                900.0 + (pk % 1000),
+                "comment",
+            )
+
+    def lineitems(self) -> Iterator[tuple]:
+        rng = random.Random(self.seed * 7 + 2)
+        for lid in range(1, self.n_lineitem + 1):
+            orderkey = (lid - 1) // 4 + 1
+            linenumber = (lid - 1) % 4 + 1
+            shipdate = _START + datetime.timedelta(days=rng.randrange(_DAYS))
+            commitdate = shipdate + datetime.timedelta(days=rng.randint(-30, 30))
+            receiptdate = shipdate + datetime.timedelta(days=rng.randint(1, 30))
+            quantity = float(rng.randint(1, 50))
+            extendedprice = round(quantity * (900 + rng.randrange(10_000) / 10), 2)
+            # returnflag per the spec: R/A for old shipments, N otherwise
+            if receiptdate <= datetime.date(1995, 6, 17):
+                returnflag = rng.choice(["R", "A"])
+            else:
+                returnflag = "N"
+            linestatus = "O" if shipdate > datetime.date(1995, 6, 17) else "F"
+            yield (
+                lid,
+                orderkey,
+                rng.randint(1, self.n_part),
+                rng.randint(1, max(1, self.n_part // 20)),
+                linenumber,
+                quantity,
+                extendedprice,
+                rng.randint(0, 10) / 100.0,
+                rng.randint(0, 8) / 100.0,
+                returnflag,
+                linestatus,
+                shipdate,
+                commitdate,
+                receiptdate,
+                rng.choice(_SHIPINSTRUCT),
+                rng.choice(_SHIPMODES),
+                "comment",
+            )
+
+
+def load_tpch(db: VeriDB, scale_factor: float = 0.001, seed: int = 0) -> dict:
+    """Create and populate the TPC-H tables; returns row counts."""
+    generator = TPCHGenerator(scale_factor, seed)
+    db.create_table("part", part_schema())
+    db.create_table("lineitem", lineitem_schema())
+    parts = db.load_rows("part", generator.parts())
+    lineitems = db.load_rows("lineitem", generator.lineitems())
+    return {"part": parts, "lineitem": lineitems}
+
+
+# ----------------------------------------------------------------------
+# the evaluated queries (Section 6.3)
+# ----------------------------------------------------------------------
+# Q1 with the spec's DATE '1998-12-01' - 90 days cutoff precomputed.
+QUERY_1 = """
+SELECT l_returnflag, l_linestatus,
+       SUM(l_quantity) AS sum_qty,
+       SUM(l_extendedprice) AS sum_base_price,
+       SUM(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+       SUM(l_extendedprice * (1 - l_discount) * (1 + l_tax)) AS sum_charge,
+       AVG(l_quantity) AS avg_qty,
+       AVG(l_extendedprice) AS avg_price,
+       AVG(l_discount) AS avg_disc,
+       COUNT(*) AS count_order
+FROM lineitem
+WHERE l_shipdate <= DATE '1998-09-02'
+GROUP BY l_returnflag, l_linestatus
+ORDER BY l_returnflag, l_linestatus
+"""
+
+QUERY_6 = """
+SELECT SUM(l_extendedprice * l_discount) AS revenue
+FROM lineitem
+WHERE l_shipdate >= DATE '1994-01-01'
+  AND l_shipdate < DATE '1995-01-01'
+  AND l_discount BETWEEN 0.05 AND 0.07
+  AND l_quantity < 24
+"""
+
+# Q19 in its standard join-normalized form: the partkey equality is a
+# top-level conjunct; the brand/container/size/quantity clauses remain
+# an OR. (Brands/sizes chosen to select against the scaled generator.)
+QUERY_19 = """
+SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue
+FROM lineitem AS l, part AS p
+WHERE p.p_partkey = l.l_partkey
+  AND l.l_shipinstruct = 'DELIVER IN PERSON'
+  AND l.l_shipmode IN ('AIR', 'AIR REG')
+  AND (
+    (p.p_brand = 'Brand#12'
+     AND p.p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG')
+     AND l.l_quantity >= 1 AND l.l_quantity <= 11
+     AND p.p_size BETWEEN 1 AND 5)
+    OR
+    (p.p_brand = 'Brand#23'
+     AND p.p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK')
+     AND l.l_quantity >= 10 AND l.l_quantity <= 20
+     AND p.p_size BETWEEN 1 AND 10)
+    OR
+    (p.p_brand = 'Brand#34'
+     AND p.p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG')
+     AND l.l_quantity >= 20 AND l.l_quantity <= 30
+     AND p.p_size BETWEEN 1 AND 15)
+  )
+"""
+
+QUERIES = {"Q1": QUERY_1, "Q6": QUERY_6, "Q19": QUERY_19}

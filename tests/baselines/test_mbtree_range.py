@@ -1,0 +1,115 @@
+"""Client-side MB-Tree range verification (Example 2.1)."""
+
+import pytest
+
+from repro.baselines.mbtree import MBTree, verify_range_proof
+from repro.errors import ProofError
+
+
+def build(n=100, order=8):
+    tree = MBTree(order=order)
+    for i in range(n):
+        tree.insert(i, f"v{i}".encode())
+    return tree
+
+
+def test_honest_range_verifies():
+    tree = build()
+    results, proofs = tree.range(20, 35)
+    verify_range_proof(tree.root_hash, proofs, 20, 35, results)
+    assert [k for k, _ in results] == list(range(20, 36))
+
+
+def test_range_spanning_many_leaves():
+    tree = build(300, order=4)
+    results, proofs = tree.range(50, 250)
+    assert len(proofs) > 10
+    verify_range_proof(tree.root_hash, proofs, 50, 250, results)
+
+
+def test_range_at_left_edge():
+    tree = build()
+    results, proofs = tree.range(0, 5)
+    verify_range_proof(tree.root_hash, proofs, 0, 5, results)
+
+
+def test_range_at_right_edge():
+    tree = build()
+    results, proofs = tree.range(95, 200)
+    verify_range_proof(tree.root_hash, proofs, 95, 200, results)
+    assert [k for k, _ in results] == list(range(95, 100))
+
+
+def test_empty_range_still_proven():
+    tree = build()
+    tree.delete(50)
+    results, proofs = tree.range(50, 50)
+    assert results == []
+    verify_range_proof(tree.root_hash, proofs, 50, 50, results)
+
+
+def test_omitted_result_detected():
+    tree = build()
+    results, proofs = tree.range(20, 35)
+    tampered = [r for r in results if r[0] != 27]
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, proofs, 20, 35, tampered)
+
+
+def test_fabricated_result_detected():
+    tree = build()
+    results, proofs = tree.range(20, 35)
+    tampered = results + [(36, b"forged")]
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, proofs, 20, 35, tampered)
+
+
+def test_omitted_middle_leaf_detected():
+    """The adjacency check catches a whole leaf dropped from the middle."""
+    tree = build(200, order=4)
+    results, proofs = tree.range(50, 150)
+    assert len(proofs) >= 3
+    dropped_leaf = proofs[len(proofs) // 2]
+    remaining = [p for p in proofs if p is not dropped_leaf]
+    surviving = [
+        r
+        for r in results
+        if r[0] not in dropped_leaf.leaf_keys
+    ]
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, remaining, 50, 150, surviving)
+
+
+def test_truncated_tail_detected():
+    tree = build(200, order=4)
+    results, proofs = tree.range(50, 150)
+    cut = proofs[: len(proofs) // 2]
+    surviving_keys = {k for p in cut for k in p.leaf_keys}
+    surviving = [r for r in results if r[0] in surviving_keys]
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, cut, 50, 150, surviving)
+
+
+def test_wrong_left_boundary_detected():
+    """Starting the proof at a later leaf misses in-range predecessors."""
+    tree = build(200, order=4)
+    results, proofs = tree.range(50, 150)
+    shifted = proofs[1:]
+    shifted_keys = {k for p in shifted for k in p.leaf_keys}
+    surviving = [r for r in results if r[0] in shifted_keys]
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, shifted, 50, 150, surviving)
+
+
+def test_stale_root_detected():
+    tree = build()
+    results, proofs = tree.range(20, 35)
+    tree.insert(1000, b"new")
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, proofs, 20, 35, results)
+
+
+def test_empty_proof_rejected():
+    tree = build()
+    with pytest.raises(ProofError):
+        verify_range_proof(tree.root_hash, [], 1, 2, [])

@@ -1,0 +1,46 @@
+"""Unit tests for the catalog registry."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import IntegerType
+from repro.errors import CatalogError
+
+
+def make_info(name):
+    schema = Schema(columns=[Column("id", IntegerType())], primary_key="id")
+    return TableInfo(name=name, schema=schema, store=object())
+
+
+def test_register_and_lookup():
+    catalog = Catalog()
+    info = make_info("orders")
+    catalog.register(info)
+    assert catalog.lookup("orders") is info
+    assert catalog.lookup("ORDERS") is info  # case-insensitive
+    assert catalog.has_table("Orders")
+    assert catalog.table_names() == ["orders"]
+
+
+def test_duplicate_rejected():
+    catalog = Catalog()
+    catalog.register(make_info("t"))
+    with pytest.raises(CatalogError):
+        catalog.register(make_info("T"))
+
+
+def test_unknown_lookup():
+    catalog = Catalog()
+    with pytest.raises(CatalogError):
+        catalog.lookup("ghost")
+
+
+def test_drop():
+    catalog = Catalog()
+    info = make_info("t")
+    catalog.register(info)
+    assert catalog.drop("t") is info
+    assert not catalog.has_table("t")
+    with pytest.raises(CatalogError):
+        catalog.drop("t")

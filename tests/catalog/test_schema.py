@@ -1,0 +1,95 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import IntegerType, TextType
+from repro.errors import CatalogError
+
+
+def make_schema(**kwargs):
+    return Schema(
+        columns=[
+            Column("id", IntegerType()),
+            Column("name", TextType()),
+            Column("qty", IntegerType()),
+        ],
+        primary_key="id",
+        **kwargs,
+    )
+
+
+def test_basic_lookup():
+    schema = make_schema()
+    assert schema.column_names == ("id", "name", "qty")
+    assert schema.column_index("qty") == 2
+    assert schema.column("name").type == TextType()
+    assert schema.has_column("id")
+    assert not schema.has_column("nope")
+    assert len(schema) == 3
+
+
+def test_unknown_column_rejected():
+    schema = make_schema()
+    with pytest.raises(CatalogError):
+        schema.column_index("ghost")
+
+
+def test_primary_key_must_exist():
+    with pytest.raises(CatalogError):
+        Schema(columns=[Column("a", IntegerType())], primary_key="b")
+
+
+def test_duplicate_columns_rejected():
+    with pytest.raises(CatalogError):
+        Schema(
+            columns=[Column("a", IntegerType()), Column("a", TextType())],
+            primary_key="a",
+        )
+
+
+def test_chains_default_to_pk():
+    schema = make_schema()
+    assert schema.chains == ("id",)
+    assert schema.chain_id("id") == 0
+    assert schema.chain_id("name") is None
+
+
+def test_extra_chain_columns():
+    schema = make_schema(chain_columns=["qty"])
+    assert schema.chains == ("id", "qty")
+    assert schema.chain_id("qty") == 1
+
+
+def test_pk_not_repeated_in_chains():
+    with pytest.raises(CatalogError):
+        make_schema(chain_columns=["id"])
+
+
+def test_unknown_chain_column_rejected():
+    with pytest.raises(CatalogError):
+        make_schema(chain_columns=["ghost"])
+
+
+def test_validate_row():
+    schema = make_schema()
+    assert schema.validate_row((1, "x", 2)) == (1, "x", 2)
+    with pytest.raises(CatalogError):
+        schema.validate_row((1, "x"))
+    with pytest.raises(CatalogError):
+        schema.validate_row(("a", "x", 2))
+
+
+def test_primary_key_implicitly_not_null():
+    schema = make_schema()
+    with pytest.raises(CatalogError):
+        schema.validate_row((None, "x", 2))
+    # other columns remain nullable
+    assert schema.validate_row((1, None, None)) == (1, None, None)
+
+
+def test_row_from_dict():
+    schema = make_schema()
+    assert schema.row_from_dict({"id": 1, "qty": 5}) == (1, None, 5)
+    with pytest.raises(CatalogError):
+        schema.row_from_dict({"bogus": 1})

@@ -1,0 +1,105 @@
+"""Unit tests for column types and the chain-key sentinels."""
+
+import datetime
+
+import pytest
+
+from repro.catalog.types import (
+    BOTTOM,
+    TOP,
+    BooleanType,
+    DateType,
+    DecimalType,
+    FloatType,
+    IntegerType,
+    TextType,
+    type_from_name,
+)
+from repro.errors import CatalogError
+
+
+def test_bottom_orders_below_everything():
+    for value in (0, -(10**18), "", (0,), datetime.date.min, TOP):
+        assert BOTTOM < value
+        assert value > BOTTOM
+    assert not BOTTOM < BOTTOM
+    assert BOTTOM <= BOTTOM
+    assert BOTTOM == BOTTOM
+
+
+def test_top_orders_above_everything():
+    for value in (10**18, "zzz", (10**9,), datetime.date.max, BOTTOM):
+        assert TOP > value
+        assert value < TOP
+    assert not TOP > TOP
+    assert TOP >= TOP
+
+
+def test_sentinels_are_singletons():
+    assert type(BOTTOM)() is BOTTOM
+    assert type(TOP)() is TOP
+
+
+def test_sentinels_in_tuples():
+    assert (5, BOTTOM) < (5, 0) < (5, TOP) < (6, BOTTOM)
+
+
+def test_integer_validation():
+    t = IntegerType()
+    assert t.validate(42) == 42
+    assert t.validate(None) is None
+    with pytest.raises(CatalogError):
+        t.validate("42")
+    with pytest.raises(CatalogError):
+        t.validate(True)
+    with pytest.raises(CatalogError):
+        t.validate(2**63)
+
+
+def test_float_validation():
+    t = FloatType()
+    assert t.validate(1.5) == 1.5
+    assert t.validate(2) == 2.0
+    assert isinstance(t.validate(2), float)
+    with pytest.raises(CatalogError):
+        t.validate("x")
+
+
+def test_text_and_boolean():
+    assert TextType().validate("abc") == "abc"
+    assert BooleanType().validate(True) is True
+    with pytest.raises(CatalogError):
+        TextType().validate(1)
+
+
+def test_date_normalizes_strings():
+    t = DateType()
+    assert t.validate("2021-06-20") == datetime.date(2021, 6, 20)
+    assert t.validate(datetime.date(2021, 6, 20)) == datetime.date(2021, 6, 20)
+    with pytest.raises(CatalogError):
+        t.validate("junk")
+    with pytest.raises(CatalogError):
+        t.validate(datetime.datetime(2021, 6, 20))
+
+
+def test_decimal_scaling():
+    t = DecimalType(scale=2)
+    assert t.from_display(19.99) == 1999
+    assert t.to_display(1999) == 19.99
+    assert t.validate(1999) == 1999
+    with pytest.raises(CatalogError):
+        DecimalType(scale=-1)
+
+
+def test_type_from_name():
+    assert isinstance(type_from_name("integer"), IntegerType)
+    assert isinstance(type_from_name("VARCHAR"), TextType)
+    with pytest.raises(CatalogError):
+        type_from_name("BLOB")
+
+
+def test_type_equality():
+    assert IntegerType() == IntegerType()
+    assert DecimalType(2) == DecimalType(2)
+    assert DecimalType(2) != DecimalType(3)
+    assert IntegerType() != FloatType()

@@ -1,0 +1,56 @@
+"""Property-based tests for the client's interval-compressed audit log."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.client import IntervalSet
+
+
+@given(st.lists(st.integers(0, 500), max_size=200))
+def test_matches_set_semantics(values):
+    """add() returns exactly what set.add would; membership agrees."""
+    interval_set = IntervalSet()
+    model: set[int] = set()
+    for value in values:
+        added = interval_set.add(value)
+        assert added == (value not in model)
+        model.add(value)
+    assert len(interval_set) == len(model)
+    for probe in range(-1, 502, 7):
+        assert (probe in interval_set) == (probe in model)
+
+
+@given(st.lists(st.integers(0, 500), max_size=200))
+def test_intervals_are_canonical(values):
+    """Intervals stay sorted, disjoint and non-adjacent (fully merged)."""
+    interval_set = IntervalSet()
+    for value in values:
+        interval_set.add(value)
+    intervals = interval_set.intervals()
+    for lo, hi in intervals:
+        assert lo <= hi
+    for (_lo_a, hi_a), (lo_b, _hi_b) in zip(intervals, intervals[1:]):
+        assert lo_b > hi_a + 1  # a gap of at least one (else: merged)
+
+
+@given(st.permutations(list(range(60))))
+def test_any_permutation_of_a_range_compacts_to_one_interval(order):
+    interval_set = IntervalSet()
+    for value in order:
+        assert interval_set.add(value)
+    assert interval_set.interval_count == 1
+    assert interval_set.intervals() == [(0, 59)]
+
+
+@given(st.sets(st.integers(0, 300), max_size=80))
+def test_interval_count_equals_maximal_runs(values):
+    interval_set = IntervalSet()
+    for value in values:
+        interval_set.add(value)
+    # count maximal consecutive runs in the model
+    runs = 0
+    ordered = sorted(values)
+    for i, value in enumerate(ordered):
+        if i == 0 or value > ordered[i - 1] + 1:
+            runs += 1
+    assert interval_set.interval_count == runs

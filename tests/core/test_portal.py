@@ -1,0 +1,86 @@
+"""Unit tests for the query portal: authorization and endorsement."""
+
+import pytest
+
+from repro.core.database import VeriDB
+from repro.core.config import VeriDBConfig
+from repro.core.portal import AuthenticatedQuery, digest_result
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import AuthenticationError
+
+
+@pytest.fixture
+def db():
+    database = VeriDB(VeriDBConfig(key_seed=1))
+    database.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    database.sql("INSERT INTO t VALUES (1, 10), (2, 20)")
+    return database
+
+
+def make_query(db, sql, qid=b"qid-0001"):
+    mac = MessageAuthenticator(db.enclave.keychain.mac_key)
+    return AuthenticatedQuery(qid=qid, sql=sql, mac=mac.tag(qid, sql.encode()))
+
+
+def test_authorized_query_executes(db):
+    result = db.portal.submit(make_query(db, "SELECT * FROM t"))
+    assert result.rowcount == 2
+    assert result.sequence_number == 1
+
+
+def test_sequence_numbers_increase(db):
+    r1 = db.portal.submit(make_query(db, "SELECT * FROM t", qid=b"q1"))
+    r2 = db.portal.submit(make_query(db, "SELECT * FROM t", qid=b"q2"))
+    assert r2.sequence_number > r1.sequence_number
+
+
+def test_forged_mac_rejected(db):
+    query = AuthenticatedQuery(
+        qid=b"evil", sql="DELETE FROM t", mac=b"\x00" * 32
+    )
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(query)
+    # and the data was not touched
+    assert db.sql("SELECT COUNT(*) FROM t").rows == [(2,)]
+
+
+def test_replayed_qid_rejected(db):
+    query = make_query(db, "SELECT * FROM t")
+    db.portal.submit(query)
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(query)
+
+
+def test_tampered_sql_rejected(db):
+    genuine = make_query(db, "SELECT * FROM t")
+    tampered = AuthenticatedQuery(
+        qid=genuine.qid, sql="DELETE FROM t", mac=genuine.mac
+    )
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(tampered)
+
+
+def test_endorsement_binds_result(db):
+    result = db.portal.submit(make_query(db, "SELECT * FROM t"))
+    mac = MessageAuthenticator(db.enclave.keychain.mac_key)
+    assert mac.verify(
+        result.endorsement,
+        result.qid,
+        result.sequence_number.to_bytes(8, "little"),
+        result.result_digest,
+    )
+    assert result.result_digest == digest_result(
+        result.columns, result.rows, result.rowcount
+    )
+
+
+def test_digest_sensitive_to_rows():
+    a = digest_result(("c",), ((1,),), 1)
+    b = digest_result(("c",), ((2,),), 1)
+    assert a != b
+
+
+def test_seen_query_count(db):
+    assert db.portal.seen_query_count() == 0
+    db.portal.submit(make_query(db, "SELECT * FROM t"))
+    assert db.portal.seen_query_count() == 1

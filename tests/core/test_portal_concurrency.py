@@ -1,0 +1,77 @@
+"""Concurrent clients through the portal (ECall path)."""
+
+import threading
+
+import pytest
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.workloads.runner import run_threaded
+
+
+@pytest.fixture
+def db():
+    database = VeriDB(VeriDBConfig(key_seed=44))
+    database.sql(
+        "CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)"
+    )
+    for i in range(50):
+        database.sql(f"INSERT INTO kv VALUES ({i}, {i})")
+    return database
+
+
+def test_concurrent_clients_all_verified(db):
+    def worker(index):
+        client = db.connect(name=f"c{index}")
+        for i in range(25):
+            result = client.execute(f"SELECT v FROM kv WHERE k = {i}")
+            assert result.rows == ((i,),)
+        return client.queries_verified
+
+    _, total = run_threaded(worker, 4)
+    assert total == 100
+    assert db.portal.seen_query_count() == 100
+
+
+def test_sequence_numbers_globally_unique_under_concurrency(db):
+    seen = set()
+    lock = threading.Lock()
+
+    def worker(index):
+        client = db.connect(name=f"c{index}")
+        for _ in range(30):
+            result = client.execute("SELECT COUNT(*) FROM kv")
+            with lock:
+                assert result.sequence_number not in seen
+                seen.add(result.sequence_number)
+        return 1
+
+    run_threaded(worker, 4)
+    assert len(seen) == 120
+
+
+def test_concurrent_writes_through_portal(db):
+    def worker(index):
+        client = db.connect(name=f"w{index}")
+        base = 1000 + index * 100
+        for i in range(20):
+            client.execute(f"INSERT INTO kv VALUES ({base + i}, 0)")
+        return 1
+
+    run_threaded(worker, 3)
+    assert db.sql("SELECT COUNT(*) FROM kv").rows == [(50 + 60,)]
+    db.verify_now()
+
+
+def test_ecall_count_matches_queries(db):
+    before = db.enclave.meter.snapshot()["ecalls"]
+
+    def worker(index):
+        client = db.connect(name=f"e{index}")
+        for _ in range(10):
+            client.execute("SELECT COUNT(*) FROM kv")
+        return 1
+
+    run_threaded(worker, 2)
+    after = db.enclave.meter.snapshot()["ecalls"]
+    assert after - before == 20  # exactly one boundary crossing per query

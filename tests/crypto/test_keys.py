@@ -1,0 +1,51 @@
+"""Unit tests for key generation and the enclave key chain."""
+
+import pytest
+
+from repro.crypto.keys import KEY_SIZE, KeyChain, derive_key, generate_key
+
+
+def test_generate_key_size():
+    assert len(generate_key()) == KEY_SIZE
+
+
+def test_generate_key_random_distinct():
+    assert generate_key() != generate_key()
+
+
+def test_generate_key_seeded_deterministic():
+    assert generate_key(seed=7) == generate_key(seed=7)
+    assert generate_key(seed=7) != generate_key(seed=8)
+
+
+def test_generate_key_bytes_seed():
+    assert generate_key(seed=b"abc") == generate_key(seed=b"abc")
+
+
+def test_derive_key_purpose_separation():
+    root = generate_key(seed=1)
+    assert derive_key(root, "prf") != derive_key(root, "mac")
+
+
+def test_derive_key_empty_root_rejected():
+    with pytest.raises(ValueError):
+        derive_key(b"", "prf")
+
+
+def test_keychain_purposes_distinct():
+    chain = KeyChain(seed=3)
+    assert len({chain.prf_key, chain.mac_key, chain.seal_key}) == 3
+
+
+def test_keychain_memoizes():
+    chain = KeyChain(seed=3)
+    assert chain.key_for("x") is chain.key_for("x")
+
+
+def test_keychain_seed_deterministic():
+    assert KeyChain(seed=5).prf_key == KeyChain(seed=5).prf_key
+
+
+def test_keychain_rejects_root_and_seed():
+    with pytest.raises(ValueError):
+        KeyChain(root=b"r" * 32, seed=1)

@@ -1,0 +1,44 @@
+"""Unit tests for HMAC message authentication."""
+
+import pytest
+
+from repro.crypto.mac import TAG_SIZE, MessageAuthenticator
+
+
+@pytest.fixture
+def mac():
+    return MessageAuthenticator(b"m" * 32)
+
+
+def test_tag_size(mac):
+    assert len(mac.tag(b"hello")) == TAG_SIZE
+
+
+def test_verify_accepts_genuine(mac):
+    tag = mac.tag(b"query", b"42")
+    assert mac.verify(tag, b"query", b"42")
+
+
+def test_verify_rejects_tampered_message(mac):
+    tag = mac.tag(b"query", b"42")
+    assert not mac.verify(tag, b"query", b"43")
+
+
+def test_verify_rejects_tampered_tag(mac):
+    tag = bytearray(mac.tag(b"query"))
+    tag[0] ^= 1
+    assert not mac.verify(bytes(tag), b"query")
+
+
+def test_verify_rejects_wrong_key():
+    tag = MessageAuthenticator(b"a" * 32).tag(b"q")
+    assert not MessageAuthenticator(b"b" * 32).verify(tag, b"q")
+
+
+def test_framing_unambiguous(mac):
+    assert mac.tag(b"ab", b"c") != mac.tag(b"a", b"bc")
+
+
+def test_short_key_rejected():
+    with pytest.raises(ValueError):
+        MessageAuthenticator(b"tiny")

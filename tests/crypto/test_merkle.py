@@ -1,0 +1,33 @@
+"""Unit tests for Merkle hash helpers."""
+
+from repro.crypto.merkle import NODE_DIGEST_SIZE, hash_interior, hash_leaf
+
+
+def test_leaf_digest_size():
+    assert len(hash_leaf(b"k", b"v")) == NODE_DIGEST_SIZE
+
+
+def test_leaf_sensitivity():
+    assert hash_leaf(b"k", b"v") != hash_leaf(b"k", b"w")
+    assert hash_leaf(b"k", b"v") != hash_leaf(b"l", b"v")
+
+
+def test_leaf_key_value_framing():
+    assert hash_leaf(b"ab", b"c") != hash_leaf(b"a", b"bc")
+
+
+def test_interior_from_children():
+    a, b = hash_leaf(b"1", b"x"), hash_leaf(b"2", b"y")
+    assert hash_interior([a, b]) != hash_interior([b, a])
+
+
+def test_domain_separation():
+    """A leaf hash can never equal an interior hash of the same bytes."""
+    payload = b"z" * 32
+    assert hash_leaf(payload, b"") != hash_interior([payload])
+
+
+def test_interior_accepts_iterables():
+    children = (hash_leaf(bytes([i]), b"v") for i in range(3))
+    digest = hash_interior(children)
+    assert len(digest) == NODE_DIGEST_SIZE

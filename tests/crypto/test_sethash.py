@@ -1,0 +1,109 @@
+"""Unit and property tests for the XOR multiset hash."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.prf import PRF
+from repro.crypto.sethash import SetHash
+
+
+def _digests(n, seed=0):
+    prf = PRF(b"s" * 32)
+    rng = random.Random(seed)
+    return [prf.cell(rng.randrange(2**32), b"v", i) for i in range(n)]
+
+
+def test_empty_is_zero():
+    assert SetHash().is_zero
+
+
+def test_add_remove_roundtrip():
+    h = SetHash()
+    d = _digests(1)[0]
+    h.add(d)
+    assert not h.is_zero
+    h.remove(d)
+    assert h.is_zero
+
+
+def test_order_independence():
+    ds = _digests(32)
+    h1, h2 = SetHash(), SetHash()
+    for d in ds:
+        h1.add(d)
+    for d in reversed(ds):
+        h2.add(d)
+    assert h1 == h2
+
+
+def test_set_equality_detects_difference():
+    ds = _digests(16)
+    h1, h2 = SetHash(), SetHash()
+    for d in ds:
+        h1.add(d)
+    for d in ds[:-1]:
+        h2.add(d)
+    assert h1 != h2
+    h2.add(ds[-1])
+    assert h1 == h2
+
+
+def test_merge_is_union():
+    ds = _digests(10)
+    left, right, whole = SetHash(), SetHash(), SetHash()
+    for d in ds[:5]:
+        left.add(d)
+    for d in ds[5:]:
+        right.add(d)
+    for d in ds:
+        whole.add(d)
+    left.merge(right)
+    assert left == whole
+
+
+def test_copy_is_independent():
+    h = SetHash()
+    h.add(_digests(1)[0])
+    clone = h.copy()
+    clone.add(_digests(2)[1])
+    assert h != clone
+
+
+def test_digest_roundtrip_and_hex():
+    h = SetHash()
+    for d in _digests(3):
+        h.add(d)
+    assert bytes.fromhex(h.hex()) == h.digest()
+    assert len(h.digest()) == 16
+
+
+def test_reset():
+    h = SetHash()
+    h.add(_digests(1)[0])
+    h.reset()
+    assert h.is_zero
+
+
+@given(st.lists(st.binary(min_size=16, max_size=16), max_size=50))
+def test_adding_twice_cancels(elements):
+    """XOR is an involution: every element folded twice vanishes."""
+    h = SetHash()
+    for e in elements:
+        h.add(e)
+    for e in elements:
+        h.add(e)
+    assert h.is_zero
+
+
+@given(st.lists(st.binary(min_size=16, max_size=16), max_size=30), st.randoms())
+def test_permutation_invariance(elements, rng):
+    h1, h2 = SetHash(), SetHash()
+    for e in elements:
+        h1.add(e)
+    shuffled = list(elements)
+    rng.shuffle(shuffled)
+    for e in shuffled:
+        h2.add(e)
+    assert h1 == h2

@@ -1,0 +1,58 @@
+"""Unit tests for the address scheme."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.memory.cells import (
+    PAGE_OFFSET_BITS,
+    Cell,
+    make_addr,
+    offset_of,
+    page_of,
+)
+
+
+def test_roundtrip_simple():
+    addr = make_addr(3, 17)
+    assert page_of(addr) == 3
+    assert offset_of(addr) == 17
+
+
+def test_offset_bounds():
+    with pytest.raises(ValueError):
+        make_addr(0, 1 << PAGE_OFFSET_BITS)
+    with pytest.raises(ValueError):
+        make_addr(0, -1)
+    with pytest.raises(ValueError):
+        make_addr(-1, 0)
+
+
+def test_cell_unpacks():
+    data, ts = Cell(b"x", 9)
+    assert (data, ts) == (b"x", 9)
+
+
+@given(
+    page=st.integers(min_value=0, max_value=2**30),
+    offset=st.integers(min_value=0, max_value=(1 << PAGE_OFFSET_BITS) - 1),
+)
+def test_roundtrip_property(page, offset):
+    addr = make_addr(page, offset)
+    assert page_of(addr) == page
+    assert offset_of(addr) == offset
+
+
+@given(
+    a=st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ),
+    b=st.tuples(
+        st.integers(min_value=0, max_value=1000),
+        st.integers(min_value=0, max_value=1000),
+    ),
+)
+def test_addresses_injective(a, b):
+    if a != b:
+        assert make_addr(*a) != make_addr(*b)

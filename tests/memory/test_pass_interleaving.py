@@ -1,0 +1,75 @@
+"""Regression tests: full passes vs open incremental passes.
+
+A manual/background ``run_pass`` used to ignore a trigger-driven pass
+left mid-flight, scanning already-flipped pages a second time within
+the same epoch and corrupting both digest generations — an honest run
+then raised a false alarm. ``run_pass`` now drains the open pass first.
+"""
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.errors import VerificationFailure
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+from repro.memory.rsws import RSWSGroup
+from repro.memory.verified import VerifiedMemory
+from repro.memory.verifier import Verifier
+
+
+def make_vmem(pages=6, cells=8):
+    vmem = VerifiedMemory(prf=PRF(b"r" * 32), rsws=RSWSGroup(n_partitions=3))
+    for p in range(pages):
+        vmem.register_page(p)
+        for i in range(cells):
+            vmem.alloc(make_addr(p, i * 64), f"c{p}-{i}".encode())
+    return vmem
+
+
+def test_run_pass_drains_open_incremental_pass():
+    vmem = make_vmem()
+    verifier = Verifier(vmem)
+    assert verifier.step() is False  # a pass is now open, mid-flight
+    verifier.run_pass()  # must not double-scan the stepped page
+    assert verifier.stats.alarms == 0
+    verifier.run_pass()
+    assert verifier.stats.alarms == 0
+
+
+def test_trigger_and_manual_passes_interleave_cleanly():
+    vmem = make_vmem()
+    verifier = Verifier(vmem)
+    verifier.install_trigger(ops_per_step=3)
+    for i in range(40):
+        vmem.write(make_addr(i % 6, (i % 8) * 64), f"v{i}".encode())
+        if i % 10 == 9:
+            verifier.run_pass()  # interleave manual closes with the trigger
+    verifier.remove_trigger()
+    verifier.run_pass()
+    assert verifier.stats.alarms == 0
+
+
+def test_drained_pass_still_detects_tampering():
+    """Draining must not eat detections: tamper, open a pass, run_pass."""
+    vmem = make_vmem()
+    verifier = Verifier(vmem)
+    verifier.run_pass()
+    Adversary(vmem.memory).corrupt(make_addr(2, 0), b"evil")
+    assert verifier.step() is False  # pass opens (maybe past page 2 or not)
+    with pytest.raises(VerificationFailure):
+        # either the drained close or the fresh pass close must alarm
+        verifier.run_pass()
+        verifier.run_pass()
+
+
+def test_continuous_verification_through_sql_load():
+    """The end-to-end shape that originally exposed the bug."""
+    from repro import VeriDB, VeriDBConfig
+
+    db = VeriDB(VeriDBConfig(ops_per_page_scan=10, key_seed=5))
+    db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v TEXT)")
+    for i in range(120):
+        db.sql(f"INSERT INTO t VALUES ({i}, '{'x' * 100}')")
+    db.verify_now()
+    db.verify_now()
+    assert db.storage.verifier.stats.alarms == 0

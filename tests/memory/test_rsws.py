@@ -1,0 +1,81 @@
+"""Unit tests for partitioned RSWS state."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.memory.rsws import RSWSGroup
+
+
+def test_partition_count():
+    group = RSWSGroup(n_partitions=4)
+    assert len(group.partitions) == 4
+    with pytest.raises(ConfigurationError):
+        RSWSGroup(n_partitions=0)
+
+
+def test_page_to_partition_stable():
+    group = RSWSGroup(n_partitions=4)
+    assert group.partition_for_page(5) is group.partition_for_page(5)
+    assert group.partition_for_page(5).index == 1
+
+
+def test_record_and_consistency():
+    group = RSWSGroup(n_partitions=2)
+    part = group.partition_for_page(0)
+    element = b"\x01" * 16
+    part.acquire()
+    try:
+        part.record_write(0, element)
+        assert not part.consistent(0)
+        part.record_read(0, element)
+        assert part.consistent(0)
+    finally:
+        part.release()
+
+
+def test_generations_independent():
+    group = RSWSGroup(n_partitions=1)
+    part = group.partitions[0]
+    part.acquire()
+    try:
+        part.record_write(0, b"\x01" * 16)
+        assert part.consistent(1)
+        assert not part.consistent(0)
+        part.reset_generation(0)
+        assert part.consistent(0)
+    finally:
+        part.release()
+
+
+def test_stats_count_operations():
+    group = RSWSGroup(n_partitions=1)
+    part = group.partitions[0]
+    part.acquire()
+    try:
+        part.record_write(0, b"\x01" * 16)
+        part.record_read(0, b"\x01" * 16)
+    finally:
+        part.release()
+    assert group.total_operations() == 2
+    assert part.stats.reads_recorded == 1
+    assert part.stats.writes_recorded == 1
+
+
+def test_inconsistent_partitions_reported():
+    group = RSWSGroup(n_partitions=3)
+    part = group.partitions[2]
+    part.acquire()
+    try:
+        part.record_write(0, b"\x07" * 16)
+    finally:
+        part.release()
+    assert group.consistent(0) == [2]
+    assert group.consistent(1) == []
+
+
+def test_contention_counter():
+    group = RSWSGroup(n_partitions=1)
+    part = group.partitions[0]
+    part.acquire()
+    part.release()
+    assert group.total_contention_waits() == 0

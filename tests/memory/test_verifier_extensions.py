@@ -1,0 +1,113 @@
+"""Tests for parallel verifiers and grouped touched-page tracking."""
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.errors import StorageError, VerificationFailure
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+from repro.memory.rsws import RSWSGroup
+from repro.memory.verified import VerifiedMemory
+from repro.memory.verifier import Verifier
+
+
+def make_vmem(pages=8, cells_per_page=6, **kwargs):
+    vmem = VerifiedMemory(
+        prf=PRF(b"x" * 32), rsws=RSWSGroup(n_partitions=4), **kwargs
+    )
+    for p in range(pages):
+        vmem.register_page(p)
+        for i in range(cells_per_page):
+            vmem.alloc(make_addr(p, i * 64), f"cell-{p}-{i}".encode())
+    return vmem
+
+
+# ----------------------------------------------------------------------
+# parallel verifiers (Figure 2: multiple verifiers, disjoint sections)
+# ----------------------------------------------------------------------
+def test_parallel_pass_clean():
+    vmem = make_vmem(pages=16)
+    verifier = Verifier(vmem)
+    verifier.run_pass(workers=4)
+    assert verifier.stats.pages_scanned == 16
+    assert vmem.epoch == 1
+    verifier.run_pass(workers=4)  # epochs keep closing cleanly
+
+
+def test_parallel_pass_detects_tampering():
+    vmem = make_vmem(pages=16)
+    verifier = Verifier(vmem)
+    verifier.run_pass(workers=3)
+    Adversary(vmem.memory).corrupt(make_addr(5, 0), b"evil")
+    with pytest.raises(VerificationFailure):
+        verifier.run_pass(workers=3)
+
+
+def test_parallel_matches_serial_digests():
+    """Parallel and serial scans produce equivalent epoch outcomes."""
+    vmem = make_vmem(pages=9)
+    verifier = Verifier(vmem)
+    verifier.run_pass(workers=4)
+    for i in range(9):
+        vmem.write(make_addr(i, 0), f"updated-{i}".encode())
+    verifier.run_pass(workers=1)
+    verifier.run_pass(workers=5)
+    assert verifier.stats.alarms == 0
+
+
+def test_more_workers_than_pages():
+    vmem = make_vmem(pages=2)
+    Verifier(vmem).run_pass(workers=8)
+
+
+# ----------------------------------------------------------------------
+# grouped touched tracking (Section 4.3's coarser granularity)
+# ----------------------------------------------------------------------
+def test_group_size_validation():
+    with pytest.raises(StorageError):
+        VerifiedMemory(touched_group_size=0)
+
+
+def test_group_touch_marks_whole_group():
+    vmem = make_vmem(pages=8, touched_group_size=4)
+    vmem.clear_touched(range(8))
+    assert vmem.touched_pages() == set()
+    vmem.read(make_addr(5, 0))  # page 5 is in group 1 (pages 4-7)
+    assert vmem.touched_pages() == {4, 5, 6, 7}
+
+
+def test_group_clear_clears_group():
+    vmem = make_vmem(pages=8, touched_group_size=4)
+    vmem.clear_touched(range(8))
+    vmem.read(make_addr(1, 0))
+    vmem.clear_touched([0])  # clearing any member clears the group bit
+    assert vmem.touched_pages() == set()
+
+
+def test_grouped_touched_verifier_scans_group():
+    vmem = make_vmem(pages=8, touched_group_size=4, page_digests=True)
+    verifier = Verifier(vmem, mode="touched")
+    verifier.run_pass()  # everything freshly loaded
+    scanned_initial = verifier.stats.pages_scanned
+    vmem.read(make_addr(2, 0))  # touch one page of group 0
+    verifier.run_pass()
+    # the whole group (pages 0-3) is rescanned; group 1 is skipped
+    assert verifier.stats.pages_scanned == scanned_initial + 4
+
+
+def test_grouped_tracking_shrinks_enclave_state():
+    fine = make_vmem(pages=8, touched_group_size=1)
+    coarse = make_vmem(pages=8, touched_group_size=8)
+    assert coarse.enclave_state_bytes() <= fine.enclave_state_bytes()
+
+
+def test_grouped_tracking_still_detects():
+    vmem = make_vmem(pages=8, touched_group_size=4, page_digests=True)
+    verifier = Verifier(vmem, mode="touched")
+    verifier.run_pass()
+    addr = make_addr(6, 0)
+    cell = vmem.memory.raw_read(addr)
+    Adversary(vmem.memory).corrupt(addr, b"evil")
+    vmem.read(make_addr(7, 0))  # sibling touch pulls the group into scope
+    with pytest.raises(VerificationFailure):
+        verifier.run_pass()

@@ -1,0 +1,122 @@
+"""End-to-end security: the full Figure 2 loop under attack."""
+
+import pytest
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.errors import VerificationFailure
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+
+
+@pytest.fixture
+def db():
+    database = VeriDB(VeriDBConfig(key_seed=4))
+    database.sql(
+        "CREATE TABLE orders (id INTEGER PRIMARY KEY, amount INTEGER, "
+        "status TEXT, CHAIN (amount))"
+    )
+    for i in range(30):
+        database.sql(f"INSERT INTO orders VALUES ({i}, {i * 100}, 'open')")
+    database.verify_now()
+    return database
+
+
+def _record_addr(db, pk):
+    table = db.table("orders")
+    rid = table.indexes[0].search(pk)
+    page = table.heap.get_page(rid.page_id)
+    offset, _ = page.slot_offset_for_compaction(rid.slot)
+    return make_addr(rid.page_id, offset)
+
+
+def test_honest_service_full_cycle(db):
+    client = db.connect()
+    result = client.execute(
+        "SELECT COUNT(*), SUM(amount) FROM orders WHERE amount BETWEEN 500 AND 1500"
+    )
+    assert result.rows == ((11, 11000),)
+    db.verify_now()  # endorsement property: no alarms on honest runs
+
+
+def test_tampered_amount_detected(db):
+    """An adversary inflates an order amount in untrusted memory; the
+    next verification pass raises the alarm."""
+    adversary = Adversary(db.storage.memory)
+    addr = _record_addr(db, 5)
+    cell = db.storage.memory.raw_read(addr)
+    adversary.corrupt(addr, cell.data[:-1] + b"\xff")
+    with pytest.raises(VerificationFailure):
+        db.verify_now()
+
+
+def test_tampered_data_may_flow_but_is_always_caught(db):
+    """Deferred verification: a tampered value can reach one query
+    result, but the epoch close exposes the misbehaviour with evidence
+    (Section 5.5: 'eventually detected')."""
+    from repro.storage.record import RecordCodec
+    from repro.storage.keychain import ChainLayout
+
+    table = db.table("orders")
+    layout, codec = table.layout, table.codec
+    adversary = Adversary(db.storage.memory)
+    addr = _record_addr(db, 5)
+    stored = layout.from_tuple(codec.decode(db.storage.memory.raw_read(addr).data))
+    stored.data_fields = ("hacked",)
+    adversary.corrupt(addr, codec.encode(layout.to_tuple(stored)))
+
+    client = db.connect()
+    result = client.execute("SELECT status FROM orders WHERE id = 5")
+    assert result.rows == (("hacked",),)  # the lie flows...
+    with pytest.raises(VerificationFailure):
+        db.verify_now()  # ...but cannot survive the epoch close
+
+
+def test_continuous_verification_catches_tampering_inline():
+    db = VeriDB(
+        VeriDBConfig(key_seed=5, ops_per_page_scan=5)
+    )
+    db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    for i in range(20):
+        db.sql(f"INSERT INTO t VALUES ({i}, {i})")
+    adversary = Adversary(db.storage.memory)
+    table = db.table("t")
+    rid = table.indexes[0].search(3)
+    page = table.heap.get_page(rid.page_id)
+    offset, _ = page.slot_offset_for_compaction(rid.slot)
+    cell = db.storage.memory.raw_read(make_addr(rid.page_id, offset))
+    adversary.corrupt(make_addr(rid.page_id, offset), cell.data[:-1] + b"Z")
+    # keep operating: the op-count trigger eventually closes an epoch
+    with pytest.raises(VerificationFailure):
+        for i in range(100, 400):
+            db.sql(f"INSERT INTO t VALUES ({i}, {i})")
+
+
+def test_background_verifier_reports_alarm(db):
+    adversary = Adversary(db.storage.memory)
+    addr = _record_addr(db, 7)
+    cell = db.storage.memory.raw_read(addr)
+    db.start_background_verification()
+    adversary.corrupt(addr, cell.data[:-1] + b"!")
+    import time
+
+    time.sleep(0.05)
+    with pytest.raises(VerificationFailure):
+        db.stop_background_verification()
+
+
+def test_stats_surface(db):
+    stats = db.stats()
+    assert stats["tables"] == ["orders"]
+    assert stats["rsws_operations"] > 0
+    assert stats["prf_calls"] > 0
+    assert stats["enclave_state_bytes"] < 1024 * 1024
+    assert stats["verifier"]["passes_completed"] >= 1
+
+
+def test_single_ecall_per_query(db):
+    client = db.connect()
+    before = db.enclave.meter.snapshot()["ecalls"]
+    client.execute("SELECT * FROM orders WHERE amount > 1000")
+    after = db.enclave.meter.snapshot()["ecalls"]
+    assert after - before == 1  # colocated engine+storage: one crossing

@@ -1,0 +1,134 @@
+"""Freshness guarantees and audit-log persistence.
+
+Freshness (Section 5): queries execute on the latest state — a provider
+serving stale data must replay old cells, which the memory checker
+catches; and the client's audit state must survive its own restarts for
+the rollback defence to hold across sessions.
+"""
+
+import pytest
+
+from repro.core.client import IntervalSet
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.errors import RollbackDetected, VerificationFailure
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+
+
+@pytest.fixture
+def db():
+    database = VeriDB(VeriDBConfig(key_seed=55))
+    database.sql("CREATE TABLE acct (id INTEGER PRIMARY KEY, balance INTEGER)")
+    database.sql("INSERT INTO acct VALUES (1, 100), (2, 200)")
+    database.verify_now()
+    return database
+
+
+def _addr(db, pk):
+    table = db.table("acct")
+    rid = table.indexes[0].search(pk)
+    page = table.heap.get_page(rid.page_id)
+    offset, _ = page.slot_offset_for_compaction(rid.slot)
+    return make_addr(rid.page_id, offset)
+
+
+# ----------------------------------------------------------------------
+# freshness
+# ----------------------------------------------------------------------
+def test_read_your_writes_within_and_across_epochs(db):
+    client = db.connect()
+    client.execute("UPDATE acct SET balance = 150 WHERE id = 1")
+    assert client.execute("SELECT balance FROM acct WHERE id = 1").rows == (
+        (150,),
+    )
+    db.verify_now()
+    assert client.execute("SELECT balance FROM acct WHERE id = 1").rows == (
+        (150,),
+    )
+
+
+def test_serving_stale_value_detected(db):
+    """The freshness attack: after a legit update, the provider restores
+    the pre-update bytes. The stale read may succeed once; the epoch
+    close exposes it."""
+    adversary = Adversary(db.storage.memory)
+    addr = _addr(db, 1)
+    adversary.observe(addr)
+    db.sql("UPDATE acct SET balance = 999 WHERE id = 1")
+    adversary.replay(addr)
+    stale = db.sql("SELECT balance FROM acct WHERE id = 1").rows
+    assert stale == [(100,)]  # the stale value flowed...
+    with pytest.raises(VerificationFailure):
+        db.verify_now()  # ...and cannot survive verification
+
+
+def test_stale_timestamp_alone_detected(db):
+    adversary = Adversary(db.storage.memory)
+    addr = _addr(db, 1)
+    old_timestamp = db.storage.memory.raw_read(addr).timestamp
+    db.sql("SELECT balance FROM acct WHERE id = 1")  # refreshes the stamp
+    assert db.storage.memory.raw_read(addr).timestamp != old_timestamp
+    adversary.corrupt_timestamp(addr, old_timestamp)  # rewind it
+    with pytest.raises(VerificationFailure):
+        db.verify_now()
+
+
+# ----------------------------------------------------------------------
+# audit persistence
+# ----------------------------------------------------------------------
+def test_audit_state_roundtrip(db):
+    client = db.connect()
+    for _ in range(5):
+        client.execute("SELECT * FROM acct")
+    blob = client.export_audit_state()
+    restored = IntervalSet.from_bytes(blob)
+    assert len(restored) == 5
+    assert restored.intervals() == [(1, 5)]
+
+
+def test_rollback_across_client_restart_detected(db):
+    """Without persistence this attack succeeds; with it, it is caught."""
+    client = db.connect()
+    client.execute("SELECT * FROM acct")  # seq 1
+    adversary = Adversary(db.storage.memory)
+    image = adversary.snapshot()
+    client.execute("UPDATE acct SET balance = 0 WHERE id = 1")  # seq 2
+    saved = client.export_audit_state()
+
+    # the provider stages the rollback while the client is offline
+    db.enclave.counter._simulate_power_loss()
+    adversary.rollback_memory(image)
+
+    reborn = db.connect(name="reborn", audit_state=saved)
+    with pytest.raises(RollbackDetected):
+        reborn.execute("SELECT * FROM acct")  # re-issued seq 1
+
+
+def test_restart_without_audit_state_misses_rollback(db):
+    """The contrapositive: an amnesiac client accepts the replay."""
+    client = db.connect()
+    client.execute("SELECT * FROM acct")
+    adversary = Adversary(db.storage.memory)
+    image = adversary.snapshot()
+    client.execute("UPDATE acct SET balance = 0 WHERE id = 1")
+
+    db.enclave.counter._simulate_power_loss()
+    adversary.rollback_memory(image)
+
+    amnesiac = db.connect(name="amnesiac")
+    result = amnesiac.execute("SELECT balance FROM acct WHERE id = 1")
+    assert result.rows == ((100,),)  # stale state accepted
+
+
+def test_malformed_audit_blob_rejected():
+    with pytest.raises(ValueError):
+        IntervalSet.from_bytes(b"\x03\x00\x00\x00short")
+    # non-canonical (overlapping) intervals are rejected too
+    bad = bytearray()
+    bad += (2).to_bytes(4, "little")
+    for lo, hi in ((1, 5), (4, 9)):
+        bad += lo.to_bytes(8, "little")
+        bad += hi.to_bytes(8, "little")
+    with pytest.raises(ValueError):
+        IntervalSet.from_bytes(bytes(bad))

@@ -1,0 +1,65 @@
+"""Unit tests for remote attestation."""
+
+import pytest
+
+from repro.crypto.keys import generate_key
+from repro.errors import AttestationError
+from repro.sgx.attestation import PlatformQuotingKey, measure, verify_quote
+from repro.sgx.enclave import Enclave
+
+
+@pytest.fixture
+def platform():
+    return PlatformQuotingKey(generate_key(seed=11))
+
+
+def test_measure_order_sensitive():
+    assert measure([b"a", b"b"]) != measure([b"b", b"a"])
+
+
+def test_measure_framing():
+    assert measure([b"ab", b"c"]) != measure([b"a", b"bc"])
+
+
+def test_quote_roundtrip(platform):
+    enclave = Enclave(platform=platform)
+    enclave.load_code(b"veridb-engine-v1")
+    challenge = b"nonce-123"
+    report = enclave.attest(challenge)
+    verify_quote(platform, report, enclave.measurement, challenge)
+
+
+def test_wrong_measurement_rejected(platform):
+    enclave = Enclave(platform=platform)
+    enclave.load_code(b"veridb-engine-v1")
+    report = enclave.attest(b"nonce")
+    with pytest.raises(AttestationError):
+        verify_quote(platform, report, measure([b"evil-engine"]), b"nonce")
+
+
+def test_replayed_challenge_rejected(platform):
+    enclave = Enclave(platform=platform)
+    report = enclave.attest(b"nonce-old")
+    with pytest.raises(AttestationError):
+        verify_quote(platform, report, enclave.measurement, b"nonce-new")
+
+
+def test_forged_quote_rejected(platform):
+    enclave = Enclave(platform=platform)
+    report = enclave.attest(b"nonce")
+    forged = type(report)(
+        measurement=report.measurement,
+        challenge=report.challenge,
+        report_data=report.report_data,
+        quote=bytes(32),
+    )
+    with pytest.raises(AttestationError):
+        verify_quote(platform, forged, enclave.measurement, b"nonce")
+
+
+def test_quote_from_other_platform_rejected(platform):
+    other = PlatformQuotingKey(generate_key(seed=12))
+    enclave = Enclave(platform=other)
+    report = enclave.attest(b"nonce")
+    with pytest.raises(AttestationError):
+        verify_quote(platform, report, enclave.measurement, b"nonce")

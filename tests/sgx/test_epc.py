@@ -1,0 +1,87 @@
+"""Unit tests for EPC capacity accounting and paging."""
+
+import pytest
+
+from repro.errors import EnclaveError
+from repro.sgx.costs import CycleMeter
+from repro.sgx.epc import EnclavePageCache
+
+
+def make_epc(capacity=10_000):
+    meter = CycleMeter()
+    return EnclavePageCache(capacity_bytes=capacity, meter=meter), meter
+
+
+def test_allocate_and_usage():
+    epc, _ = make_epc()
+    epc.allocate("rsws", 1024)
+    assert epc.resident_bytes == 1024
+    assert epc.usage()["allocations"] == 1
+
+
+def test_duplicate_allocation_rejected():
+    epc, _ = make_epc()
+    epc.allocate("x", 10)
+    with pytest.raises(EnclaveError):
+        epc.allocate("x", 10)
+
+
+def test_negative_size_rejected():
+    epc, _ = make_epc()
+    with pytest.raises(EnclaveError):
+        epc.allocate("x", -1)
+
+
+def test_free():
+    epc, _ = make_epc()
+    epc.allocate("x", 10)
+    epc.free("x")
+    assert epc.resident_bytes == 0
+    with pytest.raises(EnclaveError):
+        epc.free("x")
+
+
+def test_overflow_swaps_lru():
+    epc, meter = make_epc(capacity=10_000)
+    epc.allocate("old", 6_000)
+    epc.allocate("new", 6_000)
+    assert epc.swapped_bytes == 6_000
+    assert epc.resident_bytes == 6_000
+    assert meter.epc_swaps > 0
+
+
+def test_touch_swaps_back_in():
+    epc, meter = make_epc(capacity=10_000)
+    epc.allocate("old", 6_000)
+    epc.allocate("new", 6_000)
+    swaps_before = meter.epc_swaps
+    epc.touch("old")  # paging old back evicts new
+    assert meter.epc_swaps > swaps_before
+    assert epc.total_bytes == 12_000
+
+
+def test_touch_unknown_rejected():
+    epc, _ = make_epc()
+    with pytest.raises(EnclaveError):
+        epc.touch("nope")
+
+
+def test_resize_touches_and_accounts():
+    epc, _ = make_epc()
+    epc.allocate("x", 100)
+    epc.resize("x", 500)
+    assert epc.resident_bytes == 500
+
+
+def test_small_footprint_never_swaps():
+    """VeriDB's synopsis stays inside the EPC: no swaps should be charged."""
+    epc, meter = make_epc(capacity=96 * 1024 * 1024)
+    epc.allocate("rsws-digests", 1024 * 64)
+    epc.allocate("touched-bitmap", 512 * 1024)  # Section 4.3's 0.5 MB
+    epc.allocate("query-state", 1024 * 1024)
+    assert meter.epc_swaps == 0
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(EnclaveError):
+        EnclavePageCache(capacity_bytes=0)

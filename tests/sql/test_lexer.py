@@ -1,0 +1,69 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.lexer import tokenize
+
+
+def kinds(sql):
+    return [(t.kind, t.value) for t in tokenize(sql)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select From")[0] == ("KEYWORD", "SELECT")
+    assert kinds("select From")[1] == ("KEYWORD", "FROM")
+
+
+def test_identifiers_preserve_case():
+    assert kinds("lineItem")[0] == ("IDENT", "lineItem")
+
+
+def test_numbers():
+    assert kinds("42 3.14 .5") == [
+        ("NUMBER", "42"),
+        ("NUMBER", "3.14"),
+        ("NUMBER", ".5"),
+    ]
+
+
+def test_qualified_name_not_a_float():
+    assert kinds("t1.col") == [
+        ("IDENT", "t1"),
+        ("PUNCT", "."),
+        ("IDENT", "col"),
+    ]
+
+
+def test_strings_with_escapes():
+    assert kinds("'it''s'") == [("STRING", "it's")]
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError):
+        tokenize("'oops")
+
+
+def test_two_char_operators():
+    assert kinds("<= >= <> !=") == [
+        ("PUNCT", "<="),
+        ("PUNCT", ">="),
+        ("PUNCT", "<>"),
+        ("PUNCT", "!="),
+    ]
+
+
+def test_comments_stripped():
+    assert kinds("select -- a comment\n 1") == [
+        ("KEYWORD", "SELECT"),
+        ("NUMBER", "1"),
+    ]
+
+
+def test_bad_character():
+    with pytest.raises(ParseError):
+        tokenize("select @")
+
+
+def test_eof_token():
+    assert tokenize("x")[-1].kind == "EOF"

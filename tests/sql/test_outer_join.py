@@ -1,0 +1,115 @@
+"""LEFT OUTER JOIN semantics."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.sql.executor import QueryEngine
+from repro.storage.engine import StorageEngine
+
+
+@pytest.fixture
+def engine():
+    qe = QueryEngine(Catalog(), StorageEngine())
+    qe.execute("CREATE TABLE emp (id INTEGER PRIMARY KEY, dept INTEGER)")
+    qe.execute(
+        "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT, "
+        "active INTEGER)"
+    )
+    qe.execute(
+        "INSERT INTO emp VALUES (1, 10), (2, 20), (3, 99), (4, NULL)"
+    )
+    qe.execute(
+        "INSERT INTO dept VALUES (10, 'eng', 1), (20, 'ops', 0), "
+        "(30, 'idle', 1)"
+    )
+    return qe
+
+
+def test_left_join_keeps_unmatched_left(engine):
+    result = engine.execute(
+        "SELECT e.id, d.name FROM emp e LEFT JOIN dept d ON e.dept = d.id "
+        "ORDER BY e.id"
+    )
+    assert result.rows == [(1, "eng"), (2, "ops"), (3, None), (4, None)]
+
+
+def test_left_outer_keyword_form(engine):
+    result = engine.execute(
+        "SELECT COUNT(*) FROM emp e LEFT OUTER JOIN dept d ON e.dept = d.id"
+    )
+    assert result.rows == [(4,)]
+
+
+def test_on_right_condition_restricts_matching_only(engine):
+    """A right-side ON predicate makes rows unmatched, not dropped."""
+    result = engine.execute(
+        "SELECT e.id, d.name FROM emp e LEFT JOIN dept d "
+        "ON e.dept = d.id AND d.active = 1 ORDER BY e.id"
+    )
+    assert result.rows == [(1, "eng"), (2, None), (3, None), (4, None)]
+
+
+def test_where_after_outer_join_filters_null_extended(engine):
+    """WHERE on the right side applies after NULL extension."""
+    result = engine.execute(
+        "SELECT e.id FROM emp e LEFT JOIN dept d ON e.dept = d.id "
+        "WHERE d.name = 'eng'"
+    )
+    assert result.rows == [(1,)]
+
+
+def test_where_is_null_finds_unmatched(engine):
+    result = engine.execute(
+        "SELECT e.id FROM emp e LEFT JOIN dept d ON e.dept = d.id "
+        "WHERE d.id IS NULL ORDER BY e.id"
+    )
+    assert result.rows == [(3,), (4,)]
+
+
+def test_left_join_without_keys_theta(engine):
+    result = engine.execute(
+        "SELECT e.id, d.id FROM emp e LEFT JOIN dept d "
+        "ON e.dept < d.id ORDER BY e.id, d.id"
+    )
+    # emp 1 (dept 10) matches depts 20,30; emp 2 matches 30;
+    # emp 3 and 4 (99/NULL) match nothing -> NULL-extended
+    assert result.rows == [
+        (1, 20),
+        (1, 30),
+        (2, 30),
+        (3, None),
+        (4, None),
+    ]
+
+
+def test_left_join_aggregation(engine):
+    result = engine.execute(
+        "SELECT COUNT(*), COUNT(d.id) FROM emp e LEFT JOIN dept d "
+        "ON e.dept = d.id"
+    )
+    assert result.rows == [(4, 2)]  # COUNT(col) skips the NULL-extensions
+
+
+def test_inner_then_left_join(engine):
+    engine.execute("CREATE TABLE loc (id INTEGER PRIMARY KEY, city TEXT)")
+    engine.execute("INSERT INTO loc VALUES (10, 'SF')")
+    result = engine.execute(
+        "SELECT e.id, d.name, l.city FROM emp e "
+        "JOIN dept d ON e.dept = d.id "
+        "LEFT JOIN loc l ON d.id = l.id ORDER BY e.id"
+    )
+    assert result.rows == [(1, "eng", "SF"), (2, "ops", None)]
+
+
+def test_left_join_explain_mentions_outer(engine):
+    result = engine.execute(
+        "SELECT e.id FROM emp e LEFT JOIN dept d ON e.dept = d.id"
+    )
+    assert "left-outer" in result.explain()
+
+
+def test_left_join_cannot_lead(engine):
+    from repro.errors import ParseError, PlanningError
+
+    with pytest.raises((ParseError, PlanningError)):
+        engine.execute("SELECT 1 FROM LEFT JOIN dept d ON 1 = 1")

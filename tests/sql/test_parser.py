@@ -1,0 +1,193 @@
+"""Unit tests for the SQL parser."""
+
+import datetime
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql.ast_nodes import (
+    Aggregate,
+    Between,
+    BinaryOp,
+    ColumnRef,
+    CreateTable,
+    Delete,
+    Insert,
+    Like,
+    Literal,
+    Select,
+    Update,
+)
+from repro.sql.parser import parse_statement
+
+
+def test_simple_select():
+    stmt = parse_statement("SELECT a, b FROM t")
+    assert isinstance(stmt, Select)
+    assert [i.expr for i in stmt.items] == [ColumnRef("a"), ColumnRef("b")]
+    assert stmt.tables[0].name == "t"
+
+
+def test_select_star():
+    stmt = parse_statement("SELECT * FROM t WHERE x = 1")
+    assert stmt.star
+    assert stmt.where == BinaryOp("=", ColumnRef("x"), Literal(1))
+
+
+def test_select_with_alias():
+    stmt = parse_statement("SELECT q.id AS quote_id FROM quote q")
+    assert stmt.items[0].alias == "quote_id"
+    assert stmt.items[0].expr == ColumnRef("id", "q")
+    assert stmt.tables[0].alias == "q"
+
+
+def test_implicit_join_and_where():
+    stmt = parse_statement(
+        "SELECT q.id, q.count, i.count FROM quote AS q, inventory AS i "
+        "WHERE q.id = i.id AND q.count > i.count"
+    )
+    assert len(stmt.tables) == 2
+    assert isinstance(stmt.where, BinaryOp)
+    assert stmt.where.op == "AND"
+
+
+def test_explicit_join():
+    stmt = parse_statement("SELECT a FROM t JOIN u ON t.id = u.id")
+    assert len(stmt.joins) == 1
+    assert stmt.joins[0].table.name == "u"
+    assert stmt.joins[0].condition == BinaryOp(
+        "=", ColumnRef("id", "t"), ColumnRef("id", "u")
+    )
+
+
+def test_group_by_having_order_limit():
+    stmt = parse_statement(
+        "SELECT a, SUM(b) AS total FROM t GROUP BY a HAVING SUM(b) > 10 "
+        "ORDER BY total DESC, a LIMIT 5"
+    )
+    assert stmt.group_by == [ColumnRef("a")]
+    assert isinstance(stmt.having, BinaryOp)
+    assert stmt.order_by[0].ascending is False
+    assert stmt.order_by[1].ascending is True
+    assert stmt.limit == 5
+
+
+def test_aggregates():
+    stmt = parse_statement("SELECT COUNT(*), AVG(x), MIN(y) FROM t")
+    assert stmt.items[0].expr == Aggregate("COUNT", None)
+    assert stmt.items[1].expr == Aggregate("AVG", ColumnRef("x"))
+
+
+def test_count_distinct():
+    stmt = parse_statement("SELECT COUNT(DISTINCT x) FROM t")
+    assert stmt.items[0].expr == Aggregate("COUNT", ColumnRef("x"), distinct=True)
+
+
+def test_sum_star_invalid():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT SUM(*) FROM t")
+
+
+def test_between_and_like():
+    stmt = parse_statement(
+        "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND name LIKE 'ab%'"
+    )
+    left, right = stmt.where.left, stmt.where.right
+    assert left == Between(ColumnRef("a"), Literal(1), Literal(5))
+    assert right == Like(ColumnRef("name"), "ab%")
+
+
+def test_not_between():
+    stmt = parse_statement("SELECT * FROM t WHERE a NOT BETWEEN 1 AND 5")
+    assert stmt.where.negated
+
+
+def test_in_list():
+    stmt = parse_statement("SELECT * FROM t WHERE a IN (1, 2, 3)")
+    assert stmt.where.items == (Literal(1), Literal(2), Literal(3))
+
+
+def test_is_null():
+    stmt = parse_statement("SELECT * FROM t WHERE a IS NOT NULL")
+    assert stmt.where.negated
+
+
+def test_date_literal():
+    stmt = parse_statement("SELECT * FROM t WHERE d >= DATE '1994-01-01'")
+    assert stmt.where.right == Literal(datetime.date(1994, 1, 1))
+
+
+def test_arithmetic_precedence():
+    stmt = parse_statement("SELECT a + b * c FROM t")
+    expr = stmt.items[0].expr
+    assert expr.op == "+"
+    assert expr.right.op == "*"
+
+
+def test_parenthesized():
+    stmt = parse_statement("SELECT (a + b) * c FROM t")
+    assert stmt.items[0].expr.op == "*"
+
+
+def test_unary_minus():
+    stmt = parse_statement("SELECT -a FROM t")
+    assert stmt.items[0].expr.op == "NEG"
+
+
+def test_insert_positional():
+    stmt = parse_statement("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+    assert isinstance(stmt, Insert)
+    assert len(stmt.rows) == 2
+    assert stmt.columns == []
+
+
+def test_insert_with_columns():
+    stmt = parse_statement("INSERT INTO t (id, name) VALUES (1, 'x')")
+    assert stmt.columns == ["id", "name"]
+
+
+def test_update():
+    stmt = parse_statement("UPDATE t SET a = a + 1, b = 'x' WHERE id = 3")
+    assert isinstance(stmt, Update)
+    assert stmt.assignments[0][0] == "a"
+    assert stmt.where == BinaryOp("=", ColumnRef("id"), Literal(3))
+
+
+def test_delete():
+    stmt = parse_statement("DELETE FROM t WHERE id = 3")
+    assert isinstance(stmt, Delete)
+
+
+def test_create_table_inline_pk():
+    stmt = parse_statement(
+        "CREATE TABLE quote (id INTEGER PRIMARY KEY, count INTEGER NOT NULL, "
+        "price DECIMAL(12, 2), CHAIN (count))"
+    )
+    assert isinstance(stmt, CreateTable)
+    assert stmt.primary_key == "id"
+    assert stmt.chain_columns == ["count"]
+    assert stmt.columns[1].not_null
+
+
+def test_create_table_separate_pk():
+    stmt = parse_statement("CREATE TABLE t (a INT, b TEXT, PRIMARY KEY (a))")
+    assert stmt.primary_key == "a"
+
+
+def test_create_table_duplicate_pk_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("CREATE TABLE t (a INT PRIMARY KEY, b INT PRIMARY KEY)")
+
+
+def test_trailing_semicolon_ok():
+    parse_statement("SELECT a FROM t;")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("SELECT a FROM t garbage extra ,")
+
+
+def test_empty_statement_rejected():
+    with pytest.raises(ParseError):
+        parse_statement("")

@@ -1,0 +1,63 @@
+"""Planner regressions (found by the SQLite differential fuzz)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.sql.executor import QueryEngine
+from repro.storage.engine import StorageEngine
+
+
+@pytest.fixture
+def engine():
+    qe = QueryEngine(Catalog(), StorageEngine())
+    qe.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER NOT NULL, "
+        "CHAIN (a))"
+    )
+    for i in range(10):
+        qe.execute(f"INSERT INTO t VALUES ({i}, {i % 4})")
+    return qe
+
+
+def test_contradictory_equalities_on_chain_column(engine):
+    """``a = 1 AND a = 0`` used to collapse to the last equality."""
+    assert engine.execute("SELECT COUNT(*) FROM t WHERE a = 1 AND a = 0").rows == [
+        (0,)
+    ]
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE a = 1 AND a = 1"
+    ).rows == [(3,)]
+
+
+def test_contradictory_equalities_on_primary_key(engine):
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE id = 3 AND id = 4"
+    ).rows == [(0,)]
+
+
+def test_equality_plus_bound_both_enforced(engine):
+    """``a = 3 AND a < 3`` used to drop the bound silently."""
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE a = 3 AND a < 3"
+    ).rows == [(0,)]
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE a = 3 AND a <= 3"
+    ).rows == [(2,)]
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE id = 5 AND id > 7"
+    ).rows == [(0,)]
+
+
+def test_contradictory_bounds_yield_empty(engine):
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE a > 2 AND a < 1"
+    ).rows == [(0,)]
+    assert engine.execute(
+        "SELECT COUNT(*) FROM t WHERE id >= 8 AND id <= 2"
+    ).rows == [(0,)]
+
+
+def test_duplicate_equalities_still_use_index(engine):
+    result = engine.execute("SELECT id FROM t WHERE id = 5 AND id = 5")
+    assert result.rows == [(5,)]
+    assert "IndexSearch" in result.explain()

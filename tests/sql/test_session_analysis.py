@@ -1,0 +1,66 @@
+"""Unit tests for statement table-analysis and the lock registry."""
+
+from repro.sql.parser import parse_statement
+from repro.sql.session import TxnLockRegistry, tables_touched
+
+
+def touched(sql):
+    return sorted(set(t.lower() for t in tables_touched(parse_statement(sql))))
+
+
+def test_select_tables():
+    assert touched("SELECT * FROM a, b WHERE a.x = b.y") == ["a", "b"]
+
+
+def test_join_tables():
+    assert touched("SELECT 1 FROM a JOIN b ON a.x = b.y LEFT JOIN c ON 1=1") == [
+        "a",
+        "b",
+        "c",
+    ]
+
+
+def test_subquery_tables():
+    assert touched(
+        "SELECT * FROM a WHERE x IN (SELECT y FROM b WHERE z = "
+        "(SELECT MAX(w) FROM c))"
+    ) == ["a", "b", "c"]
+
+
+def test_exists_subquery_tables():
+    assert touched(
+        "SELECT * FROM a WHERE EXISTS (SELECT 1 FROM b)"
+    ) == ["a", "b"]
+
+
+def test_select_list_subquery_tables():
+    assert touched("SELECT (SELECT MAX(x) FROM b) FROM a") == ["a", "b"]
+
+
+def test_insert_tables():
+    assert touched("INSERT INTO a VALUES (1)") == ["a"]
+    assert touched("INSERT INTO a SELECT * FROM b") == ["a", "b"]
+
+
+def test_update_tables():
+    assert touched(
+        "UPDATE a SET x = (SELECT MAX(y) FROM b) WHERE z IN (SELECT w FROM c)"
+    ) == ["a", "b", "c"]
+
+
+def test_delete_tables():
+    assert touched("DELETE FROM a WHERE x IN (SELECT y FROM b)") == ["a", "b"]
+
+
+def test_having_and_order_subqueries():
+    assert touched(
+        "SELECT x, COUNT(*) FROM a GROUP BY x "
+        "HAVING COUNT(*) > (SELECT MIN(n) FROM b) "
+        "ORDER BY (SELECT MAX(m) FROM c)"
+    ) == ["a", "b", "c"]
+
+
+def test_registry_same_lock_case_insensitive():
+    registry = TxnLockRegistry()
+    assert registry.lock_for("Orders") is registry.lock_for("orders")
+    assert registry.lock_for("a") is not registry.lock_for("b")

@@ -1,0 +1,207 @@
+"""Nested queries and DISTINCT (the paper's Section 3.2 extension)."""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import PlanningError
+from repro.sql.executor import QueryEngine
+from repro.storage.engine import StorageEngine
+
+
+@pytest.fixture
+def engine():
+    qe = QueryEngine(Catalog(), StorageEngine())
+    qe.execute(
+        "CREATE TABLE emp (id INTEGER PRIMARY KEY, dept INTEGER, "
+        "salary INTEGER, CHAIN (salary))"
+    )
+    qe.execute(
+        "CREATE TABLE dept (id INTEGER PRIMARY KEY, name TEXT, "
+        "budget INTEGER)"
+    )
+    qe.execute(
+        "INSERT INTO emp VALUES (1, 10, 100), (2, 10, 200), (3, 20, 300), "
+        "(4, 20, 400), (5, 30, 150)"
+    )
+    qe.execute(
+        "INSERT INTO dept VALUES (10, 'eng', 1000), (20, 'ops', 500), "
+        "(40, 'empty', 0)"
+    )
+    return qe
+
+
+# ----------------------------------------------------------------------
+# scalar subqueries
+# ----------------------------------------------------------------------
+def test_scalar_subquery_in_where(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE salary = (SELECT MAX(salary) FROM emp)"
+    )
+    assert result.rows == [(4,)]
+
+
+def test_scalar_subquery_becomes_sargable(engine):
+    """A resolved scalar subquery can drive an index access path."""
+    result = engine.execute(
+        "SELECT id FROM emp WHERE salary >= (SELECT AVG(salary) FROM emp)"
+    )
+    assert sorted(r[0] for r in result.rows) == [3, 4]
+    assert "RangeScan" in result.explain()
+
+
+def test_scalar_subquery_in_select_list(engine):
+    result = engine.execute(
+        "SELECT id, (SELECT COUNT(*) FROM dept) FROM emp WHERE id = 1"
+    )
+    assert result.rows == [(1, 3)]
+
+
+def test_scalar_subquery_empty_is_null(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE salary = (SELECT budget FROM dept WHERE id = 99)"
+    )
+    assert result.rows == []
+
+
+def test_scalar_subquery_multiple_rows_rejected(engine):
+    with pytest.raises(PlanningError):
+        engine.execute(
+            "SELECT id FROM emp WHERE salary = (SELECT budget FROM dept)"
+        )
+
+
+def test_scalar_subquery_multiple_columns_rejected(engine):
+    with pytest.raises(PlanningError):
+        engine.execute(
+            "SELECT id FROM emp WHERE salary = (SELECT id, budget FROM dept "
+            "WHERE id = 10)"
+        )
+
+
+# ----------------------------------------------------------------------
+# IN subqueries
+# ----------------------------------------------------------------------
+def test_in_subquery(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE dept IN (SELECT id FROM dept WHERE "
+        "budget >= 500)"
+    )
+    assert sorted(r[0] for r in result.rows) == [1, 2, 3, 4]
+
+
+def test_not_in_subquery(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE dept NOT IN (SELECT id FROM dept)"
+    )
+    assert result.rows == [(5,)]  # dept 30 is not in the dept table
+
+
+def test_not_in_with_null_in_subquery(engine):
+    """SQL semantics: NOT IN against a set containing NULL is never true."""
+    engine.execute("INSERT INTO dept VALUES (50, 'null-budget', NULL)")
+    result = engine.execute(
+        "SELECT id FROM emp WHERE dept NOT IN (SELECT budget FROM dept)"
+    )
+    assert result.rows == []
+
+
+def test_in_subquery_in_update(engine):
+    engine.execute(
+        "UPDATE emp SET salary = 0 WHERE dept IN "
+        "(SELECT id FROM dept WHERE name = 'ops')"
+    )
+    result = engine.execute("SELECT id FROM emp WHERE salary = 0")
+    assert sorted(r[0] for r in result.rows) == [3, 4]
+
+
+def test_in_subquery_in_delete(engine):
+    engine.execute(
+        "DELETE FROM emp WHERE dept IN (SELECT id FROM dept WHERE "
+        "budget < 600)"
+    )
+    assert engine.execute("SELECT COUNT(*) FROM emp").rows == [(3,)]
+
+
+# ----------------------------------------------------------------------
+# EXISTS
+# ----------------------------------------------------------------------
+def test_exists(engine):
+    result = engine.execute(
+        "SELECT COUNT(*) FROM emp WHERE EXISTS (SELECT id FROM dept "
+        "WHERE budget > 900)"
+    )
+    assert result.rows == [(5,)]
+
+
+def test_not_exists(engine):
+    result = engine.execute(
+        "SELECT COUNT(*) FROM emp WHERE NOT EXISTS (SELECT id FROM dept "
+        "WHERE budget > 9000)"
+    )
+    assert result.rows == [(5,)]
+
+
+def test_exists_false(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE EXISTS (SELECT id FROM dept WHERE id = 99)"
+    )
+    assert result.rows == []
+
+
+# ----------------------------------------------------------------------
+# nesting & errors
+# ----------------------------------------------------------------------
+def test_nested_subquery_two_levels(engine):
+    result = engine.execute(
+        "SELECT id FROM emp WHERE salary = (SELECT MAX(salary) FROM emp "
+        "WHERE dept IN (SELECT id FROM dept WHERE name = 'eng'))"
+    )
+    assert result.rows == [(2,)]
+
+
+def test_correlated_subquery_rejected(engine):
+    """Correlated references surface as unknown columns in the inner scope."""
+    with pytest.raises(PlanningError):
+        engine.execute(
+            "SELECT id FROM emp e WHERE salary = "
+            "(SELECT MAX(budget) FROM dept WHERE dept.id = e.dept)"
+        )
+
+
+def test_planner_without_executor_rejects_subqueries():
+    from repro.sql.parser import parse_statement
+    from repro.sql.planner import Planner
+
+    planner = Planner(Catalog())
+    with pytest.raises(PlanningError):
+        planner.plan_select(
+            parse_statement("SELECT 1 FROM t WHERE x IN (SELECT y FROM u)")
+        )
+
+
+# ----------------------------------------------------------------------
+# DISTINCT
+# ----------------------------------------------------------------------
+def test_select_distinct(engine):
+    result = engine.execute("SELECT DISTINCT dept FROM emp")
+    assert sorted(r[0] for r in result.rows) == [10, 20, 30]
+    assert "Distinct" in result.explain()
+
+
+def test_select_distinct_multi_column(engine):
+    engine.execute("INSERT INTO emp VALUES (6, 10, 100)")
+    result = engine.execute("SELECT DISTINCT dept, salary FROM emp")
+    assert (10, 100) in result.rows
+    assert len(result.rows) == 5  # (10,100) deduplicated
+
+
+def test_select_distinct_star(engine):
+    result = engine.execute("SELECT DISTINCT * FROM emp ORDER BY id")
+    assert len(result.rows) == 5  # pk-unique rows are already distinct
+
+
+def test_distinct_with_order_and_limit(engine):
+    result = engine.execute(
+        "SELECT DISTINCT dept FROM emp ORDER BY dept DESC LIMIT 2"
+    )
+    assert [r[0] for r in result.rows] == [30, 20]

@@ -1,0 +1,100 @@
+"""Unit tests for heap files."""
+
+import pytest
+
+from repro.errors import PageFullError, StorageError
+from repro.storage.config import StorageConfig
+from repro.storage.engine import StorageEngine
+from repro.storage.heap import HeapFile, RecordId
+
+
+def make_heap(**config_kwargs):
+    engine = StorageEngine(StorageConfig(page_size=1024, **config_kwargs))
+    return HeapFile(engine), engine
+
+
+def test_insert_read_roundtrip():
+    heap, _ = make_heap()
+    rid = heap.insert(b"payload")
+    assert heap.read(rid) == b"payload"
+    assert isinstance(rid, RecordId)
+
+
+def test_spills_to_new_pages():
+    heap, _ = make_heap()
+    rids = [heap.insert(b"x" * 200) for _ in range(20)]
+    assert heap.page_count() > 1
+    for rid in rids:
+        assert heap.read(rid) == b"x" * 200
+    assert heap.record_count() == 20
+
+
+def test_free_list_reuse():
+    heap, _ = make_heap()
+    rids = [heap.insert(b"x" * 200) for _ in range(20)]
+    pages_before = heap.page_count()
+    for rid in rids[:8]:
+        heap.delete(rid)
+    for _ in range(8):
+        heap.insert(b"y" * 200)
+    assert heap.page_count() == pages_before
+
+
+def test_record_too_big():
+    heap, _ = make_heap()
+    with pytest.raises(PageFullError):
+        heap.insert(b"x" * 2000)
+
+
+def test_delete_and_missing_read():
+    heap, _ = make_heap()
+    rid = heap.insert(b"x")
+    assert heap.delete(rid) == b"x"
+    with pytest.raises(StorageError):
+        heap.read(rid)
+    with pytest.raises(StorageError):
+        heap.read(RecordId(999, 0))
+
+
+def test_move_relocates():
+    heap, _ = make_heap()
+    rid = heap.insert(b"move-me")
+    # fill the current page so the move lands elsewhere
+    for _ in range(10):
+        heap.insert(b"f" * 90)
+    new_rid = heap.move(rid)
+    assert heap.read(new_rid) == b"move-me"
+    with pytest.raises(StorageError):
+        heap.read(rid)
+
+
+def test_write_and_fits_in_place():
+    heap, _ = make_heap()
+    rid = heap.insert(b"abc")
+    assert heap.fits_in_place(rid, 100)
+    heap.write(rid, b"defgh")
+    assert heap.read(rid) == b"defgh"
+
+
+def test_eager_compaction_relocates_on_delete():
+    heap, engine = make_heap(compaction="eager")
+    rids = [heap.insert(bytes([i]) * 64) for i in range(8)]
+    page = heap.get_page(rids[0].page_id)
+    heap.delete(rids[0])
+    assert page.fragmentation == 0.0
+    for rid in rids[1:]:
+        assert heap.read(rid) == bytes([rid.slot]) * 64
+    engine.verify_now()
+
+
+def test_pages_registered_for_verification():
+    heap, engine = make_heap()
+    heap.insert(b"x")
+    assert engine.vmem.registered_pages()
+
+
+def test_unverified_mode_registers_nothing():
+    heap, engine = make_heap(verification=False)
+    heap.insert(b"x")
+    assert engine.vmem.registered_pages() == []
+    assert engine.verifier is None

@@ -1,0 +1,145 @@
+"""Unit tests for chain layout and proof objects."""
+
+import pytest
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import BOTTOM, TOP, IntegerType, TextType
+from repro.errors import CatalogError, ProofError
+from repro.storage.keychain import (
+    DATA_RECORD,
+    ChainLayout,
+    PointProof,
+    RangeProof,
+    StoredRecord,
+)
+
+
+@pytest.fixture
+def layout():
+    schema = Schema(
+        columns=[
+            Column("pk", IntegerType()),
+            Column("grp", IntegerType(), nullable=False),
+            Column("note", TextType()),
+        ],
+        primary_key="pk",
+        chain_columns=("grp",),
+    )
+    return ChainLayout(schema)
+
+
+# ----------------------------------------------------------------------
+# layout
+# ----------------------------------------------------------------------
+def test_chain_keys(layout):
+    row = (5, 9, "x")
+    assert layout.chain_key(0, row) == 5
+    assert layout.chain_key(1, row) == (9, 5)  # composite (value, pk)
+
+
+def test_null_chain_key_rejected(layout):
+    with pytest.raises(CatalogError):
+        layout.chain_key(1, (5, None, "x"))
+
+
+def test_bounds(layout):
+    assert layout.low_bound(0, 7) == 7
+    assert layout.high_bound(0, 7) == 7
+    assert layout.low_bound(1, 7) == (7, BOTTOM)
+    assert layout.high_bound(1, 7) == (7, TOP)
+    assert layout.low_bound(1, 7) < (7, 0) < layout.high_bound(1, 7)
+
+
+def test_chain_value_extraction(layout):
+    assert layout.chain_value(0, 5) == 5
+    assert layout.chain_value(1, (9, 5)) == 9
+    assert layout.chain_value(1, BOTTOM) is BOTTOM
+
+
+def test_stored_roundtrip(layout):
+    row = (5, 9, "note")
+    stored = layout.stored_from_row(row, [7, (11, 6)])
+    assert not stored.is_sentinel
+    assert stored.key(0) == 5 and stored.next_key(0) == 7
+    assert stored.key(1) == (9, 5) and stored.next_key(1) == (11, 6)
+    assert layout.row_from_stored(stored) == row
+    flat = layout.to_tuple(stored)
+    assert layout.from_tuple(flat) == stored
+
+
+def test_sentinel_shape(layout):
+    sentinel = layout.sentinel(1, first_key=(3, 1))
+    assert sentinel.is_sentinel
+    assert sentinel.sentinel_of == 1
+    assert sentinel.key(1) is BOTTOM
+    assert sentinel.next_key(1) == (3, 1)
+    assert sentinel.key(0) is None
+    with pytest.raises(ProofError):
+        layout.row_from_stored(sentinel)
+
+
+def test_from_tuple_arity_checked(layout):
+    with pytest.raises(ProofError):
+        layout.from_tuple((DATA_RECORD, 1, 2))
+
+
+def test_data_column_indexes(layout):
+    assert layout.data_column_indexes == [2]
+
+
+# ----------------------------------------------------------------------
+# proofs
+# ----------------------------------------------------------------------
+def test_point_proof_presence():
+    PointProof(target=5, key=5, next_key=9, found=True).check()
+    with pytest.raises(ProofError):
+        PointProof(target=5, key=4, next_key=9, found=True).check()
+
+
+def test_point_proof_absence():
+    PointProof(target=5, key=4, next_key=9, found=False).check()
+    PointProof(target=5, key=BOTTOM, next_key=TOP, found=False).check()
+    with pytest.raises(ProofError):
+        PointProof(target=5, key=4, next_key=5, found=False).check()
+    with pytest.raises(ProofError):
+        PointProof(target=5, key=5, next_key=9, found=False).check()
+
+
+def test_range_proof_left():
+    proof = RangeProof(low=10, high=20)
+    proof.first_key = 10
+    proof.check_left()
+    proof.first_key = 11
+    with pytest.raises(ProofError):
+        proof.check_left()
+    proof.first_key = None
+    with pytest.raises(ProofError):
+        proof.check_left()
+
+
+def test_range_proof_right_inclusive():
+    proof = RangeProof(low=10, high=20, right_inclusive=True)
+    proof.last_next_key = 21
+    proof.check_right()
+    proof.last_next_key = TOP
+    proof.check_right()
+    proof.last_next_key = 20  # a record at 20 remains unread
+    with pytest.raises(ProofError):
+        proof.check_right()
+
+
+def test_range_proof_right_exclusive():
+    proof = RangeProof(low=10, high=20, right_inclusive=False)
+    proof.last_next_key = 20  # the boundary itself suffices
+    proof.check_right()
+    proof.last_next_key = 19
+    with pytest.raises(ProofError):
+        proof.check_right()
+
+
+def test_range_proof_links():
+    proof = RangeProof(low=1, high=9)
+    proof.check_link(5, 5)
+    assert proof.links_checked == 1
+    with pytest.raises(ProofError):
+        proof.check_link(5, 6)

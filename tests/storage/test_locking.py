@@ -1,0 +1,78 @@
+"""Tests for the thread-safe index wrapper."""
+
+import random
+
+from repro.catalog.types import BOTTOM
+from repro.storage.locking import ThreadSafeIndex
+from repro.workloads.runner import run_threaded
+
+
+def test_delegation_roundtrip():
+    index = ThreadSafeIndex()
+    index.insert(BOTTOM, "sentinel")
+    for i in range(0, 100, 2):
+        index.insert(i, f"rid{i}")
+    assert index.search(4) == "rid4"
+    assert index.search(5) is None
+    assert 4 in index
+    assert index.search_le(5) == (4, "rid4")
+    assert index.search_lt(4) == (2, "rid2")
+    assert index.search_ge(5) == (6, "rid6")
+    assert index.min_key() is BOTTOM
+    assert index.max_key() == 98
+    assert len(index) == 51
+    assert index.delete(4)
+    assert not index.delete(4)
+
+
+def test_items_returns_snapshot_list():
+    index = ThreadSafeIndex()
+    for i in range(10):
+        index.insert(i, i)
+    items = index.items(lo=3, hi=7)
+    assert isinstance(items, list)
+    assert [k for k, _ in items] == [3, 4, 5, 6, 7]
+    index.delete(5)  # the snapshot is unaffected
+    assert [k for k, _ in items] == [3, 4, 5, 6, 7]
+
+
+def test_concurrent_mutation_keeps_invariants():
+    index = ThreadSafeIndex(order=4)
+
+    def worker(thread_index):
+        rng = random.Random(thread_index)
+        base = thread_index * 10_000
+        for i in range(400):
+            key = base + rng.randrange(500)
+            if rng.random() < 0.6:
+                index.insert(key, key)
+            else:
+                index.delete(key)
+        return 1
+
+    run_threaded(worker, 4)
+    index.check_invariants()
+
+
+def test_concurrent_readers_and_writers_no_crash():
+    index = ThreadSafeIndex(order=4)
+    for i in range(500):
+        index.insert(i, i)
+
+    def worker(thread_index):
+        rng = random.Random(thread_index)
+        for _ in range(500):
+            op = rng.randrange(4)
+            key = rng.randrange(600)
+            if op == 0:
+                index.insert(key, key)
+            elif op == 1:
+                index.delete(key)
+            elif op == 2:
+                index.search_le(key)
+            else:
+                index.items(lo=key, hi=key + 10)
+        return 1
+
+    run_threaded(worker, 4)
+    index.check_invariants()

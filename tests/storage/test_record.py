@@ -1,0 +1,106 @@
+"""Unit and property tests for the record codec."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.catalog.types import BOTTOM, TOP
+from repro.errors import StorageError
+from repro.storage.record import RecordCodec
+
+
+@pytest.fixture
+def codec():
+    return RecordCodec()
+
+
+def test_roundtrip_all_types(codec):
+    record = (
+        None,
+        42,
+        -1,
+        3.5,
+        "héllo",
+        True,
+        False,
+        datetime.date(2021, 6, 20),
+        BOTTOM,
+        TOP,
+        (7, BOTTOM),
+    )
+    assert codec.decode(codec.encode(record)) == record
+
+
+def test_empty_record(codec):
+    assert codec.decode(codec.encode(())) == ()
+
+
+def test_deterministic(codec):
+    record = (1, "a", None)
+    assert codec.encode(record) == codec.encode(record)
+
+
+def test_distinct_values_distinct_bytes(codec):
+    assert codec.encode((1,)) != codec.encode((2,))
+    assert codec.encode(("1",)) != codec.encode((1,))
+    assert codec.encode((True,)) != codec.encode((1,))
+    assert codec.encode((None,)) != codec.encode((BOTTOM,))
+
+
+def test_nested_tuples(codec):
+    record = (((1, 2), (3, (4,))),)
+    assert codec.decode(codec.encode(record)) == record
+
+
+def test_sentinels_identity_after_decode(codec):
+    decoded = codec.decode(codec.encode((BOTTOM, TOP)))
+    assert decoded[0] is BOTTOM
+    assert decoded[1] is TOP
+
+
+def test_unencodable_value(codec):
+    with pytest.raises(StorageError):
+        codec.encode((object(),))
+    with pytest.raises(StorageError):
+        codec.encode(([1, 2],))
+
+
+def test_malformed_payload_rejected(codec):
+    good = codec.encode((1, "abc"))
+    with pytest.raises(StorageError):
+        codec.decode(good[:-1])  # truncated
+    with pytest.raises(StorageError):
+        codec.decode(good + b"\x00")  # trailing garbage
+    with pytest.raises(StorageError):
+        codec.decode(b"\xff\xff\xff\xff")  # absurd count
+
+
+_scalar = st.one_of(
+    st.none(),
+    st.integers(min_value=-(2**63), max_value=2**63 - 1),
+    st.floats(allow_nan=False),
+    st.text(max_size=30),
+    st.booleans(),
+    st.dates(),
+    st.just(BOTTOM),
+    st.just(TOP),
+)
+_value = st.one_of(_scalar, st.tuples(_scalar, _scalar))
+
+
+@given(record=st.lists(_value, max_size=12).map(tuple))
+def test_roundtrip_property(record):
+    codec = RecordCodec()
+    assert codec.decode(codec.encode(record)) == record
+
+
+@given(
+    a=st.lists(_scalar, max_size=6).map(tuple),
+    b=st.lists(_scalar, max_size=6).map(tuple),
+)
+def test_injective_property(a, b):
+    codec = RecordCodec()
+    if a != b:
+        assert codec.encode(a) != codec.encode(b)

@@ -1,0 +1,185 @@
+"""Security tests at the storage layer.
+
+Two attack surfaces exist above raw memory:
+
+1. the *untrusted index* may lie about record locations — the access
+   methods must catch this immediately through the ``(key, nKey)``
+   evidence (:class:`ProofError`);
+2. untrusted memory may be tampered under the access methods — caught at
+   the next epoch close (:class:`VerificationFailure`), even though the
+   access-method proof may transiently pass on tampered bytes.
+"""
+
+import pytest
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.types import IntegerType, TextType
+from repro.errors import ProofError, VerificationFailure
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+from repro.storage.config import StorageConfig
+from repro.storage.engine import StorageEngine
+from repro.storage.heap import RecordId
+from repro.storage.table_store import VerifiableTable
+
+
+def make_table(**config_kwargs):
+    schema = Schema(
+        columns=[
+            Column("id", IntegerType()),
+            Column("count", IntegerType()),
+            Column("note", TextType()),
+        ],
+        primary_key="id",
+        chain_columns=("count",),
+    )
+    engine = StorageEngine(StorageConfig(**config_kwargs))
+    table = VerifiableTable("t", schema, engine)
+    for pk in range(0, 50, 5):  # keys 0,5,...,45
+        table.insert((pk, pk * 2, f"note{pk}"))
+    engine.verify_now()
+    return table, engine
+
+
+def _data_addr_of(table, pk):
+    rid = table.indexes[0].search(pk)
+    page = table.heap.get_page(rid.page_id)
+    offset, _ = page.slot_offset_for_compaction(rid.slot)
+    return make_addr(rid.page_id, offset)
+
+
+# ----------------------------------------------------------------------
+# lying-index attacks: caught online by access-method proofs
+# ----------------------------------------------------------------------
+def test_index_points_to_wrong_record():
+    table, _ = make_table()
+    # make key 10 resolve to key 20's record
+    rid_20 = table.indexes[0].search(20)
+    table.indexes[0].insert(10, rid_20)
+    with pytest.raises(ProofError):
+        table.get(10)
+
+
+def test_index_fakes_absence():
+    """Index hides key 10 by answering with key 5's record; the evidence
+    ⟨5, 10⟩ fails to prove absence of 10 (nKey is not past the target)."""
+    table, _ = make_table()
+    rid_5 = table.indexes[0].search(5)
+    table.indexes[0].delete(10)
+    table.indexes[0].insert(10, rid_5)  # future le-searches hit 5's record
+    with pytest.raises(ProofError):
+        table.get(10)
+
+
+def test_index_omits_range_records():
+    table, _ = make_table()
+    table.indexes[0].delete(20)  # hide one record from the scan
+    with pytest.raises(ProofError):
+        table.scan(lo=10, hi=30)
+
+
+def test_index_fabricates_range_records():
+    table, _ = make_table()
+    # duplicate rid under a fake key inside the range
+    rid = table.indexes[0].search(25)
+    table.indexes[0].insert(22, rid)
+    with pytest.raises(ProofError):
+        table.scan(lo=20, hi=30)
+
+
+def test_index_truncates_tail_of_scan():
+    table, _ = make_table()
+    for pk in (35, 40, 45):
+        table.indexes[0].delete(pk)
+    with pytest.raises(ProofError):
+        table.scan(lo=30, hi=45)
+
+
+def test_index_loses_sentinel():
+    from repro.catalog.types import BOTTOM
+
+    table, _ = make_table()
+    table.indexes[0].delete(BOTTOM)
+    for pk in range(0, 50, 5):
+        table.indexes[0].delete(pk)
+    with pytest.raises(ProofError):
+        table.get(3)
+
+
+# ----------------------------------------------------------------------
+# memory tampering under the access methods: caught at epoch close
+# ----------------------------------------------------------------------
+def test_tampered_record_detected_at_epoch_close():
+    table, engine = make_table()
+    adversary = Adversary(engine.memory)
+    addr = _data_addr_of(table, 10)
+    cell = engine.memory.raw_read(addr)
+    adversary.corrupt(addr, cell.data[:-1] + b"X")
+    with pytest.raises(VerificationFailure):
+        engine.verify_now()
+
+
+def test_replayed_record_detected():
+    table, engine = make_table()
+    adversary = Adversary(engine.memory)
+    addr = _data_addr_of(table, 10)
+    adversary.observe(addr)
+    table.update(10, {"note": "fresh value"})
+    adversary.replay(addr)  # serve the stale note
+    with pytest.raises(VerificationFailure):
+        engine.verify_now()
+
+
+def test_erased_record_detected_immediately_on_access():
+    table, engine = make_table()
+    adversary = Adversary(engine.memory)
+    adversary.erase(_data_addr_of(table, 10))
+    with pytest.raises(VerificationFailure):
+        table.get(10)
+
+
+def test_erased_record_detected_by_scan_even_without_access():
+    table, engine = make_table()
+    adversary = Adversary(engine.memory)
+    adversary.erase(_data_addr_of(table, 10))
+    with pytest.raises(VerificationFailure):
+        engine.verify_now()
+
+
+def test_unchecked_metadata_tampering_not_detected_but_harmless():
+    """Section 4.3's accepted trade-off: with metadata excluded, forging
+    the *header* is invisible — but it cannot change any query answer's
+    evidence, it only lets the provider waste its own space."""
+    table, engine = make_table(verify_metadata=False)
+    page = next(iter(table.heap.pages()))
+    from repro.storage.page import HEADER_OFFSET
+
+    header_addr = make_addr(page.page_id, HEADER_OFFSET)
+    engine.memory.raw_write(header_addr, b"\x00" * 12, 0, checked=False)
+    engine.verify_now()  # no alarm: the header is outside the checked set
+    # queries still verify fine
+    row, proof = table.get(10)
+    assert row == (10, 20, "note10")
+
+
+def test_metadata_tampering_detected_when_verified():
+    table, engine = make_table(verify_metadata=True)
+    page = next(iter(table.heap.pages()))
+    from repro.storage.page import HEADER_OFFSET
+
+    header_addr = make_addr(page.page_id, HEADER_OFFSET)
+    cell = engine.memory.raw_read(header_addr)
+    engine.memory.raw_write(header_addr, b"\x00" * len(cell.data), cell.timestamp)
+    with pytest.raises(VerificationFailure):
+        engine.verify_now()
+
+
+def test_checked_flag_flipping_is_detected():
+    """Marking a record cell 'unchecked' to hide it from the scan leaves
+    its WriteSet entry unmatched (see the Cell docstring)."""
+    table, engine = make_table()
+    addr = _data_addr_of(table, 10)
+    cell = engine.memory.raw_read(addr)
+    cell.checked = False
+    with pytest.raises(VerificationFailure):
+        engine.verify_now()

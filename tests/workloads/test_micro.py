@@ -1,0 +1,81 @@
+"""Unit tests for the micro workload generator and KV adapter."""
+
+from repro.storage.engine import StorageEngine
+from repro.workloads.micro import VALUE_BYTES, KVTable, MicroWorkload, load_kv
+from repro.workloads.runner import LatencyRecorder, run_operations
+
+
+def test_initial_pairs_shape():
+    workload = MicroWorkload(n_initial=50, seed=1)
+    pairs = list(workload.initial_pairs())
+    assert len(pairs) == 50
+    assert [k for k, _ in pairs] == list(range(1, 51))
+    assert all(len(v) == VALUE_BYTES for _, v in pairs)
+
+
+def test_deterministic_given_seed():
+    a = list(MicroWorkload(10, seed=3).initial_pairs())
+    b = list(MicroWorkload(10, seed=3).initial_pairs())
+    assert a == b
+    assert a != list(MicroWorkload(10, seed=4).initial_pairs())
+
+
+def test_operation_stream_feasible():
+    workload = MicroWorkload(n_initial=30, seed=2)
+    initial = dict(workload.initial_pairs())
+    ops = workload.operations(500)
+    assert len(ops) == 500
+    live = set(initial)
+    for op in ops:
+        if op.kind == "insert":
+            assert op.key not in live
+            live.add(op.key)
+        elif op.kind == "delete":
+            assert op.key in live
+            live.remove(op.key)
+        else:
+            assert op.key in live
+
+
+def test_operation_mix_roughly_balanced():
+    ops = MicroWorkload(n_initial=1000, seed=5).operations(2000)
+    counts = {}
+    for op in ops:
+        counts[op.kind] = counts.get(op.kind, 0) + 1
+    for kind in ("get", "insert", "delete", "update"):
+        assert counts[kind] > 2000 / 4 * 0.7
+
+
+def test_kv_table_roundtrip():
+    kv = KVTable(StorageEngine())
+    workload = MicroWorkload(n_initial=20, seed=0)
+    assert load_kv(kv, workload.initial_pairs()) == 20
+    assert len(kv) == 20
+    assert kv.get(5) is not None
+    assert kv.get(999) is None
+    assert kv.update(5, "x")
+    assert kv.get(5) == "x"
+    assert kv.delete(5)
+    assert kv.get(5) is None
+
+
+def test_run_operations_records_latency():
+    engine = StorageEngine()
+    kv = KVTable(engine)
+    workload = MicroWorkload(n_initial=50, seed=1)
+    load_kv(kv, workload.initial_pairs())
+    recorder = run_operations(kv, workload.operations(200))
+    report = recorder.report()
+    assert set(report) == {"get", "insert", "delete", "update"}
+    assert all(v > 0 for v in report.values())
+    assert sum(recorder.count(k) for k in report) == 200
+    engine.verify_now()  # replay left the store consistent
+
+
+def test_latency_recorder_math():
+    recorder = LatencyRecorder()
+    recorder.record("get", 0.001)
+    recorder.record("get", 0.003)
+    assert recorder.mean_us("get") == 2000.0
+    assert recorder.count("get") == 2
+    assert recorder.mean_us("missing") == 0.0
