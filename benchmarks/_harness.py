@@ -15,11 +15,13 @@ from __future__ import annotations
 
 import os
 import time
+from contextlib import contextmanager
 
 from repro.baselines.mbtree import MBTree
 from repro.baselines.plain import PlainKVStore
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
+from repro.obs import KNOWN_LAYERS, MetricsRegistry, layer_breakdown, scoped_registry
 from repro.storage.config import StorageConfig
 from repro.storage.engine import StorageEngine
 from repro.workloads.micro import KVTable, MicroWorkload, load_kv
@@ -303,3 +305,69 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+@contextmanager
+def obs_scope():
+    """Install a fresh metrics registry as the process default.
+
+    Every system built inside the block (engines, portals, cycle meters)
+    binds real instruments instead of the zero-cost no-op defaults, so a
+    direct benchmark run can print the per-layer breakdown afterwards.
+    The pytest-benchmark path never enters this scope and keeps the
+    unobserved fast path.
+    """
+    with scoped_registry(MetricsRegistry()) as registry:
+        yield registry
+
+
+def _format_metric_value(name: str, data: dict) -> str:
+    if data["type"] in ("counter", "gauge"):
+        value = data["value"]
+        if isinstance(value, float) and not value.is_integer():
+            return f"{value:.2f}"
+        return f"{int(value)}"
+    # histogram: seconds-valued series (by naming convention) are shown
+    # in microseconds; others (simulated cycles, sizes) are unit-less
+    if data["count"] == 0:
+        return "(no samples)"
+    if not name.endswith("_seconds"):
+        return (
+            f"n={data['count']}  mean={data['mean']:.0f}"
+            f"  max={data['max']:.0f}  sum={data['sum']:.0f}"
+        )
+    return (
+        f"n={data['count']}  mean={data['mean'] * 1e6:.1f}us"
+        f"  max={data['max'] * 1e6:.1f}us  sum={data['sum'] * 1e3:.2f}ms"
+    )
+
+
+def print_metrics_breakdown(
+    registry, title: str = "Per-layer observability breakdown"
+) -> None:
+    """Print one section per instrumented layer of the stack.
+
+    Layers with no activity during the run are still listed, so a reader
+    can tell "not exercised" apart from "not instrumented".
+    """
+    grouped = layer_breakdown(registry.snapshot())
+    print(f"\n{title}")
+    print("=" * 66)
+    for layer in KNOWN_LAYERS:
+        metrics = grouped.get(layer, {})
+        print(f"[{layer}]" + ("  (no activity)" if not metrics else ""))
+        for name, data in metrics.items():
+            short = name.split(".", 1)[1]
+            print(f"  {short:<34}{_format_metric_value(name, data)}")
+    extra = {
+        layer: metrics
+        for layer, metrics in grouped.items()
+        if layer not in KNOWN_LAYERS
+    }
+    for layer, metrics in extra.items():
+        print(f"[{layer}]")
+        for name, data in metrics.items():
+            print(f"  {name:<34}{_format_metric_value(name, data)}")

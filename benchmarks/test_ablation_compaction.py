@@ -13,7 +13,12 @@ import time
 
 import pytest
 
-from _harness import build_kv, scaled
+from _harness import (
+    build_kv,
+    obs_scope,
+    print_metrics_breakdown,
+    scaled,
+)
 from repro.storage.config import StorageConfig
 
 N_INITIAL = scaled(1500)
@@ -78,24 +83,26 @@ def test_deferred_compaction_reclaims_during_scan():
 
 
 def main():
-    eager = _delete_heavy("eager")
-    deferred = _delete_heavy("deferred")
-    print("\nAblation: space reclamation strategy (Section 4.3)")
-    header = (
-        f"{'strategy':<12}{'delete phase (s)':>18}{'verify pass (s)':>18}"
-        f"{'records moved at scan':>24}"
-    )
-    print(header)
-    print("-" * len(header))
-    print(f"{'eager':<12}{eager[0]:>18.3f}{eager[1]:>18.3f}{eager[2]:>24}")
-    print(
-        f"{'deferred':<12}{deferred[0]:>18.3f}{deferred[1]:>18.3f}"
-        f"{deferred[2]:>24}"
-    )
-    print(
-        "(paper: deferred compaction removes per-delete relocation; the "
-        "scan-time compaction adds little, as the page is already hot)"
-    )
+    with obs_scope() as registry:
+        eager = _delete_heavy("eager")
+        deferred = _delete_heavy("deferred")
+        print("\nAblation: space reclamation strategy (Section 4.3)")
+        header = (
+            f"{'strategy':<12}{'delete phase (s)':>18}{'verify pass (s)':>18}"
+            f"{'records moved at scan':>24}"
+        )
+        print(header)
+        print("-" * len(header))
+        print(f"{'eager':<12}{eager[0]:>18.3f}{eager[1]:>18.3f}{eager[2]:>24}")
+        print(
+            f"{'deferred':<12}{deferred[0]:>18.3f}{deferred[1]:>18.3f}"
+            f"{deferred[2]:>24}"
+        )
+        print(
+            "(paper: deferred compaction removes per-delete relocation; the "
+            "scan-time compaction adds little, as the page is already hot)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

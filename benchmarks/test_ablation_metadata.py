@@ -10,7 +10,12 @@ Run ``python benchmarks/test_ablation_metadata.py`` for the table.
 
 import pytest
 
-from _harness import build_kv, scaled
+from _harness import (
+    build_kv,
+    obs_scope,
+    print_metrics_breakdown,
+    scaled,
+)
 from repro.storage.config import StorageConfig
 from repro.workloads.runner import run_operations
 
@@ -48,21 +53,23 @@ def test_ablation_metadata_rsws_reduction():
 
 
 def main():
-    rec_off, ops_off = _measure(False)
-    rec_on, ops_on = _measure(True)
-    print("\nAblation: page-metadata verification (Section 4.3)")
-    print(f"{'setting':<28}{'RSWS ops':>12}{'mean op latency (µs)':>24}")
-    kinds = ("get", "insert", "delete", "update")
+    with obs_scope() as registry:
+        rec_off, ops_off = _measure(False)
+        rec_on, ops_on = _measure(True)
+        print("\nAblation: page-metadata verification (Section 4.3)")
+        print(f"{'setting':<28}{'RSWS ops':>12}{'mean op latency (µs)':>24}")
+        kinds = ("get", "insert", "delete", "update")
 
-    def mean(recorder):
-        return sum(recorder.mean_us(k) for k in kinds) / len(kinds)
+        def mean(recorder):
+            return sum(recorder.mean_us(k) for k in kinds) / len(kinds)
 
-    print(f"{'metadata verified':<28}{ops_on:>12}{mean(rec_on):>24.1f}")
-    print(f"{'metadata excluded':<28}{ops_off:>12}{mean(rec_off):>24.1f}")
-    print(
-        f"RSWS-operation reduction: {(1 - ops_off / ops_on) * 100:.0f}% "
-        f"(paper: 50-65%, worth ~20% latency)"
-    )
+        print(f"{'metadata verified':<28}{ops_on:>12}{mean(rec_on):>24.1f}")
+        print(f"{'metadata excluded':<28}{ops_off:>12}{mean(rec_off):>24.1f}")
+        print(
+            f"RSWS-operation reduction: {(1 - ops_off / ops_on) * 100:.0f}% "
+            f"(paper: 50-65%, worth ~20% latency)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

@@ -21,7 +21,11 @@ import time
 
 import pytest
 
-from _harness import scaled
+from _harness import (
+    obs_scope,
+    print_metrics_breakdown,
+    scaled,
+)
 from repro.catalog.catalog import Catalog
 from repro.sql.executor import QueryEngine
 from repro.storage.config import StorageConfig
@@ -83,30 +87,32 @@ def test_ablation_spill_shape():
 
 
 def main():
-    in_enclave = build_engine(False)
-    spilled = build_engine(True)
-    t_mem = min(run_sort(in_enclave) for _ in range(3))
-    prf_before = spilled.storage.vmem.prf.calls
-    t_spill = min(run_sort(spilled) for _ in range(3))
-    prf_delta = spilled.storage.vmem.prf.calls - prf_before
-    stats = spilled.spill.stats
-    print("\nAblation: intermediate state placement (Section 5.4)")
-    header = (
-        f"{'policy':<14}{'sort time (s)':>14}{'rows spilled':>14}"
-        f"{'sort runs':>11}{'extra PRFs':>12}"
-    )
-    print(header)
-    print("-" * len(header))
-    print(f"{'in-enclave':<14}{t_mem:>14.3f}{0:>14}{1:>11}{0:>12}")
-    print(
-        f"{'spilled':<14}{t_spill:>14.3f}{stats.rows_spilled:>14}"
-        f"{stats.sort_runs:>11}{prf_delta:>12}"
-    )
-    print(
-        f"(enclave residency bounded at {SPILL_THRESHOLD} rows/run vs "
-        f"{N_ROWS} rows resident without spilling; the overhead is "
-        f"verified write+read of each spilled row — the §5.4 trade)"
-    )
+    with obs_scope() as registry:
+        in_enclave = build_engine(False)
+        spilled = build_engine(True)
+        t_mem = min(run_sort(in_enclave) for _ in range(3))
+        prf_before = spilled.storage.vmem.prf.calls
+        t_spill = min(run_sort(spilled) for _ in range(3))
+        prf_delta = spilled.storage.vmem.prf.calls - prf_before
+        stats = spilled.spill.stats
+        print("\nAblation: intermediate state placement (Section 5.4)")
+        header = (
+            f"{'policy':<14}{'sort time (s)':>14}{'rows spilled':>14}"
+            f"{'sort runs':>11}{'extra PRFs':>12}"
+        )
+        print(header)
+        print("-" * len(header))
+        print(f"{'in-enclave':<14}{t_mem:>14.3f}{0:>14}{1:>11}{0:>12}")
+        print(
+            f"{'spilled':<14}{t_spill:>14.3f}{stats.rows_spilled:>14}"
+            f"{stats.sort_runs:>11}{prf_delta:>12}"
+        )
+        print(
+            f"(enclave residency bounded at {SPILL_THRESHOLD} rows/run vs "
+            f"{N_ROWS} rows resident without spilling; the overhead is "
+            f"verified write+read of each spilled row — the §5.4 trade)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

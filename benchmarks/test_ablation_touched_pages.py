@@ -12,7 +12,12 @@ import time
 
 import pytest
 
-from _harness import build_kv, scaled
+from _harness import (
+    build_kv,
+    obs_scope,
+    print_metrics_breakdown,
+    scaled,
+)
 from repro.storage.config import StorageConfig
 from repro.workloads.micro import MicroWorkload
 
@@ -63,21 +68,23 @@ def test_ablation_touched_shape():
 
 
 def main():
-    full_seconds, full_stats = _skewed("full")
-    touched_seconds, touched_stats = _skewed("touched")
-    print("\nAblation: touched-page tracking (Section 4.3)")
-    header = f"{'verifier':<12}{'2nd pass (s)':>14}{'pages scanned (total)':>24}"
-    print(header)
-    print("-" * len(header))
-    print(f"{'full':<12}{full_seconds:>14.3f}{full_stats.pages_scanned:>24}")
-    print(
-        f"{'touched':<12}{touched_seconds:>14.3f}"
-        f"{touched_stats.pages_scanned:>24}"
-    )
-    print(
-        f"touched-mode pages skipped as cold: "
-        f"{touched_stats.pages_skipped_untouched}"
-    )
+    with obs_scope() as registry:
+        full_seconds, full_stats = _skewed("full")
+        touched_seconds, touched_stats = _skewed("touched")
+        print("\nAblation: touched-page tracking (Section 4.3)")
+        header = f"{'verifier':<12}{'2nd pass (s)':>14}{'pages scanned (total)':>24}"
+        print(header)
+        print("-" * len(header))
+        print(f"{'full':<12}{full_seconds:>14.3f}{full_stats.pages_scanned:>24}")
+        print(
+            f"{'touched':<12}{touched_seconds:>14.3f}"
+            f"{touched_stats.pages_scanned:>24}"
+        )
+        print(
+            f"touched-mode pages skipped as cold: "
+            f"{touched_stats.pages_skipped_untouched}"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

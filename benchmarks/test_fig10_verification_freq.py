@@ -15,7 +15,9 @@ import pytest
 from _harness import (
     FIG10_FREQUENCIES,
     build_kv,
+    obs_scope,
     print_latency_table,
+    print_metrics_breakdown,
     run_fig10,
     scaled,
 )
@@ -69,12 +71,14 @@ def test_fig10_shape():
 
 
 def main():
-    results = run_fig10(N_INITIAL, N_OPS)
-    print_latency_table(
-        "Figure 10: latency of reads/writes vs verification frequency "
-        "(ops per page scan)",
-        results,
-    )
+    with obs_scope() as registry:
+        results = run_fig10(N_INITIAL, N_OPS)
+        print_latency_table(
+            "Figure 10: latency of reads/writes vs verification frequency "
+            "(ops per page scan)",
+            results,
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

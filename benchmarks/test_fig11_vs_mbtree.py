@@ -9,12 +9,12 @@ epoch scan. Paper result: VeriDB reduces read/write latency by 94-96%
 Run ``python benchmarks/test_fig11_vs_mbtree.py`` for the table.
 """
 
-import pytest
-
 from _harness import (
     build_kv,
     build_mbtree,
+    obs_scope,
     print_latency_table,
+    print_metrics_breakdown,
     run_fig11,
     scaled,
 )
@@ -71,23 +71,25 @@ def test_fig11_shape():
 
 
 def main():
-    results = run_fig11(N_INITIAL, N_OPS)
-    print_latency_table(
-        "Figure 11: latency of reads/writes for MB-tree and VeriDB",
-        results["latency"],
-    )
-    work = results["work"]
-    print(
-        f"crypto work per operation — MB-Tree: "
-        f"{work['MBT']['hashes_per_op']:.0f} hashes / "
-        f"{work['MBT']['bytes_per_op'] / 1024:.1f} KiB hashed; VeriDB: "
-        f"{work['VeriDB']['hashes_per_op']:.0f} PRFs / "
-        f"{work['VeriDB']['bytes_per_op'] / 1024:.1f} KiB"
-    )
-    print(
-        "(paper: VeriDB reduces read/write latency by 94-96%; on a "
-        "native engine the crypto-work ratio above dominates latency)"
-    )
+    with obs_scope() as registry:
+        results = run_fig11(N_INITIAL, N_OPS)
+        print_latency_table(
+            "Figure 11: latency of reads/writes for MB-tree and VeriDB",
+            results["latency"],
+        )
+        work = results["work"]
+        print(
+            f"crypto work per operation — MB-Tree: "
+            f"{work['MBT']['hashes_per_op']:.0f} hashes / "
+            f"{work['MBT']['bytes_per_op'] / 1024:.1f} KiB hashed; VeriDB: "
+            f"{work['VeriDB']['hashes_per_op']:.0f} PRFs / "
+            f"{work['VeriDB']['bytes_per_op'] / 1024:.1f} KiB"
+        )
+        print(
+            "(paper: VeriDB reduces read/write latency by 94-96%; on a "
+            "native engine the crypto-work ratio above dominates latency)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

@@ -12,7 +12,15 @@ Run ``python benchmarks/test_fig12_tpch.py`` for the table.
 
 import pytest
 
-from _harness import FIG12_QUERIES, SCALE, build_tpch, print_fig12_table, run_fig12
+from _harness import (
+    FIG12_QUERIES,
+    SCALE,
+    build_tpch,
+    obs_scope,
+    print_fig12_table,
+    print_metrics_breakdown,
+    run_fig12,
+)
 from repro.workloads.tpch import QUERIES
 
 SCALE_FACTOR = 0.0005 * SCALE  # 3000 lineitems, 100 parts at scale 1
@@ -65,12 +73,14 @@ def test_fig12_shape():
 
 
 def main():
-    rows = run_fig12(SCALE_FACTOR)
-    print_fig12_table(rows)
-    print(
-        "(paper: overhead dominated by scan nodes; 9% for Q19/NL up to "
-        "39% for scan-bound queries)"
-    )
+    with obs_scope() as registry:
+        rows = run_fig12(SCALE_FACTOR)
+        print_fig12_table(rows)
+        print(
+            "(paper: overhead dominated by scan nodes; 9% for Q19/NL up to "
+            "39% for scan-bound queries)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

@@ -19,7 +19,9 @@ import pytest
 from _harness import (
     FIG13_RSWS_SERIES,
     build_tpcc,
+    obs_scope,
     print_fig13_table,
+    print_metrics_breakdown,
     run_fig13,
     scaled,
 )
@@ -76,17 +78,19 @@ def test_fig13_shape():
 
 
 def main():
-    results = run_fig13(
-        warehouses=WAREHOUSES,
-        clients=(1, 2, 3, 4, 5, 6, 7, 8),
-        txns_per_client=TXNS_PER_CLIENT,
-        rsws_series=FIG13_RSWS_SERIES,
-    )
-    print_fig13_table(results)
-    print(
-        "(paper: peak at 6 clients; 1024 RSWSs ≈ 3-4x overhead vs no "
-        "verification; fewer RSWSs progressively worse)"
-    )
+    with obs_scope() as registry:
+        results = run_fig13(
+            warehouses=WAREHOUSES,
+            clients=(1, 2, 3, 4, 5, 6, 7, 8),
+            txns_per_client=TXNS_PER_CLIENT,
+            rsws_series=FIG13_RSWS_SERIES,
+        )
+        print_fig13_table(results)
+        print(
+            "(paper: peak at 6 clients; 1024 RSWSs ≈ 3-4x overhead vs no "
+            "verification; fewer RSWSs progressively worse)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

@@ -13,7 +13,15 @@ Run ``python benchmarks/test_fig9_rw_latency.py`` for the full table.
 
 import pytest
 
-from _harness import FIG9_CONFIGS, build_kv, print_latency_table, run_fig9, scaled
+from _harness import (
+    FIG9_CONFIGS,
+    build_kv,
+    obs_scope,
+    print_latency_table,
+    print_metrics_breakdown,
+    run_fig9,
+    scaled,
+)
 
 N_INITIAL = scaled(2000)
 N_OPS = scaled(1200)
@@ -60,21 +68,23 @@ def test_fig9_shape():
 
 
 def main():
-    results = run_fig9(N_INITIAL, N_OPS)
-    print_latency_table(
-        "Figure 9: latency of reads/writes with different system config",
-        results,
-    )
-    rsws = results["RSWS"]
-    base = results["Baseline"]
-    overheads = [
-        rsws.mean_us(k) - base.mean_us(k)
-        for k in ("get", "insert", "delete", "update")
-    ]
-    print(
-        f"RSWS overhead vs Baseline: {min(overheads):.1f}-{max(overheads):.1f} µs "
-        f"(paper: 1.5-2.2 µs on native hardware)"
-    )
+    with obs_scope() as registry:
+        results = run_fig9(N_INITIAL, N_OPS)
+        print_latency_table(
+            "Figure 9: latency of reads/writes with different system config",
+            results,
+        )
+        rsws = results["RSWS"]
+        base = results["Baseline"]
+        overheads = [
+            rsws.mean_us(k) - base.mean_us(k)
+            for k in ("get", "insert", "delete", "update")
+        ]
+        print(
+            f"RSWS overhead vs Baseline: {min(overheads):.1f}-{max(overheads):.1f} µs "
+            f"(paper: 1.5-2.2 µs on native hardware)"
+        )
+        print_metrics_breakdown(registry)
 
 
 if __name__ == "__main__":

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Optional
 
 from repro.crypto.merkle import hash_interior, hash_leaf

@@ -19,7 +19,9 @@ from repro.core.client import VeriDBClient
 from repro.core.config import VeriDBConfig
 from repro.core.portal import QueryPortal
 from repro.crypto.keys import KeyChain, generate_key
+from repro.obs import default_registry
 from repro.sgx.attestation import PlatformQuotingKey, verify_quote
+from repro.sgx.costs import CycleMeter
 from repro.sgx.enclave import Enclave
 from repro.sql.executor import ExecutionResult, QueryEngine
 from repro.storage.engine import StorageEngine
@@ -32,22 +34,31 @@ ENGINE_CODE_IDENTITY = b"veridb-engine-v1.0"
 class VeriDB:
     """An SGX-based verifiable database instance."""
 
-    def __init__(self, config: VeriDBConfig | None = None):
+    def __init__(self, config: VeriDBConfig | None = None, registry=None):
         self.config = config or VeriDBConfig()
+        # The observability registry every layer binds its instruments
+        # to; the process default (a no-op registry unless the caller
+        # installed one) keeps the unobserved path zero-cost.
+        self.obs = registry if registry is not None else default_registry()
         keychain = KeyChain(seed=self.config.key_seed)
         platform_seed = (
             None if self.config.key_seed is None else self.config.key_seed + 1
         )
         self.platform = PlatformQuotingKey(generate_key(seed=platform_seed))
         self.enclave = Enclave(
-            name="veridb", keychain=keychain, platform=self.platform
+            name="veridb",
+            keychain=keychain,
+            platform=self.platform,
+            meter=CycleMeter(registry=self.obs),
         )
         self.enclave.load_code(ENGINE_CODE_IDENTITY)
-        self.storage = StorageEngine(self.config.storage, keychain=keychain)
+        self.storage = StorageEngine(
+            self.config.storage, keychain=keychain, registry=self.obs
+        )
         self.catalog = Catalog()
         self.engine = QueryEngine(self.catalog, self.storage, epc=self.enclave.epc)
         self.portal = QueryPortal(
-            self.engine, keychain.mac_key, self.enclave.counter
+            self.engine, keychain.mac_key, self.enclave.counter, registry=self.obs
         )
         self.enclave.register_ecall("submit_query", self.portal.submit)
         if self.config.ops_per_page_scan is not None:
@@ -167,4 +178,5 @@ class VeriDB:
                 else None
             ),
             "queries_served": self.portal.seen_query_count(),
+            "metrics": self.obs.snapshot(),
         }

@@ -13,20 +13,36 @@ Responsibilities:
 * **Result endorsement** — results are MACed (qid, sequence number,
   result digest), standing in for the SGX-signed channel of Step 7 in
   Figure 2.
+
+Replay state is *bounded*: client-structured qids (an 8-byte session
+salt plus a little-endian 8-byte counter, which is what
+:class:`~repro.core.client.VeriDBClient` emits) are compressed into one
+interval set per salt — mirroring the client's own sequence-number log,
+O(1) per well-behaved client regardless of query volume — and anything
+else falls into a fixed-size FIFO window. A qid is recorded only after
+its query *succeeds*; a failed execution leaves the qid unburned so an
+honest client may retry the same authenticated query.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
+from bisect import bisect_right
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import AuthenticationError
+from repro.obs import default_registry
 from repro.sgx.counter import MonotonicCounter
 from repro.sql.executor import QueryEngine
 from repro.storage.record import RecordCodec
+
+#: fallback capacity for qids that do not follow the client library's
+#: salt+counter layout (each structured salt costs O(intervals) instead)
+DEFAULT_REPLAY_WINDOW = 4096
 
 
 @dataclass(frozen=True)
@@ -63,39 +79,165 @@ def digest_result(columns: tuple, rows: tuple, rowcount: int) -> bytes:
     return h.digest()
 
 
+class QidLedger:
+    """Bounded replay memory for query ids.
+
+    Structured qids (16 bytes: salt ‖ counter) get per-salt interval
+    compression — the exact dual of the client's ``IntervalSet`` audit
+    log, so a client issuing consecutive counters costs one interval no
+    matter how many queries it sends. Non-conforming qids share a
+    fixed-capacity FIFO window (oldest entries are forgotten first).
+
+    Not thread-safe; the portal serializes access under its own lock.
+    """
+
+    def __init__(self, window: int = DEFAULT_REPLAY_WINDOW):
+        if window < 1:
+            raise ValueError("replay window must hold at least one qid")
+        # salt -> sorted disjoint [lo, hi] counter intervals
+        self._intervals: dict[bytes, list[list[int]]] = {}
+        self._window: OrderedDict[bytes, None] = OrderedDict()
+        self._window_capacity = window
+
+    @staticmethod
+    def _split(qid: bytes) -> tuple[bytes, int] | None:
+        if len(qid) != 16:
+            return None
+        return qid[:8], int.from_bytes(qid[8:], "little")
+
+    def __contains__(self, qid: bytes) -> bool:
+        structured = self._split(qid)
+        if structured is None:
+            return qid in self._window
+        salt, n = structured
+        intervals = self._intervals.get(salt)
+        if not intervals:
+            return False
+        i = bisect_right(intervals, [n, float("inf")])
+        return i > 0 and intervals[i - 1][1] >= n
+
+    def add(self, qid: bytes) -> None:
+        """Record a qid (caller has already checked membership)."""
+        structured = self._split(qid)
+        if structured is None:
+            if len(self._window) >= self._window_capacity:
+                self._window.popitem(last=False)
+            self._window[qid] = None
+            return
+        salt, n = structured
+        intervals = self._intervals.setdefault(salt, [])
+        i = bisect_right(intervals, [n, float("inf")])
+        extends_left = i > 0 and intervals[i - 1][1] == n - 1
+        extends_right = i < len(intervals) and intervals[i][0] == n + 1
+        if extends_left and extends_right:
+            intervals[i - 1][1] = intervals[i][1]
+            del intervals[i]
+        elif extends_left:
+            intervals[i - 1][1] = n
+        elif extends_right:
+            intervals[i][0] = n
+        else:
+            intervals.insert(i, [n, n])
+
+    # ------------------------------------------------------------------
+    @property
+    def salt_count(self) -> int:
+        return len(self._intervals)
+
+    @property
+    def interval_count(self) -> int:
+        return sum(len(v) for v in self._intervals.values())
+
+    @property
+    def window_size(self) -> int:
+        return len(self._window)
+
+    def state_size(self) -> int:
+        """Bounded-structure size: intervals kept plus windowed qids.
+
+        This is what grows with *state held*, not with queries served —
+        the figure the ``portal.qid_ledger_size`` gauge reports.
+        """
+        return self.interval_count + len(self._window)
+
+
 class QueryPortal:
     """Enclave-resident portal wrapping a query engine."""
 
-    def __init__(self, engine: QueryEngine, mac_key: bytes, counter: MonotonicCounter):
+    def __init__(
+        self,
+        engine: QueryEngine,
+        mac_key: bytes,
+        counter: MonotonicCounter,
+        registry=None,
+        replay_window: int = DEFAULT_REPLAY_WINDOW,
+    ):
         self._engine = engine
         self._mac = MessageAuthenticator(mac_key)
         self._counter = counter
-        self._seen_qids: set[bytes] = set()
+        self._seen = QidLedger(window=replay_window)
+        self._pending: set[bytes] = set()
+        self._executed = 0
         self._lock = threading.Lock()
+
+        self.obs = registry if registry is not None else default_registry()
+        self._ctr_queries = self.obs.counter("portal.queries")
+        self._ctr_auth_failures = self.obs.counter("portal.auth_failures")
+        self._ctr_replays = self.obs.counter("portal.replays_rejected")
+        self._ctr_execute_errors = self.obs.counter("portal.execute_errors")
+        self.obs.gauge_fn("portal.qid_ledger_size", self._ledger_size)
+        self.obs.gauge_fn("portal.qid_salts", lambda: self._seen.salt_count)
+
+    def _ledger_size(self) -> int:
+        with self._lock:
+            return self._seen.state_size()
 
     # ------------------------------------------------------------------
     def submit(self, query: AuthenticatedQuery) -> EndorsedResult:
         """Authorize, execute and endorse one client query."""
-        if not self._mac.verify(query.mac, query.qid, query.sql.encode("utf-8")):
+        with self.obs.span("portal.auth_seconds"):
+            authentic = self._mac.verify(
+                query.mac, query.qid, query.sql.encode("utf-8")
+            )
+        if not authentic:
+            self._ctr_auth_failures.inc()
             raise AuthenticationError(
                 "query MAC invalid: not initiated by the client"
             )
         with self._lock:
-            if query.qid in self._seen_qids:
+            if query.qid in self._seen or query.qid in self._pending:
+                self._ctr_replays.inc()
                 raise AuthenticationError(
                     f"query id {query.qid.hex()} was already executed (replay)"
                 )
-            self._seen_qids.add(query.qid)
-        sequence_number = self._counter.increment()
-        result = self._engine.execute(query.sql, join_hint=query.join_hint)
-        columns = tuple(result.columns)
-        rows = tuple(tuple(row) for row in result.rows)
-        digest = digest_result(columns, rows, result.rowcount)
-        endorsement = self._mac.tag(
-            query.qid,
-            sequence_number.to_bytes(8, "little"),
-            digest,
-        )
+            # Reserve, don't record: a failed execution must leave the
+            # qid available for an honest retry of the same query.
+            self._pending.add(query.qid)
+        try:
+            sequence_number = self._counter.increment()
+            with self.obs.span("portal.execute_seconds"):
+                result = self._engine.execute(
+                    query.sql, join_hint=query.join_hint
+                )
+            with self.obs.span("portal.endorse_seconds"):
+                columns = tuple(result.columns)
+                rows = tuple(tuple(row) for row in result.rows)
+                digest = digest_result(columns, rows, result.rowcount)
+                endorsement = self._mac.tag(
+                    query.qid,
+                    sequence_number.to_bytes(8, "little"),
+                    digest,
+                )
+        except BaseException:
+            self._ctr_execute_errors.inc()
+            with self._lock:
+                self._pending.discard(query.qid)
+            raise
+        with self._lock:
+            self._pending.discard(query.qid)
+            self._seen.add(query.qid)
+            self._executed += 1
+        self._ctr_queries.inc()
         return EndorsedResult(
             qid=query.qid,
             sequence_number=sequence_number,
@@ -108,5 +250,10 @@ class QueryPortal:
 
     # ------------------------------------------------------------------
     def seen_query_count(self) -> int:
+        """Queries successfully executed and endorsed."""
         with self._lock:
-            return len(self._seen_qids)
+            return self._executed
+
+    def replay_state_size(self) -> int:
+        """Size of the bounded replay-ledger (intervals + window)."""
+        return self._ledger_size()

@@ -29,6 +29,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Callable, Iterable
 
 from repro.crypto.prf import PRF
@@ -37,6 +38,7 @@ from repro.errors import StorageError, VerificationFailure
 from repro.memory.cells import page_of
 from repro.memory.rsws import RSWSGroup
 from repro.memory.untrusted import UntrustedMemory
+from repro.obs import default_registry
 
 
 @dataclass
@@ -78,6 +80,7 @@ class VerifiedMemory:
         track_touched_pages: bool = True,
         page_digests: bool = False,
         touched_group_size: int = 1,
+        registry=None,
     ):
         if touched_group_size < 1:
             raise StorageError("touched_group_size must be >= 1")
@@ -88,6 +91,21 @@ class VerifiedMemory:
         self.track_touched_pages = track_touched_pages
         self.page_digests_enabled = page_digests
         self.touched_group_size = touched_group_size
+
+        self.obs = registry if registry is not None else default_registry()
+        self._obs_on = self.obs.enabled
+        self._ctr_reads = self.obs.counter("memory.verified_reads")
+        self._ctr_writes = self.obs.counter("memory.verified_writes")
+        self._ctr_allocs = self.obs.counter("memory.allocs")
+        self._ctr_frees = self.obs.counter("memory.frees")
+        self._ctr_unverified = self.obs.counter("memory.unverified_ops")
+        self._hist_hooks = self.obs.histogram("memory.op_hook_seconds")
+        self.obs.gauge_fn(
+            "memory.enclave_state_bytes", self.enclave_state_bytes
+        )
+        self.obs.gauge_fn(
+            "memory.rsws_contention_waits", self.rsws.total_contention_waits
+        )
 
         self._clock = itertools.count(1)
         self._registry_lock = threading.Lock()
@@ -183,6 +201,7 @@ class VerifiedMemory:
         finally:
             partition.release()
         self.stats.verified_reads += 1
+        self._ctr_reads.inc()
         self._fire_hooks()
         return data
 
@@ -213,6 +232,7 @@ class VerifiedMemory:
         finally:
             partition.release()
         self.stats.verified_writes += 1
+        self._ctr_writes.inc()
         self._fire_hooks()
 
     def alloc(self, addr: int, data: bytes) -> None:
@@ -236,6 +256,7 @@ class VerifiedMemory:
         finally:
             partition.release()
         self.stats.allocs += 1
+        self._ctr_allocs.inc()
         self._fire_hooks()
 
     def free(self, addr: int) -> bytes:
@@ -261,6 +282,7 @@ class VerifiedMemory:
         finally:
             partition.release()
         self.stats.frees += 1
+        self._ctr_frees.inc()
         self._fire_hooks()
         return data
 
@@ -269,20 +291,24 @@ class VerifiedMemory:
     # ------------------------------------------------------------------
     def read_unverified(self, addr: int) -> bytes:
         self.stats.unverified_ops += 1
+        self._ctr_unverified.inc()
         return self.memory.raw_read(addr).data
 
     def write_unverified(self, addr: int, data: bytes) -> None:
         self.stats.unverified_ops += 1
+        self._ctr_unverified.inc()
         self.memory.raw_write(addr, data, 0, checked=False)
 
     def alloc_unverified(self, addr: int, data: bytes) -> None:
         if self.memory.exists(addr):
             raise StorageError(f"cell {addr:#x} already allocated")
         self.stats.unverified_ops += 1
+        self._ctr_unverified.inc()
         self.memory.raw_write(addr, data, 0, checked=False)
 
     def free_unverified(self, addr: int) -> bytes:
         self.stats.unverified_ops += 1
+        self._ctr_unverified.inc()
         return self.memory.remove(addr).data
 
     # ------------------------------------------------------------------
@@ -376,5 +402,15 @@ class VerifiedMemory:
             self._touched.add(page_id // self.touched_group_size)
 
     def _fire_hooks(self) -> None:
-        for hook in self._on_op:
-            hook()
+        if not self._on_op:
+            return
+        if self._obs_on:
+            start = perf_counter()
+            try:
+                for hook in self._on_op:
+                    hook()
+            finally:
+                self._hist_hooks.observe(perf_counter() - start)
+        else:
+            for hook in self._on_op:
+                hook()

@@ -32,10 +32,12 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from time import perf_counter
 
 from repro.crypto.sethash import SetHash
-from repro.errors import ConfigurationError, VerificationFailure
+from repro.errors import ConfigurationError, VeriDBError, VerificationFailure
 from repro.memory.verified import VerifiedMemory
+from repro.obs import default_registry
 
 
 @dataclass
@@ -50,7 +52,7 @@ class VerifierStats:
 class Verifier:
     """Epoch verifier over a :class:`VerifiedMemory`."""
 
-    def __init__(self, vmem: VerifiedMemory, mode: str = "full"):
+    def __init__(self, vmem: VerifiedMemory, mode: str = "full", registry=None):
         if mode not in ("full", "touched"):
             raise ConfigurationError(f"unknown verifier mode {mode!r}")
         if mode == "touched" and not vmem.page_digests_enabled:
@@ -60,6 +62,18 @@ class Verifier:
         self.vmem = vmem
         self.mode = mode
         self.stats = VerifierStats()
+        self.obs = registry if registry is not None else default_registry()
+        self._obs_on = self.obs.enabled
+        self._ctr_passes = self.obs.counter("verifier.passes")
+        self._ctr_pages = self.obs.counter("verifier.pages_scanned")
+        self._ctr_cells = self.obs.counter("verifier.cells_scanned")
+        self._ctr_alarms = self.obs.counter("verifier.alarms")
+        self._ctr_bg_crashes = self.obs.counter("verifier.background_crashes")
+        self._hist_pass = self.obs.histogram("verifier.pass_seconds")
+        self._hist_page_lock = self.obs.histogram(
+            "verifier.page_lock_hold_seconds"
+        )
+        self._gauge_bg_alive = self.obs.gauge("verifier.background_alive")
         self._pass_lock = threading.Lock()
         # state of an in-progress incremental pass
         self._pending_pages: list[int] | None = None
@@ -91,6 +105,7 @@ class Verifier:
         workers join.
         """
         with self._pass_lock:
+            start = perf_counter()
             # Compaction hooks issue verified operations; the re-entrancy
             # guard stops those from re-triggering the op-count stepper.
             self._in_step.active = True
@@ -105,10 +120,23 @@ class Verifier:
                                 self._scan_page(page_id)
                         else:
                             self._scan_parallel(pages, workers)
-                    finally:
+                    except BaseException as scan_error:
+                        # A scan aborted mid-pass must still close the
+                        # epoch (or the memory stays wedged in-pass), but
+                        # the half-restamped generations inevitably fail
+                        # the digest check — that alarm is a consequence
+                        # of the abort, not evidence of tampering, and
+                        # must not mask the original error.
+                        try:
+                            self._close_epoch()
+                        except VerificationFailure as close_error:
+                            scan_error.__context__ = close_error
+                        raise
+                    else:
                         self._close_epoch()
             finally:
                 self._in_step.active = False
+                self._hist_pass.observe(perf_counter() - start)
 
     def _drain_open_pass_locked(self) -> None:
         """Finish and close a trigger-driven pass left mid-flight.
@@ -151,7 +179,31 @@ class Verifier:
         for thread in threads:
             thread.join()
         if failures:
-            raise failures[0]
+            raise self._aggregate_failures(failures)
+
+    @staticmethod
+    def _aggregate_failures(failures: list[BaseException]) -> BaseException:
+        """Combine worker failures so none is silently dropped.
+
+        A single failure propagates unchanged. With several, the summary
+        exception lists them all (``.failures`` holds the originals) and
+        is a :class:`VerificationFailure` whenever any worker raised one,
+        so detection semantics survive aggregation.
+        """
+        if len(failures) == 1:
+            return failures[0]
+        detected = [f for f in failures if isinstance(f, VerificationFailure)]
+        message = f"{len(failures)} verifier workers failed: " + "; ".join(
+            f"{type(f).__name__}: {f}" for f in failures
+        )
+        if detected:
+            error: BaseException = VerificationFailure(
+                message, partition=detected[0].partition
+            )
+        else:
+            error = VeriDBError(message)
+        error.failures = list(failures)  # type: ignore[attr-defined]
+        return error
 
     # ------------------------------------------------------------------
     # incremental (non-quiescent) stepping
@@ -215,33 +267,63 @@ class Verifier:
     # background thread
     # ------------------------------------------------------------------
     def start_background(self, pause_seconds: float = 0.0) -> None:
-        """Run passes continuously on a daemon thread until stopped."""
+        """Run passes continuously on a daemon thread until stopped.
+
+        *Any* exception — a verification alarm, but equally a bug in a
+        scan hook — stops the loop, is recorded, and re-raises from
+        :meth:`stop_background`; verification never dies silently. Thread
+        liveness is exported as the ``verifier.background_alive`` gauge
+        and :meth:`background_alive`.
+        """
         if self._bg_thread is not None:
             raise ConfigurationError("background verifier already running")
         self._bg_stop.clear()
         self._bg_error = None
 
         def loop() -> None:
-            while not self._bg_stop.is_set():
-                try:
-                    self.run_pass()
-                except VerificationFailure as exc:
-                    self._bg_error = exc
-                    return
-                if pause_seconds:
-                    self._bg_stop.wait(pause_seconds)
+            self._gauge_bg_alive.set(1)
+            try:
+                while not self._bg_stop.is_set():
+                    try:
+                        self.run_pass()
+                    except BaseException as exc:
+                        self._bg_error = exc
+                        if not isinstance(exc, VerificationFailure):
+                            self._ctr_bg_crashes.inc()
+                        return
+                    if pause_seconds:
+                        self._bg_stop.wait(pause_seconds)
+            finally:
+                self._gauge_bg_alive.set(0)
 
         self._bg_thread = threading.Thread(
             target=loop, name="veridb-verifier", daemon=True
         )
         self._bg_thread.start()
 
-    def stop_background(self) -> None:
-        """Stop the background thread, re-raising any alarm it recorded."""
+    def background_alive(self) -> bool:
+        """Whether the background verification loop is still running."""
+        return self._bg_thread is not None and self._bg_thread.is_alive()
+
+    def background_error(self) -> BaseException | None:
+        """The error that stopped the background loop, if any (not cleared)."""
+        return self._bg_error
+
+    def stop_background(self, timeout: float | None = 10.0) -> None:
+        """Stop the background thread, re-raising any error it recorded.
+
+        Every exception the loop died on — alarm or crash — propagates
+        here. ``timeout`` bounds the join so a wedged pass cannot hang
+        shutdown; a thread that fails to stop in time raises.
+        """
         if self._bg_thread is None:
             return
         self._bg_stop.set()
-        self._bg_thread.join()
+        self._bg_thread.join(timeout)
+        if self._bg_thread.is_alive():
+            raise VeriDBError(
+                f"background verifier did not stop within {timeout}s"
+            )
         self._bg_thread = None
         if self._bg_error is not None:
             error, self._bg_error = self._bg_error, None
@@ -271,6 +353,7 @@ class Verifier:
         vmem = self.vmem
         partition = vmem.rsws.partition_for_page(page_id)
         partition.acquire()
+        hold_start = perf_counter() if self._obs_on else 0.0
         try:
             old_parity = vmem.flip_parity(page_id)
             new_parity = old_parity ^ 1
@@ -296,17 +379,22 @@ class Verifier:
                 cells += 1
             self.stats.cells_scanned += cells
             self.stats.pages_scanned += 1
+            self._ctr_cells.inc(cells)
+            self._ctr_pages.inc()
             hook = vmem.scan_hook(page_id)
             if hook is not None:
                 hook(page_id)
         finally:
             partition.release()
+            if self._obs_on:
+                self._hist_page_lock.observe(perf_counter() - hold_start)
 
     def _scan_page_touched(self, page_id: int) -> None:
         """Compare the page's cells against its trusted open-cell digest."""
         vmem = self.vmem
         partition = vmem.rsws.partition_for_page(page_id)
         partition.acquire()
+        hold_start = perf_counter() if self._obs_on else 0.0
         try:
             observed = SetHash()
             cells = 0
@@ -318,9 +406,12 @@ class Verifier:
                 cells += 1
             self.stats.cells_scanned += cells
             self.stats.pages_scanned += 1
+            self._ctr_cells.inc(cells)
+            self._ctr_pages.inc()
             expected = vmem.page_digest(page_id)
             if observed != expected:
                 self.stats.alarms += 1
+                self._ctr_alarms.inc()
                 raise VerificationFailure(
                     f"page {page_id} content does not match its trusted digest",
                     partition=partition.index,
@@ -331,6 +422,8 @@ class Verifier:
                 hook(page_id)
         finally:
             partition.release()
+            if self._obs_on:
+                self._hist_page_lock.observe(perf_counter() - hold_start)
 
     def _close_epoch(self) -> None:
         vmem = self.vmem
@@ -338,6 +431,7 @@ class Verifier:
             # Per-page checks already ran; just advance the epoch marker.
             vmem.end_pass()
             self.stats.passes_completed += 1
+            self._ctr_passes.inc()
             return
         old_parity = vmem.epoch & 1
         bad: list[int] = []
@@ -351,8 +445,10 @@ class Verifier:
                 partition.release()
         vmem.end_pass()
         self.stats.passes_completed += 1
+        self._ctr_passes.inc()
         if bad:
             self.stats.alarms += 1
+            self._ctr_alarms.inc()
             raise VerificationFailure(
                 "write-read consistency violated: h(RS) != h(WS) "
                 f"in partition(s) {bad}",

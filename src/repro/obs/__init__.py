@@ -1,0 +1,39 @@
+"""``repro.obs`` — dependency-free metrics and tracing.
+
+See :mod:`repro.obs.metrics` for the instrument/registry model and
+:mod:`repro.obs.trace` for spans and stream stopwatches. The metric-name
+catalog and usage guide live in ``docs/INTERNALS.md`` ("Observability").
+"""
+
+from repro.obs.metrics import (
+    KNOWN_LAYERS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    default_registry,
+    layer_breakdown,
+    scoped_registry,
+    set_default_registry,
+)
+from repro.obs.trace import Span, Stopwatch, current_span, timed_call
+
+__all__ = [
+    "KNOWN_LAYERS",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "Span",
+    "Stopwatch",
+    "current_span",
+    "default_registry",
+    "layer_breakdown",
+    "scoped_registry",
+    "set_default_registry",
+    "timed_call",
+]

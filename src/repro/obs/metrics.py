@@ -1,0 +1,413 @@
+"""Counters, gauges, latency histograms, and the metrics registry.
+
+The observability layer has one hard requirement inherited from the
+ROADMAP: it must cost nothing when nobody is looking. Every component
+binds its instruments at construction time from a *registry*; the
+default registry is :data:`NULL_REGISTRY`, whose instruments are shared
+no-op singletons — an ``inc()`` on a null counter is a single Python
+method call and a null timer never touches the clock. Enabling
+observability is a matter of installing a real :class:`MetricsRegistry`
+as the process default (or passing one explicitly) *before* building the
+system, which is exactly what the benchmark harness does.
+
+Metric names are dotted, and the segment before the first dot is the
+*layer* (``portal``, ``verifier``, ``memory``, ``storage``, ``sql``,
+``sgx``). :func:`layer_breakdown` groups a snapshot along that
+convention; the benchmark harness prints one section per layer.
+
+Histograms keep count/sum/min/max plus sparse power-of-two buckets, so
+they are unit-agnostic: the same type records seconds of latency and
+simulated SGX cycles.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+from typing import Callable, Iterator
+
+
+class Counter:
+    """A monotonically increasing counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """A value that goes up and down (sizes, liveness flags)."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Sparse log2-bucketed distribution of non-negative observations.
+
+    Bucket ``e`` counts observations ``v`` with ``2**e <= v < 2**(e+1)``
+    (``e`` may be negative: sub-second latencies land in negative
+    exponents). Zero observations get their own bucket, keyed ``None``.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self.buckets: dict[int | None, int] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            value = 0.0
+        key = None if value == 0 else math.floor(math.log2(value))
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self.buckets[key] = self.buckets.get(key, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile (bucket upper bound), ``q`` in [0, 1]."""
+        with self._lock:
+            if not self.count:
+                return 0.0
+            target = q * self.count
+            seen = 0
+            ordered = sorted(
+                self.buckets.items(), key=lambda kv: -math.inf if kv[0] is None else kv[0]
+            )
+            for exponent, n in ordered:
+                seen += n
+                if seen >= target:
+                    return 0.0 if exponent is None else min(2.0 ** (exponent + 1), self.max)
+        return self.max
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "min": 0.0 if self.count == 0 else self.min,
+                "max": self.max,
+                "mean": self.mean,
+            }
+
+
+class _Timer:
+    """Context manager feeding elapsed wall time into a histogram."""
+
+    __slots__ = ("_histogram", "_start")
+
+    def __init__(self, histogram: Histogram):
+        self._histogram = histogram
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._histogram.observe(perf_counter() - self._start)
+
+
+class MetricsRegistry:
+    """Named instruments plus snapshot/text exporters.
+
+    Instruments are created on first use and shared by name; creation is
+    thread-safe. ``gauge_fn`` registers a *callback gauge*: a zero-arg
+    callable evaluated at snapshot time, for sizes that are cheaper to
+    ask for than to maintain (e.g. the portal's replay-ledger size).
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._gauge_fns: dict[str, Callable[[], float]] = {}
+
+    # ------------------------------------------------------------------
+    # instrument access (get-or-create)
+    # ------------------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._get(self._counters, name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(self._gauges, name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(self._histograms, name, Histogram)
+
+    def timer(self, name: str) -> _Timer:
+        return _Timer(self.histogram(name))
+
+    def span(self, name: str):
+        """A trace span recording into the histogram ``name``.
+
+        Unlike :meth:`timer`, spans participate in the thread-local trace
+        stack (parent/child self-time attribution); see
+        :mod:`repro.obs.trace`.
+        """
+        from repro.obs.trace import Span
+
+        return Span(name, self)
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        with self._lock:
+            self._gauge_fns[name] = fn
+
+    def _get(self, table: dict, name: str, factory):
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.get(name)
+                if instrument is None:
+                    for other in (
+                        self._counters,
+                        self._gauges,
+                        self._histograms,
+                    ):
+                        if other is not table and name in other:
+                            raise ValueError(
+                                f"metric {name!r} already registered as a "
+                                f"different type"
+                            )
+                    instrument = table[name] = factory(name)
+        return instrument
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, dict]:
+        """Point-in-time copy of every instrument, keyed by metric name."""
+        out: dict[str, dict] = {}
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+            gauge_fns = list(self._gauge_fns.items())
+        for instrument in (*counters, *gauges, *histograms):
+            out[instrument.name] = instrument.snapshot()
+        for name, fn in gauge_fns:
+            try:
+                out[name] = {"type": "gauge", "value": fn()}
+            except Exception:  # a dead callback must not break export
+                out[name] = {"type": "gauge", "value": None}
+        return dict(sorted(out.items()))
+
+    def render_text(self) -> str:
+        """Flat one-metric-per-line text export (counters/gauges/histograms)."""
+        lines = []
+        for name, data in self.snapshot().items():
+            if data["type"] == "histogram":
+                lines.append(
+                    f"{name} count={data['count']} sum={data['sum']:.6g} "
+                    f"mean={data['mean']:.6g} max={data['max']:.6g}"
+                )
+            else:
+                value = data["value"]
+                rendered = "nan" if value is None else f"{value:g}"
+                lines.append(f"{name} {rendered}")
+        return "\n".join(lines)
+
+    def reset(self) -> None:
+        """Zero every instrument *in place*.
+
+        Handles components bound at construction stay live — clearing
+        the tables instead would silently orphan them (their updates
+        would stop appearing in snapshots).
+        """
+        with self._lock:
+            for counter in self._counters.values():
+                counter._value = 0
+            for gauge in self._gauges.values():
+                gauge._value = 0.0
+            for histogram in self._histograms.values():
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.min = math.inf
+                histogram.max = 0.0
+                histogram.buckets = {}
+
+
+# ----------------------------------------------------------------------
+# the disabled (default) registry: shared no-op singletons
+# ----------------------------------------------------------------------
+class _NullInstrument:
+    """Answers every instrument interface with a no-op."""
+
+    __slots__ = ()
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0.0
+    mean = 0.0
+    min = 0.0
+    max = 0.0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def percentile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> dict:
+        return {}
+
+    # timer/span protocol: never touches the clock
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class NullRegistry:
+    """The zero-cost default: every instrument is the same no-op object."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def histogram(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def timer(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def span(self, name: str) -> _NullInstrument:
+        return _NULL
+
+    def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
+        pass
+
+    def snapshot(self) -> dict[str, dict]:
+        return {}
+
+    def render_text(self) -> str:
+        return ""
+
+    def reset(self) -> None:
+        pass
+
+
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
+
+
+def default_registry() -> MetricsRegistry | NullRegistry:
+    """The registry components bind when none is passed explicitly."""
+    return _default_registry
+
+
+def set_default_registry(
+    registry: MetricsRegistry | NullRegistry,
+) -> MetricsRegistry | NullRegistry:
+    """Install the process-wide default registry; returns it.
+
+    Components capture the default *at construction*, so install the
+    registry before building the system you want to observe.
+    """
+    global _default_registry
+    _default_registry = registry
+    return registry
+
+
+@contextmanager
+def scoped_registry(
+    registry: MetricsRegistry | NullRegistry | None = None,
+) -> Iterator[MetricsRegistry | NullRegistry]:
+    """Temporarily install ``registry`` (default: a fresh one) as default."""
+    previous = _default_registry
+    current = set_default_registry(registry or MetricsRegistry())
+    try:
+        yield current
+    finally:
+        set_default_registry(previous)
+
+
+# ----------------------------------------------------------------------
+# layer grouping
+# ----------------------------------------------------------------------
+#: layers the benchmark breakdown always lists, in display order
+KNOWN_LAYERS = ("portal", "verifier", "memory", "storage", "sql", "sgx")
+
+
+def layer_breakdown(snapshot: dict[str, dict]) -> dict[str, dict[str, dict]]:
+    """Group a :meth:`MetricsRegistry.snapshot` by metric-name prefix."""
+    layers: dict[str, dict[str, dict]] = {layer: {} for layer in KNOWN_LAYERS}
+    for name, data in snapshot.items():
+        layer = name.split(".", 1)[0]
+        layers.setdefault(layer, {})[name] = data
+    return layers

@@ -1,0 +1,94 @@
+"""Spans and stream stopwatches: where the wall-clock time goes.
+
+Two primitives:
+
+* :class:`Span` — a context manager timing one named region. Spans nest
+  through a thread-local stack, so a parent knows how much of its time
+  was spent inside children (``self_seconds``); on exit the span's total
+  is observed into its registry's histogram of the same name. This is
+  what the portal and executor wrap their phases in.
+* :class:`Stopwatch` — a manual resume/pause lap timer for code that
+  times *streams* (an iterator pulled row by row, where only the time
+  spent producing each item counts, never the consumer's time between
+  pulls). The SQL operators use it; it replaces their previous ad-hoc
+  ``perf_counter`` arithmetic with one shared, tested primitive.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+
+
+_stack = threading.local()
+
+
+def current_span() -> "Span | None":
+    """The innermost open span on this thread, if any."""
+    spans = getattr(_stack, "spans", None)
+    return spans[-1] if spans else None
+
+
+class Span:
+    """One timed region of a trace; records into ``registry`` on exit."""
+
+    __slots__ = ("name", "registry", "elapsed", "child_seconds", "_start")
+
+    def __init__(self, name: str, registry):
+        self.name = name
+        self.registry = registry
+        self.elapsed = 0.0
+        self.child_seconds = 0.0
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        spans = getattr(_stack, "spans", None)
+        if spans is None:
+            spans = _stack.spans = []
+        spans.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.elapsed = perf_counter() - self._start
+        spans = _stack.spans
+        spans.pop()
+        if spans:
+            spans[-1].child_seconds += self.elapsed
+        self.registry.histogram(self.name).observe(self.elapsed)
+
+    @property
+    def self_seconds(self) -> float:
+        """Time spent in this span excluding its child spans."""
+        return max(0.0, self.elapsed - self.child_seconds)
+
+
+class Stopwatch:
+    """Resume/pause lap timer; ``pause`` returns the lap's seconds.
+
+    Typical stream-timing loop::
+
+        watch = Stopwatch()
+        watch.resume()
+        item = next(iterator)      # only this is timed
+        total += watch.pause()
+        yield item                 # consumer time not charged
+    """
+
+    __slots__ = ("_start",)
+
+    def __init__(self):
+        self._start = 0.0
+
+    def resume(self) -> None:
+        self._start = perf_counter()
+
+    def pause(self) -> float:
+        return perf_counter() - self._start
+
+
+def timed_call(fn, *args, **kwargs):
+    """Run ``fn`` and return ``(result, elapsed_seconds)``."""
+    start = perf_counter()
+    result = fn(*args, **kwargs)
+    return result, perf_counter() - start

@@ -15,6 +15,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field
 
+from repro.obs import default_registry
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -41,23 +43,32 @@ class CycleMeter:
     alongside measured wall-clock time.
     """
 
-    def __init__(self, model: CostModel | None = None):
+    def __init__(self, model: CostModel | None = None, registry=None):
         self.model = model or CostModel()
         self._lock = threading.Lock()
         self.cycles = 0
         self.ecalls = 0
         self.ocalls = 0
         self.epc_swaps = 0
+        obs = registry if registry is not None else default_registry()
+        self._ctr_ecalls = obs.counter("sgx.ecalls")
+        self._ctr_ocalls = obs.counter("sgx.ocalls")
+        self._ctr_swaps = obs.counter("sgx.epc_swaps")
+        self._ctr_cycles = obs.counter("sgx.simulated_cycles")
 
     def charge_ecall(self) -> None:
         with self._lock:
             self.ecalls += 1
             self.cycles += self.model.ecall_cycles
+        self._ctr_ecalls.inc()
+        self._ctr_cycles.inc(self.model.ecall_cycles)
 
     def charge_ocall(self) -> None:
         with self._lock:
             self.ocalls += 1
             self.cycles += self.model.ocall_cycles
+        self._ctr_ocalls.inc()
+        self._ctr_cycles.inc(self.model.ocall_cycles)
 
     def charge_epc_swaps(self, count: int) -> None:
         if count <= 0:
@@ -65,6 +76,8 @@ class CycleMeter:
         with self._lock:
             self.epc_swaps += count
             self.cycles += count * self.model.epc_swap_cycles
+        self._ctr_swaps.inc(count)
+        self._ctr_cycles.inc(count * self.model.epc_swap_cycles)
 
     def snapshot(self) -> dict:
         """Return a point-in-time copy of all counters."""

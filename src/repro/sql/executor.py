@@ -14,6 +14,7 @@ from repro.catalog.catalog import Catalog, TableInfo
 from repro.catalog.schema import Column, Schema
 from repro.catalog.types import type_from_name
 from repro.errors import ExecutionError, PlanningError
+from repro.obs import default_registry
 from repro.sql.ast_nodes import (
     CreateTable,
     Delete,
@@ -76,6 +77,9 @@ class QueryEngine:
     def __init__(self, catalog: Catalog, storage: StorageEngine, epc=None):
         self.catalog = catalog
         self.storage = storage
+        self.obs = storage.obs if storage is not None else default_registry()
+        self._meter = epc.meter if epc is not None else None
+        self._ctr_statements = self.obs.counter("sql.statements")
         spill = None
         if storage.config.spill_threshold_rows is not None:
             from repro.sql.spill import SpillManager
@@ -104,6 +108,27 @@ class QueryEngine:
         order, so a transaction can roll back by replaying it reversed.
         """
         stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        if not self.obs.enabled:
+            return self._dispatch(stmt, join_hint, undo)
+        self._ctr_statements.inc()
+        cycles_before = (
+            self._meter.snapshot()["cycles"] if self._meter is not None else None
+        )
+        with self.obs.span("sql.execute_seconds"):
+            result = self._dispatch(stmt, join_hint, undo)
+        if cycles_before is not None:
+            self.obs.histogram("sgx.cycles_per_query").observe(
+                self._meter.snapshot()["cycles"] - cycles_before
+            )
+        self._record_plan_metrics(result)
+        return result
+
+    def _dispatch(
+        self,
+        stmt: Statement,
+        join_hint: Optional[str],
+        undo: Optional[list],
+    ) -> ExecutionResult:
         if isinstance(stmt, Explain):
             plan = self.planner.plan_select(stmt.select, join_hint)
             rows = [(line,) for line in plan.explain().splitlines()]
@@ -123,6 +148,22 @@ class QueryEngine:
         if isinstance(stmt, DropTable):
             return self._run_drop(stmt)
         raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    def _record_plan_metrics(self, result: ExecutionResult) -> None:
+        """Fold a drained plan's per-node self times into the registry.
+
+        One latency histogram per operator class
+        (``sql.op.<Name>.self_seconds``) plus the scan/other split the
+        Figure 12 analysis uses.
+        """
+        if result.plan is None:
+            return
+        for op in result.plan.walk():
+            self.obs.histogram(
+                f"sql.op.{type(op).__name__}.self_seconds"
+            ).observe(op.self_seconds)
+        self.obs.histogram("sql.scan_seconds").observe(result.scan_seconds())
+        self.obs.histogram("sql.other_seconds").observe(result.other_seconds())
 
     def plan(self, sql: str, join_hint: Optional[str] = None) -> PhysicalOp:
         """Compile without executing (EXPLAIN support)."""

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-import time
 from typing import Iterator
 
+from repro.obs import Stopwatch
 from repro.sql.expressions import RowSchema
 
 
@@ -15,7 +15,11 @@ class PhysicalOp:
     Consumers iterate :meth:`timed_rows`, which accumulates the wall
     time spent *producing* each row into ``total_seconds`` — inclusive
     of children; ``self_seconds`` subtracts the children's totals, which
-    is what the per-node breakdown reports.
+    is what the per-node breakdown reports. Timing goes through the
+    observability layer's :class:`~repro.obs.trace.Stopwatch` (stream
+    laps: the consumer's time between pulls is never charged), and the
+    executor folds every node's self time into per-operator latency
+    histograms after the plan drains.
     """
 
     #: operators whose self-time counts as "scan nodes" in Figure 12
@@ -45,17 +49,18 @@ class PhysicalOp:
         # Time the rows() call itself: eager operators (scans, sorts)
         # do their work during construction, and missing it would
         # attribute their cost to an ancestor's self-time.
-        start = time.perf_counter()
+        watch = Stopwatch()
+        watch.resume()
         iterator = self.rows()
-        self.total_seconds += time.perf_counter() - start
+        self.total_seconds += watch.pause()
         while True:
-            start = time.perf_counter()
+            watch.resume()
             try:
                 row = next(iterator)
             except StopIteration:
-                self.total_seconds += time.perf_counter() - start
+                self.total_seconds += watch.pause()
                 return
-            self.total_seconds += time.perf_counter() - start
+            self.total_seconds += watch.pause()
             self.rows_out += 1
             yield row
 

@@ -14,9 +14,9 @@ combined row.
 from __future__ import annotations
 
 import itertools
-import time
 from typing import Iterator, Optional
 
+from repro.obs import timed_call
 from repro.sql.ast_nodes import Expr
 from repro.sql.expressions import compile_expr, compile_predicate
 from repro.sql.operators.base import PhysicalOp
@@ -215,9 +215,8 @@ class IndexNestedLoopJoinOp(PhysicalOp):
             key = self._left_key_fn(left_row)
             if key is None:
                 continue
-            start = time.perf_counter()
-            inner_row, _proof = self.inner_table.get(key)
-            self.internal_scan_seconds += time.perf_counter() - start
+            (inner_row, _proof), elapsed = timed_call(self.inner_table.get, key)
+            self.internal_scan_seconds += elapsed
             if inner_row is None:
                 continue
             combined = left_row + inner_row

@@ -42,6 +42,10 @@ class CompactionPolicy:
         self._table = table
         self.config = config
         self.stats = CompactionStats()
+        obs = table.engine.obs
+        self._ctr_pages = obs.counter("storage.pages_compacted")
+        self._ctr_relocated = obs.counter("storage.compaction_records_relocated")
+        self._ctr_skipped = obs.counter("storage.compactions_skipped_busy")
 
     def on_page_scan(self, page_id: int) -> None:
         """Verifier callback: compact the page while it is locked & hot."""
@@ -50,6 +54,7 @@ class CompactionPolicy:
         table = self._table
         if not table._lock.acquire(blocking=False):
             self.stats.passes_skipped_busy += 1
+            self._ctr_skipped.inc()
             return
         try:
             page = table.heap.get_page(page_id)
@@ -57,6 +62,8 @@ class CompactionPolicy:
                 moved = page.compact()
                 self.stats.pages_compacted += 1
                 self.stats.records_relocated += moved
+                self._ctr_pages.inc()
+                self._ctr_relocated.inc(moved)
         finally:
             table._lock.release()
 
@@ -69,5 +76,7 @@ class CompactionPolicy:
                     moved = page.compact()
                     self.stats.pages_compacted += 1
                     self.stats.records_relocated += moved
+                    self._ctr_pages.inc()
+                    self._ctr_relocated.inc(moved)
                     moved_total += moved
         return moved_total

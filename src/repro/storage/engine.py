@@ -16,6 +16,7 @@ from repro.memory.rsws import RSWSGroup
 from repro.memory.untrusted import UntrustedMemory
 from repro.memory.verified import VerifiedMemory
 from repro.memory.verifier import Verifier
+from repro.obs import default_registry
 from repro.storage.config import StorageConfig
 
 
@@ -26,9 +27,11 @@ class StorageEngine:
         self,
         config: StorageConfig | None = None,
         keychain: KeyChain | None = None,
+        registry=None,
     ):
         self.config = config or StorageConfig()
         self.keychain = keychain or KeyChain()
+        self.obs = registry if registry is not None else default_registry()
         self.memory = UntrustedMemory()
         self.vmem = VerifiedMemory(
             memory=self.memory,
@@ -36,9 +39,10 @@ class StorageEngine:
             rsws=RSWSGroup(n_partitions=self.config.rsws_partitions),
             page_digests=(self.config.verifier_mode == "touched"),
             touched_group_size=self.config.touched_group_size,
+            registry=self.obs,
         )
         self.verifier = (
-            Verifier(self.vmem, mode=self.config.verifier_mode)
+            Verifier(self.vmem, mode=self.config.verifier_mode, registry=self.obs)
             if self.config.verification
             else None
         )

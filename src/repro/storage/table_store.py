@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Any, Iterable
 
 from repro.catalog.schema import Schema
@@ -61,6 +62,10 @@ class VerifiableTable:
         self.layout = ChainLayout(schema)
         self.codec = RecordCodec()
         self.stats = TableStats()
+        self.obs = engine.obs
+        self._ctr_point_retries = self.obs.counter("storage.point_read_retries")
+        self._ctr_moves = self.obs.counter("storage.records_moved")
+        self._hist_splice = self.obs.histogram("storage.chain_splice_seconds")
         self._lock = threading.RLock()
         self._row_count = 0
         self._compaction = CompactionPolicy(self, engine.config)
@@ -78,6 +83,15 @@ class VerifiableTable:
     # ------------------------------------------------------------------
     def insert(self, row: Iterable[Any]) -> RecordId:
         """Insert a row, splicing it into every key chain."""
+        if not self.obs.enabled:
+            return self._insert(row)
+        start = perf_counter()
+        try:
+            return self._insert(row)
+        finally:
+            self._hist_splice.observe(perf_counter() - start)
+
+    def _insert(self, row: Iterable[Any]) -> RecordId:
         row = self.schema.validate_row(row)
         with self._lock:
             pk = row[self.layout.pk_index]
@@ -205,6 +219,7 @@ class VerifiableTable:
                 # record moved or its slot was freed) between lookup and
                 # read. Both resolve once the in-flight mutation finishes.
                 attempts += 1
+                self._ctr_point_retries.inc()
                 if attempts >= POINT_READ_RETRIES:
                     raise
                 # Wait out any in-flight splice: taking and releasing the
@@ -292,6 +307,7 @@ class VerifiableTable:
         self.heap.delete(rid)
         new_rid = self.heap.insert(payload)
         self.stats.records_moved += 1
+        self._ctr_moves.inc()
         for chain_id in range(self.layout.n_chains):
             key = stored.key(chain_id)
             if key is not None:

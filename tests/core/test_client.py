@@ -5,7 +5,7 @@ import pytest
 from repro.core.client import IntervalSet
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
-from repro.errors import AuthenticationError, RollbackDetected
+from repro.errors import AuthenticationError
 
 
 # ----------------------------------------------------------------------

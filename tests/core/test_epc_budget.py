@@ -7,7 +7,6 @@ the EPC-resident synopsis only marginally, and never triggers the
 (expensive, 40000-cycle) page swaps the design exists to avoid.
 """
 
-import pytest
 
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB

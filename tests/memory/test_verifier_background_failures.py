@@ -1,0 +1,171 @@
+"""Regression tests: the background verifier must never die silently.
+
+Before the fix, the loop only caught :class:`VerificationFailure`; any
+other exception (a buggy scan hook, a storage error) killed the daemon
+thread without a trace while the system kept serving queries unverified.
+"""
+
+import time
+
+import pytest
+
+from repro.crypto.prf import PRF
+from repro.errors import VeriDBError, VerificationFailure
+from repro.memory.cells import make_addr
+from repro.memory.rsws import RSWSGroup
+from repro.memory.verified import VerifiedMemory
+from repro.memory.verifier import Verifier
+from repro.obs import MetricsRegistry, scoped_registry
+
+
+def make_vmem(pages=4, partitions=2, hooks=None):
+    vmem = VerifiedMemory(prf=PRF(b"v" * 32), rsws=RSWSGroup(n_partitions=partitions))
+    for p in range(pages):
+        vmem.register_page(p, (hooks or {}).get(p))
+    for p in range(pages):
+        for i in range(4):
+            vmem.alloc(make_addr(p, i * 64), f"cell-{p}-{i}".encode())
+    return vmem
+
+
+def wait_until(predicate, timeout=5.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# crash surfacing
+# ----------------------------------------------------------------------
+def test_non_verification_exception_surfaces_from_stop():
+    def bad_hook(page_id):
+        raise RuntimeError("scan hook bug")
+
+    vmem = make_vmem(hooks={2: bad_hook})
+    verifier = Verifier(vmem)
+    verifier.start_background()
+    assert wait_until(lambda: not verifier.background_alive())
+    assert isinstance(verifier.background_error(), RuntimeError)
+    with pytest.raises(RuntimeError, match="scan hook bug"):
+        verifier.stop_background()
+    # the error is consumed by the re-raise; a second stop is a no-op
+    verifier.stop_background()
+
+
+def test_verification_failure_also_surfaces_from_stop():
+    vmem = make_vmem()
+    verifier = Verifier(vmem)
+    verifier.run_pass()
+    # out-of-band tampering: next pass must alarm
+    cell = vmem.memory.raw_read(make_addr(0, 0))
+    vmem.memory.raw_write(make_addr(0, 0), b"tampered", cell.timestamp)
+    verifier.start_background()
+    assert wait_until(lambda: not verifier.background_alive())
+    with pytest.raises(VerificationFailure):
+        verifier.stop_background()
+
+
+def test_crash_metrics_and_liveness_gauge():
+    def bad_hook(page_id):
+        raise RuntimeError("boom")
+
+    with scoped_registry(MetricsRegistry()) as reg:
+        vmem = make_vmem(hooks={1: bad_hook})
+        verifier = Verifier(vmem)
+        verifier.start_background()
+        assert wait_until(lambda: not verifier.background_alive())
+        snap = reg.snapshot()
+        assert snap["verifier.background_alive"]["value"] == 0
+        assert snap["verifier.background_crashes"]["value"] == 1
+        with pytest.raises(RuntimeError):
+            verifier.stop_background()
+
+
+def test_liveness_gauge_while_running():
+    with scoped_registry(MetricsRegistry()) as reg:
+        vmem = make_vmem()
+        verifier = Verifier(vmem)
+        verifier.start_background(pause_seconds=0.01)
+        assert wait_until(
+            lambda: reg.snapshot()["verifier.background_alive"]["value"] == 1
+        )
+        assert verifier.background_alive()
+        verifier.stop_background()
+        assert not verifier.background_alive()
+        assert reg.snapshot()["verifier.background_alive"]["value"] == 0
+        # a clean run records no crashes
+        assert reg.snapshot()["verifier.background_crashes"]["value"] == 0
+
+
+def test_stop_background_without_start_is_noop():
+    verifier = Verifier(make_vmem())
+    verifier.stop_background()
+
+
+def test_background_restart_after_crash():
+    calls = {"n": 0}
+
+    def flaky_hook(page_id):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient")
+
+    vmem = make_vmem(hooks={0: flaky_hook})
+    verifier = Verifier(vmem)
+    verifier.start_background()
+    assert wait_until(lambda: not verifier.background_alive())
+    with pytest.raises(RuntimeError):
+        verifier.stop_background()
+    # the loop can be restarted once the cause is fixed (an aborted
+    # pass leaves half-restamped generations, so the next epoch may
+    # legitimately alarm — restartability is what's asserted here)
+    verifier.start_background(pause_seconds=0.01)
+    assert wait_until(lambda: verifier.stats.passes_completed >= 1)
+    try:
+        verifier.stop_background()
+    except VeriDBError:
+        pass
+
+
+# ----------------------------------------------------------------------
+# parallel-worker failure aggregation
+# ----------------------------------------------------------------------
+def test_aggregate_single_failure_unchanged():
+    original = RuntimeError("solo")
+    assert Verifier._aggregate_failures([original]) is original
+
+
+def test_aggregate_prefers_verification_failure():
+    crash = RuntimeError("worker crashed")
+    alarm = VerificationFailure("digest mismatch", partition=3)
+    error = Verifier._aggregate_failures([crash, alarm])
+    assert isinstance(error, VerificationFailure)
+    assert error.partition == 3
+    assert "RuntimeError" in str(error)
+    assert "digest mismatch" in str(error)
+    assert list(error.failures) == [crash, alarm]
+
+
+def test_aggregate_plain_crashes_stay_veridb_error():
+    failures = [RuntimeError("a"), ValueError("b")]
+    error = Verifier._aggregate_failures(failures)
+    assert isinstance(error, VeriDBError)
+    assert not isinstance(error, VerificationFailure)
+    assert list(error.failures) == failures
+
+
+def test_parallel_pass_reports_all_worker_failures():
+    hooks = {
+        0: lambda page_id: (_ for _ in ()).throw(RuntimeError("w0")),
+        3: lambda page_id: (_ for _ in ()).throw(RuntimeError("w3")),
+    }
+    vmem = make_vmem(pages=4, hooks=hooks)
+    verifier = Verifier(vmem)
+    with pytest.raises(VeriDBError) as excinfo:
+        # workers=4: pages 0 and 3 land in different sections
+        verifier.run_pass(workers=4)
+    failures = getattr(excinfo.value, "failures", [excinfo.value])
+    assert len(failures) == 2

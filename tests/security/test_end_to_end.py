@@ -54,8 +54,6 @@ def test_tampered_data_may_flow_but_is_always_caught(db):
     """Deferred verification: a tampered value can reach one query
     result, but the epoch close exposes the misbehaviour with evidence
     (Section 5.5: 'eventually detected')."""
-    from repro.storage.record import RecordCodec
-    from repro.storage.keychain import ChainLayout
 
     table = db.table("orders")
     layout, codec = table.layout, table.codec

@@ -9,7 +9,6 @@ state that matches the applied operations.
 import random
 import threading
 
-import pytest
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.types import IntegerType, TextType

@@ -10,7 +10,6 @@ from repro.storage.keychain import (
     ChainLayout,
     PointProof,
     RangeProof,
-    StoredRecord,
 )
 
 

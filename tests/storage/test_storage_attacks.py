@@ -19,7 +19,6 @@ from repro.memory.adversary import Adversary
 from repro.memory.cells import make_addr
 from repro.storage.config import StorageConfig
 from repro.storage.engine import StorageEngine
-from repro.storage.heap import RecordId
 from repro.storage.table_store import VerifiableTable
 
 

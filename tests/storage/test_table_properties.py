@@ -12,7 +12,6 @@ from hypothesis import strategies as st
 
 from repro.catalog.schema import Column, Schema
 from repro.catalog.types import IntegerType, TextType
-from repro.memory.verifier import Verifier
 from repro.storage.config import StorageConfig
 from repro.storage.engine import StorageEngine
 from repro.storage.table_store import VerifiableTable
