@@ -38,13 +38,23 @@ from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
 from repro.errors import (
     AuthenticationError,
+    FaultInjected,
     IntegrityError,
+    PermanentFault,
     ProofError,
+    RetryExhausted,
     RollbackDetected,
     TransactionAborted,
     TransactionError,
+    TransientFault,
     VeriDBError,
     VerificationFailure,
+)
+from repro.faults import (
+    ChaosPlane,
+    ChaosSchedule,
+    RetryPolicy,
+    scoped_fault_plane,
 )
 from repro.storage.config import StorageConfig
 
@@ -53,15 +63,21 @@ __version__ = "1.0.0"
 __all__ = [
     "BOTTOM",
     "BooleanType",
+    "ChaosPlane",
+    "ChaosSchedule",
     "Column",
     "ClientResult",
     "DateType",
     "DecimalType",
+    "FaultInjected",
     "FloatType",
     "IntegerType",
     "AuthenticationError",
     "IntegrityError",
+    "PermanentFault",
     "ProofError",
+    "RetryExhausted",
+    "RetryPolicy",
     "RollbackDetected",
     "Schema",
     "StorageConfig",
@@ -69,10 +85,12 @@ __all__ = [
     "TOP",
     "TransactionAborted",
     "TransactionError",
+    "TransientFault",
     "VeriDB",
     "VeriDBClient",
     "VeriDBConfig",
     "VeriDBError",
     "VerificationFailure",
+    "scoped_fault_plane",
     "__version__",
 ]

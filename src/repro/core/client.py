@@ -18,7 +18,14 @@ from typing import Optional
 
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import AuthenticationError, RollbackDetected
-from repro.core.portal import AuthenticatedQuery, EndorsedResult, digest_result
+from repro.faults.retry import CLIENT_RETRY, RetryPolicy
+from repro.core.portal import (
+    UNVERIFIED_MARKER,
+    AuthenticatedQuery,
+    EndorsedResult,
+    digest_result,
+)
+from repro.obs import default_registry
 
 
 class IntervalSet:
@@ -102,12 +109,18 @@ class IntervalSet:
 
 @dataclass
 class ClientResult:
-    """A verified query result as seen by the client."""
+    """A verified query result as seen by the client.
+
+    ``verified`` mirrors the portal's authenticated degradation flag:
+    False means the response is authentic and rollback-audited but was
+    produced while no background verifier was watching the memory.
+    """
 
     columns: tuple
     rows: tuple
     rowcount: int
     sequence_number: int
+    verified: bool = True
 
 
 class VeriDBClient:
@@ -119,13 +132,17 @@ class VeriDBClient:
         mac_key: bytes,
         name: str = "client",
         audit_state: bytes | None = None,
+        retry_policy: RetryPolicy = CLIENT_RETRY,
     ):
         """``submit`` is the transport to the portal (an ECall in the
         simulated deployment); ``mac_key`` is the key established during
         the attestation handshake. ``audit_state`` restores a previous
         session's sequence-number log (see :meth:`export_audit_state`) —
         without it, a rollback staged across client restarts would be
-        invisible."""
+        invisible. ``retry_policy`` governs resubmission after transient
+        transport/execution faults; retries reuse the same authenticated
+        query (same qid), which the portal accepts because a failed
+        execution leaves the qid unburned."""
         self._submit = submit
         self._mac = MessageAuthenticator(mac_key)
         self.name = name
@@ -137,6 +154,10 @@ class VeriDBClient:
             else IntervalSet()
         )
         self._lock = threading.Lock()
+        self._retry_policy = retry_policy
+        obs = default_registry()
+        self._ctr_retries = obs.counter("client.submit_retries")
+        self._ctr_unverified = obs.counter("client.unverified_results")
 
     def export_audit_state(self) -> bytes:
         """Serialize the rollback-audit log for persistent storage."""
@@ -148,15 +169,25 @@ class VeriDBClient:
         """Run a query end to end with full verification."""
         qid = self._fresh_qid()
         mac = self._mac.tag(qid, sql.encode("utf-8"))
-        endorsed: EndorsedResult = self._submit(
-            AuthenticatedQuery(qid=qid, sql=sql, mac=mac, join_hint=join_hint)
+        query = AuthenticatedQuery(
+            qid=qid, sql=sql, mac=mac, join_hint=join_hint
+        )
+        # Resubmit the *same* authenticated query on transient faults:
+        # the portal records a qid only after success, so the retry is
+        # accepted as this qid's first execution, never as a replay.
+        endorsed: EndorsedResult = self._retry_policy.call(
+            lambda: self._submit(query),
+            on_retry=lambda _attempt, _err: self._ctr_retries.inc(),
         )
         self._check(qid, endorsed)
+        if not endorsed.verified:
+            self._ctr_unverified.inc()
         return ClientResult(
             columns=endorsed.columns,
             rows=endorsed.rows,
             rowcount=endorsed.rowcount,
             sequence_number=endorsed.sequence_number,
+            verified=endorsed.verified,
         )
 
     # ------------------------------------------------------------------
@@ -168,12 +199,17 @@ class VeriDBClient:
         )
         if digest != endorsed.result_digest:
             raise AuthenticationError("result digest mismatch")
-        if not self._mac.verify(
-            endorsed.endorsement,
+        # The verified flag is authenticated: it selects which MAC the
+        # enclave must have produced, so a host flipping the flag in
+        # either direction fails this check.
+        parts = [
             qid,
             endorsed.sequence_number.to_bytes(8, "little"),
             endorsed.result_digest,
-        ):
+        ]
+        if not endorsed.verified:
+            parts.append(UNVERIFIED_MARKER)
+        if not self._mac.verify(endorsed.endorsement, *parts):
             raise AuthenticationError(
                 "result endorsement invalid: not produced by the enclave"
             )

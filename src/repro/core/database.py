@@ -17,8 +17,10 @@ from repro.catalog.catalog import Catalog, TableInfo
 from repro.catalog.schema import Schema
 from repro.core.client import VeriDBClient
 from repro.core.config import VeriDBConfig
+from repro.core.incident import IncidentLog
 from repro.core.portal import QueryPortal
 from repro.crypto.keys import KeyChain, generate_key
+from repro.errors import VerificationFailure
 from repro.obs import default_registry
 from repro.sgx.attestation import PlatformQuotingKey, verify_quote
 from repro.sgx.costs import CycleMeter
@@ -57,8 +59,14 @@ class VeriDB:
         )
         self.catalog = Catalog()
         self.engine = QueryEngine(self.catalog, self.storage, epc=self.enclave.epc)
+        self.incidents = IncidentLog(registry=self.obs)
         self.portal = QueryPortal(
-            self.engine, keychain.mac_key, self.enclave.counter, registry=self.obs
+            self.engine,
+            keychain.mac_key,
+            self.enclave.counter,
+            registry=self.obs,
+            verifier_degraded=self._verifier_degraded,
+            incidents=self.incidents,
         )
         self.enclave.register_ecall("submit_query", self.portal.submit)
         if self.config.ops_per_page_scan is not None:
@@ -143,9 +151,23 @@ class VeriDB:
     # ------------------------------------------------------------------
     # verification control
     # ------------------------------------------------------------------
+    def _verifier_degraded(self) -> bool:
+        """Graceful-degradation probe the portal consults per query."""
+        verifier = self.storage.verifier
+        return verifier is not None and verifier.background_degraded()
+
     def verify_now(self) -> None:
-        """Run one synchronous verification pass over all storage."""
-        self.storage.verify_now()
+        """Run one synchronous verification pass over all storage.
+
+        A detected inconsistency both raises and goes on the incident
+        log, so the alarm is durable evidence even if the caller
+        swallows the exception.
+        """
+        try:
+            self.storage.verify_now()
+        except VerificationFailure as alarm:
+            self.incidents.open("verification-alarm", str(alarm))
+            raise
 
     def start_background_verification(self, pause_seconds: float = 0.0) -> None:
         if self.storage.verifier is not None:

@@ -23,12 +23,91 @@ the remaining state.
 
 from __future__ import annotations
 
+import threading
+import time
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.catalog.types import BOTTOM, TOP
 from repro.errors import VerificationFailure
 from repro.memory.cells import make_addr
+from repro.obs import default_registry
+
+
+@dataclass
+class Incident:
+    """One operational incident: something went wrong and is on record.
+
+    Distinct from :class:`IncidentReport` (post-alarm forensics): an
+    incident is the operational fact — verifier down, alarm raised —
+    that degradation handling and operators act on.
+    """
+
+    key: str
+    message: str
+    opened_at: float
+    resolved: bool = False
+    resolved_at: float | None = None
+
+
+class IncidentLog:
+    """Thread-safe register of operational incidents.
+
+    The portal opens an incident when it serves a response with the
+    background verifier down (graceful degradation), and the database
+    opens one when an explicit verification pass raises an alarm.
+    ``open_once`` deduplicates by key so a degraded verifier produces a
+    single incident no matter how many queries run through the outage.
+    """
+
+    def __init__(self, registry=None):
+        self._lock = threading.Lock()
+        self._incidents: list[Incident] = []
+        self.obs = registry if registry is not None else default_registry()
+        self._ctr_opened = self.obs.counter("incidents.opened")
+        self._ctr_resolved = self.obs.counter("incidents.resolved")
+        self.obs.gauge_fn("incidents.active", lambda: len(self.active()))
+
+    def open(self, key: str, message: str) -> Incident:
+        """Open a new incident unconditionally."""
+        incident = Incident(key=key, message=message, opened_at=time.time())
+        with self._lock:
+            self._incidents.append(incident)
+        self._ctr_opened.inc()
+        return incident
+
+    def open_once(self, key: str, message: str) -> Incident:
+        """Open an incident unless one with ``key`` is already active."""
+        with self._lock:
+            for incident in reversed(self._incidents):
+                if incident.key == key and not incident.resolved:
+                    return incident
+        return self.open(key, message)
+
+    def resolve(self, key: str) -> bool:
+        """Resolve all active incidents with ``key``; True if any were."""
+        resolved_any = False
+        with self._lock:
+            for incident in self._incidents:
+                if incident.key == key and not incident.resolved:
+                    incident.resolved = True
+                    incident.resolved_at = time.time()
+                    resolved_any = True
+        if resolved_any:
+            self._ctr_resolved.inc()
+        return resolved_any
+
+    def active(self, key: str | None = None) -> list[Incident]:
+        with self._lock:
+            return [
+                i
+                for i in self._incidents
+                if not i.resolved and (key is None or i.key == key)
+            ]
+
+    def all(self) -> list[Incident]:
+        with self._lock:
+            return list(self._incidents)
 
 
 @dataclass

@@ -35,6 +35,7 @@ from typing import Optional
 
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import AuthenticationError
+from repro.faults.retry import PORTAL_RETRY, RetryPolicy
 from repro.obs import default_registry
 from repro.sgx.counter import MonotonicCounter
 from repro.sql.executor import QueryEngine
@@ -55,9 +56,22 @@ class AuthenticatedQuery:
     join_hint: Optional[str] = None
 
 
+#: appended to the endorsement MAC of results produced while the
+#: background verifier is down, so the degraded flag is itself
+#: authenticated — the host can neither forge nor strip it.
+UNVERIFIED_MARKER = b"unverified"
+
+
 @dataclass(frozen=True)
 class EndorsedResult:
-    """What the portal returns: the result endorsed by the enclave."""
+    """What the portal returns: the result endorsed by the enclave.
+
+    ``verified`` is False when the response was produced while the
+    background verifier was down (graceful degradation): the query
+    still executed against write-read consistent memory, but no epoch
+    check vouches for the period, so the client must treat the rows as
+    unaudited until a later pass covers them.
+    """
 
     qid: bytes
     sequence_number: int
@@ -66,6 +80,7 @@ class EndorsedResult:
     rowcount: int
     result_digest: bytes
     endorsement: bytes
+    verified: bool = True
 
 
 def digest_result(columns: tuple, rows: tuple, rowcount: int) -> bytes:
@@ -171,6 +186,9 @@ class QueryPortal:
         counter: MonotonicCounter,
         registry=None,
         replay_window: int = DEFAULT_REPLAY_WINDOW,
+        retry_policy: RetryPolicy = PORTAL_RETRY,
+        verifier_degraded=None,
+        incidents=None,
     ):
         self._engine = engine
         self._mac = MessageAuthenticator(mac_key)
@@ -179,12 +197,18 @@ class QueryPortal:
         self._pending: set[bytes] = set()
         self._executed = 0
         self._lock = threading.Lock()
+        self._retry_policy = retry_policy
+        #: callable returning True while background verification is down
+        self._verifier_degraded = verifier_degraded
+        self._incidents = incidents
 
         self.obs = registry if registry is not None else default_registry()
         self._ctr_queries = self.obs.counter("portal.queries")
         self._ctr_auth_failures = self.obs.counter("portal.auth_failures")
         self._ctr_replays = self.obs.counter("portal.replays_rejected")
         self._ctr_execute_errors = self.obs.counter("portal.execute_errors")
+        self._ctr_execute_retries = self.obs.counter("portal.execute_retries")
+        self._ctr_unverified = self.obs.counter("portal.unverified_responses")
         self.obs.gauge_fn("portal.qid_ledger_size", self._ledger_size)
         self.obs.gauge_fn("portal.qid_salts", lambda: self._seen.salt_count)
 
@@ -216,18 +240,37 @@ class QueryPortal:
         try:
             sequence_number = self._counter.increment()
             with self.obs.span("portal.execute_seconds"):
-                result = self._engine.execute(
-                    query.sql, join_hint=query.join_hint
+                # Transient faults below the engine (host-memory read
+                # errors, ECall aborts) are retried within this submit;
+                # each attempt starts before any table mutation, so a
+                # retried execution is a clean re-run, not a partial one.
+                result = self._retry_policy.call(
+                    lambda: self._engine.execute(
+                        query.sql, join_hint=query.join_hint
+                    ),
+                    on_retry=lambda _attempt, _err: (
+                        self._ctr_execute_retries.inc()
+                    ),
                 )
+            verified = not (
+                self._verifier_degraded is not None
+                and self._verifier_degraded()
+            )
             with self.obs.span("portal.endorse_seconds"):
                 columns = tuple(result.columns)
                 rows = tuple(tuple(row) for row in result.rows)
                 digest = digest_result(columns, rows, result.rowcount)
-                endorsement = self._mac.tag(
+                parts = [
                     query.qid,
                     sequence_number.to_bytes(8, "little"),
                     digest,
-                )
+                ]
+                if not verified:
+                    # The degraded flag rides inside the MAC: stripping
+                    # it (to pass off an unaudited result as verified)
+                    # or adding it both fail endorsement checking.
+                    parts.append(UNVERIFIED_MARKER)
+                endorsement = self._mac.tag(*parts)
         except BaseException:
             self._ctr_execute_errors.inc()
             with self._lock:
@@ -238,6 +281,16 @@ class QueryPortal:
             self._seen.add(query.qid)
             self._executed += 1
         self._ctr_queries.inc()
+        if not verified:
+            self._ctr_unverified.inc()
+            if self._incidents is not None:
+                self._incidents.open_once(
+                    "verifier-down",
+                    "background verifier is not running; serving "
+                    "responses flagged unverified",
+                )
+        elif self._incidents is not None:
+            self._incidents.resolve("verifier-down")
         return EndorsedResult(
             qid=query.qid,
             sequence_number=sequence_number,
@@ -246,6 +299,7 @@ class QueryPortal:
             rowcount=result.rowcount,
             result_digest=digest,
             endorsement=endorsement,
+            verified=verified,
         )
 
     # ------------------------------------------------------------------

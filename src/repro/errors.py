@@ -60,6 +60,51 @@ class RollbackDetected(IntegrityError):
     """
 
 
+class FaultInjected(VeriDBError):
+    """A deterministic fault-injection site fired (``repro.faults``).
+
+    These model *host-side* failures — ECall aborts, EPC swap errors,
+    transient memory faults — not integrity violations: the enclave's
+    state stays sound, the operation simply did not complete. ``site``
+    names the injection point; ``retryable`` says whether an identical
+    retry is safe (the site fired before any state was mutated).
+    """
+
+    retryable = False
+
+    def __init__(self, message: str, site: str | None = None):
+        super().__init__(message)
+        self.site = site
+
+
+class TransientFault(FaultInjected):
+    """A fault that an identical retry may clear (timeout, abort, EAGAIN)."""
+
+    retryable = True
+
+
+class PermanentFault(FaultInjected):
+    """A fault retrying cannot fix; callers must surface it, never loop."""
+
+
+class RetryExhausted(VeriDBError):
+    """A retry policy ran out of attempts (or time) on transient faults.
+
+    ``last_error`` holds the final transient failure; ``attempts`` how
+    many times the operation was tried.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        last_error: BaseException | None = None,
+        attempts: int = 0,
+    ):
+        super().__init__(message)
+        self.last_error = last_error
+        self.attempts = attempts
+
+
 class EnclaveError(VeriDBError):
     """Misuse of the simulated SGX enclave (bad ECall, sealed-data abuse)."""
 

@@ -1,0 +1,54 @@
+"""``repro.faults`` — seeded, deterministic fault injection.
+
+The fault plane mirrors :mod:`repro.obs`'s zero-cost registry pattern:
+components bind the process-default plane at construction, the default
+(:data:`NULL_FAULT_PLANE`) does nothing, and installing a
+:class:`ChaosPlane` driven by a :class:`ChaosSchedule` seed arms the
+named injection sites in :mod:`repro.faults.sites`. Any chaos run is
+replayable byte-for-byte from its seed. Retry semantics live in
+:mod:`repro.faults.retry`; the usage guide is the "Fault injection &
+chaos testing" section of ``docs/INTERNALS.md``.
+"""
+
+from repro.errors import (
+    FaultInjected,
+    PermanentFault,
+    RetryExhausted,
+    TransientFault,
+)
+from repro.faults import sites
+from repro.faults.plane import (
+    NULL_FAULT_PLANE,
+    ChaosPlane,
+    NullFaultPlane,
+    default_fault_plane,
+    scoped_fault_plane,
+    set_default_fault_plane,
+)
+from repro.faults.retry import (
+    CLIENT_RETRY,
+    NO_RETRY,
+    PORTAL_RETRY,
+    RetryPolicy,
+)
+from repro.faults.schedule import ChaosSchedule, FaultRecord
+
+__all__ = [
+    "CLIENT_RETRY",
+    "ChaosPlane",
+    "ChaosSchedule",
+    "FaultInjected",
+    "FaultRecord",
+    "NO_RETRY",
+    "NULL_FAULT_PLANE",
+    "NullFaultPlane",
+    "PORTAL_RETRY",
+    "PermanentFault",
+    "RetryExhausted",
+    "RetryPolicy",
+    "TransientFault",
+    "default_fault_plane",
+    "scoped_fault_plane",
+    "set_default_fault_plane",
+    "sites",
+]

@@ -1,0 +1,216 @@
+"""The fault plane: no-op by default, chaos when armed.
+
+Mirrors the zero-cost registry pattern of :mod:`repro.obs.metrics`:
+components bind the process-default plane at construction time, and the
+default is :data:`NULL_FAULT_PLANE`, whose ``check()`` is one no-op
+method call. Installing a :class:`ChaosPlane` (normally via
+:func:`scoped_fault_plane`) *before* building the system arms every
+injection site the components thread through.
+
+Three injection verbs cover every site shape:
+
+* :meth:`FaultPlane.check` — raise a typed fault (ECall abort, EPC swap
+  error, verifier crash, splice interruption);
+* :meth:`FaultPlane.mangle` — corrupt bytes in flight (torn host-memory
+  write, sealing corruption). Deterministic: the flipped byte position is
+  a function of the firing ordinal;
+* :meth:`FaultPlane.drop_one` — omit one element from an untrusted
+  listing (page-directory drop).
+
+Fault counts export through :mod:`repro.obs` as ``faults.injected`` plus
+one counter per site (``faults.<site>``), and every firing is appended
+to :attr:`ChaosPlane.log` so a run's fault sequence can be compared
+byte-for-byte against a replay.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Iterator, Sequence
+
+from repro.errors import PermanentFault, TransientFault
+from repro.faults.schedule import ChaosSchedule, FaultRecord
+from repro.obs import default_registry
+
+
+class NullFaultPlane:
+    """The zero-cost default: no site ever fires."""
+
+    enabled = False
+
+    def check(self, site: str) -> None:
+        pass
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        return data
+
+    def drop_one(self, site: str, items: list) -> list:
+        return items
+
+    @property
+    def log(self) -> tuple:
+        return ()
+
+    def fired_count(self, site: str | None = None) -> int:
+        return 0
+
+
+NULL_FAULT_PLANE = NullFaultPlane()
+
+
+class ChaosPlane:
+    """A live fault plane driven by a :class:`ChaosSchedule`.
+
+    Thread-safe: per-site op counters advance under a lock, so each
+    site's firing sequence is deterministic even when several threads
+    share a site (the *inter*-site log order then follows the thread
+    interleaving; per-site subsequences are always the schedule's).
+
+    ``arm()``/``disarm()`` gate the whole plane without rebuilding the
+    system — e.g. load data quietly, then let chaos loose on the
+    workload. While disarmed, checks neither count nor fire, so the
+    armed portion of a run replays identically regardless of how much
+    quiet work preceded it.
+    """
+
+    enabled = True
+
+    def __init__(self, schedule: ChaosSchedule, registry=None):
+        self.schedule = schedule
+        self.obs = registry if registry is not None else default_registry()
+        self._ctr_injected = self.obs.counter("faults.injected")
+        self._lock = threading.Lock()
+        self._counts: dict[str, int] = {}
+        self._upcoming: dict[str, tuple[Iterator[int], int | None]] = {}
+        self._log: list[FaultRecord] = []
+        self._armed = True
+
+    # ------------------------------------------------------------------
+    # arming
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        with self._lock:
+            self._armed = True
+
+    def disarm(self) -> None:
+        with self._lock:
+            self._armed = False
+
+    @property
+    def armed(self) -> bool:
+        return self._armed
+
+    # ------------------------------------------------------------------
+    # the three injection verbs
+    # ------------------------------------------------------------------
+    def check(self, site: str) -> None:
+        """Raise the site's typed fault if the schedule says so."""
+        ordinal = self._fires(site, "raise")
+        if ordinal is None:
+            return
+        if self.schedule.is_permanent(site):
+            raise PermanentFault(
+                f"injected permanent fault at {site} (op {ordinal})", site=site
+            )
+        raise TransientFault(
+            f"injected transient fault at {site} (op {ordinal})", site=site
+        )
+
+    def mangle(self, site: str, data: bytes) -> bytes:
+        """Return ``data`` with one byte flipped when the site fires."""
+        ordinal = self._fires(site, "mangle")
+        if ordinal is None or not data:
+            return data
+        index = ordinal % len(data)
+        corrupted = bytearray(data)
+        corrupted[index] ^= 0xFF
+        return bytes(corrupted)
+
+    def drop_one(self, site: str, items: list) -> list:
+        """Return ``items`` minus one element when the site fires."""
+        ordinal = self._fires(site, "drop")
+        if ordinal is None or not items:
+            return items
+        trimmed = list(items)
+        del trimmed[ordinal % len(trimmed)]
+        return trimmed
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def log(self) -> tuple[FaultRecord, ...]:
+        """Every fault fired so far, in firing order."""
+        with self._lock:
+            return tuple(self._log)
+
+    def fired_count(self, site: str | None = None) -> int:
+        with self._lock:
+            if site is None:
+                return len(self._log)
+            return sum(1 for record in self._log if record.site == site)
+
+    def checks_seen(self, site: str) -> int:
+        """How many times ``site`` has been consulted while armed."""
+        with self._lock:
+            return self._counts.get(site, 0)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _fires(self, site: str, action: str) -> int | None:
+        """Advance the site's op counter; return the ordinal if it fires."""
+        with self._lock:
+            if not self._armed:
+                return None
+            count = self._counts.get(site, 0) + 1
+            self._counts[site] = count
+            entry = self._upcoming.get(site)
+            if entry is None:
+                stream = self.schedule.firing_ordinals(site)
+                entry = (stream, next(stream, None))
+            stream, upcoming = entry
+            if upcoming is None or count < upcoming:
+                self._upcoming[site] = (stream, upcoming)
+                return None
+            self._upcoming[site] = (stream, next(stream, None))
+            self._log.append(FaultRecord(site=site, ordinal=count, action=action))
+        self._ctr_injected.inc()
+        self.obs.counter(f"faults.{site}").inc()
+        return count
+
+
+# ----------------------------------------------------------------------
+# process-default plane (components bind it at construction)
+# ----------------------------------------------------------------------
+_default_plane: ChaosPlane | NullFaultPlane = NULL_FAULT_PLANE
+
+
+def default_fault_plane() -> ChaosPlane | NullFaultPlane:
+    """The plane components bind when none is passed explicitly."""
+    return _default_plane
+
+
+def set_default_fault_plane(
+    plane: ChaosPlane | NullFaultPlane,
+) -> ChaosPlane | NullFaultPlane:
+    """Install the process-wide default plane; returns it.
+
+    Components capture the default *at construction*, so install the
+    plane before building the system you want to shake.
+    """
+    global _default_plane
+    _default_plane = plane
+    return plane
+
+
+@contextmanager
+def scoped_fault_plane(plane: ChaosPlane | NullFaultPlane):
+    """Temporarily install ``plane`` as the process default."""
+    previous = _default_plane
+    set_default_fault_plane(plane)
+    try:
+        yield plane
+    finally:
+        set_default_fault_plane(previous)

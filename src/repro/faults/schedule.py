@@ -1,0 +1,118 @@
+"""Seeded, replayable chaos schedules.
+
+A :class:`ChaosSchedule` decides *which sites fire on which operation
+counts*. Determinism is the whole point: every site gets its own random
+stream keyed by ``(seed, site)``, and the stream yields the site-local
+operation ordinals at which the site fires. Because the stream depends
+only on the seed and the site name — never on wall time, thread
+interleaving, or what other sites are doing — a chaos run is replayable
+byte-for-byte from its seed: the same workload against the same seed
+produces the same fault sequence at every site.
+
+Firing gaps are geometric with parameter ``rate`` (the per-check firing
+probability), which is what independent per-check coin flips would give,
+but pre-drawn so the decision sequence is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One fault that actually fired: where, on which op, doing what."""
+
+    site: str
+    ordinal: int  # site-local operation count at which it fired
+    action: str  # "raise" | "mangle" | "drop"
+
+
+class ChaosSchedule:
+    """A deterministic plan of fault firings, parameterized by a seed.
+
+    Args:
+        seed: the replay key; equal seeds ⇒ equal firing sequences.
+        rates: per-site firing probability per check, overriding
+            ``default_rate``. Sites absent from both never fire.
+        default_rate: firing probability for sites not listed in
+            ``rates`` (0.0 keeps unlisted sites quiet).
+        permanent: sites whose raising faults are
+            :class:`~repro.errors.PermanentFault` (non-retryable)
+            instead of the default :class:`~repro.errors.TransientFault`.
+        limit_per_site: stop a site after this many firings (None:
+            unlimited). A bounded schedule is convenient for "fire
+            exactly once, then behave" tests.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        rates: Mapping[str, float] | None = None,
+        default_rate: float = 0.0,
+        permanent: tuple = (),
+        limit_per_site: int | None = None,
+    ):
+        for site, rate in (rates or {}).items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {site!r} must be in [0, 1]")
+        if not 0.0 <= default_rate <= 1.0:
+            raise ValueError("default_rate must be in [0, 1]")
+        if limit_per_site is not None and limit_per_site < 0:
+            raise ValueError("limit_per_site must be >= 0")
+        self.seed = seed
+        self.rates = dict(rates or {})
+        self.default_rate = default_rate
+        self.permanent = frozenset(permanent)
+        self.limit_per_site = limit_per_site
+
+    def rate_for(self, site: str) -> float:
+        return self.rates.get(site, self.default_rate)
+
+    def is_permanent(self, site: str) -> bool:
+        return site in self.permanent
+
+    def firing_ordinals(self, site: str) -> Iterator[int]:
+        """The site-local op counts at which ``site`` fires, in order.
+
+        A fresh iterator replays the identical sequence every time — this
+        is the replay contract tests pin down.
+        """
+        rate = self.rate_for(site)
+        if rate <= 0.0:
+            return iter(())
+        limit = self.limit_per_site
+
+        def stream() -> Iterator[int]:
+            rng = random.Random(f"{self.seed}:{site}")
+            ordinal = 0
+            fired = 0
+            while limit is None or fired < limit:
+                if rate >= 1.0:
+                    gap = 1
+                else:
+                    gap = 1
+                    while rng.random() >= rate:
+                        gap += 1
+                ordinal += gap
+                fired += 1
+                yield ordinal
+
+        return stream()
+
+    def preview(self, site: str, first_n: int = 10) -> list[int]:
+        """The first ``first_n`` firing ordinals (debugging/UX helper)."""
+        out = []
+        for ordinal in self.firing_ordinals(site):
+            out.append(ordinal)
+            if len(out) >= first_n:
+                break
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosSchedule(seed={self.seed!r}, rates={self.rates!r}, "
+            f"default_rate={self.default_rate!r})"
+        )

@@ -1,0 +1,93 @@
+"""The catalog of named fault-injection sites.
+
+Site names are dotted, and the segment before the first dot is the layer
+that hosts the site (mirroring the metric-name convention of
+:mod:`repro.obs`). Each constant below marks one place in the codebase
+where a hostile or unlucky host can make an operation fail; the
+corresponding ``check``/``mangle``/``drop_one`` call is threaded through
+that layer's source.
+
+Semantics per site (how a firing manifests and how it is handled):
+
+========================================  =====================================
+site                                      behaviour when fired
+========================================  =====================================
+``sgx.ecall_abort``                       the ECall entry aborts before
+                                          dispatch (:class:`TransientFault`);
+                                          the client retries the same
+                                          authenticated query — its qid was
+                                          never burned.
+``sgx.epc_swap_error``                    an encrypted EPC page swap fails
+                                          (:class:`TransientFault`) before any
+                                          accounting is mutated.
+``sgx.seal_corruption``                   the sealed blob is corrupted on the
+                                          way to untrusted storage; unsealing
+                                          later fails authentication.
+``memory.torn_write``                     a host-memory store tears: the cell
+                                          holds mangled bytes. Detected by the
+                                          next verification pass (the digests
+                                          cover the *intended* bytes).
+``memory.transient_read_error``           a host-memory load fails
+                                          (:class:`TransientFault`) before
+                                          anything is mutated; retried
+                                          transparently by the verified layer.
+``memory.directory_drop``                 the untrusted page directory omits a
+                                          live cell; the unmatched WriteSet
+                                          entry alarms at epoch close.
+``verifier.crash_before_end_pass``        the verifier dies after scanning but
+                                          before the epoch advances.
+``verifier.crash_after_end_pass``         the verifier dies right after the
+                                          epoch advances (pass is complete).
+``storage.compaction_abort``              a deferred-compaction pass aborts;
+                                          the policy skips the page and
+                                          retries on the next scan.
+``storage.splice_interruption``           a chain splice (insert/delete) is
+                                          interrupted *before* the first
+                                          mutation; a retry of the statement
+                                          is safe.
+========================================  =====================================
+"""
+
+from __future__ import annotations
+
+ECALL_ABORT = "sgx.ecall_abort"
+EPC_SWAP_ERROR = "sgx.epc_swap_error"
+SEAL_CORRUPTION = "sgx.seal_corruption"
+
+TORN_WRITE = "memory.torn_write"
+TRANSIENT_READ_ERROR = "memory.transient_read_error"
+DIRECTORY_DROP = "memory.directory_drop"
+
+VERIFIER_CRASH_BEFORE_END_PASS = "verifier.crash_before_end_pass"
+VERIFIER_CRASH_AFTER_END_PASS = "verifier.crash_after_end_pass"
+
+COMPACTION_ABORT = "storage.compaction_abort"
+SPLICE_INTERRUPTION = "storage.splice_interruption"
+
+#: every registered site, for schedules that want blanket coverage
+ALL_SITES = (
+    ECALL_ABORT,
+    EPC_SWAP_ERROR,
+    SEAL_CORRUPTION,
+    TORN_WRITE,
+    TRANSIENT_READ_ERROR,
+    DIRECTORY_DROP,
+    VERIFIER_CRASH_BEFORE_END_PASS,
+    VERIFIER_CRASH_AFTER_END_PASS,
+    COMPACTION_ABORT,
+    SPLICE_INTERRUPTION,
+)
+
+#: sites that are safe to fire during write statements: they either fire
+#: before any state is mutated (clean abort, retryable) or are recovered
+#: without surfacing (compaction retries on the next scan)
+SAFE_ABORT_SITES = (
+    ECALL_ABORT,
+    EPC_SWAP_ERROR,
+    COMPACTION_ABORT,
+    SPLICE_INTERRUPTION,
+)
+
+#: sites that model active host corruption; firing one means the *next*
+#: verification pass (or proof check) must raise an alarm
+CORRUPTION_SITES = (TORN_WRITE, DIRECTORY_DROP, SEAL_CORRUPTION)

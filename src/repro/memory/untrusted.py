@@ -21,13 +21,15 @@ import threading
 from typing import Iterator
 
 from repro.errors import StorageError
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.memory.cells import Cell, page_of
 
 
 class UntrustedMemory:
     """A flat address space of timestamped cells plus a page directory."""
 
-    def __init__(self):
+    def __init__(self, faults=None):
+        self.faults = faults if faults is not None else default_fault_plane()
         self._cells: dict[int, Cell] = {}
         self._page_addrs: dict[int, set[int]] = {}
         # Guards structural changes to the maps (not cell contents): the
@@ -42,18 +44,27 @@ class UntrustedMemory:
         return addr in self._cells
 
     def raw_read(self, addr: int) -> Cell:
+        # Injection site: a transient host-DRAM read error; nothing was
+        # mutated, so callers retry freely.
+        self.faults.check(fault_sites.TRANSIENT_READ_ERROR)
         cell = self._cells.get(addr)
         if cell is None:
             raise StorageError(f"no cell at address {addr:#x}")
         return cell
 
     def try_read(self, addr: int) -> Cell | None:
+        self.faults.check(fault_sites.TRANSIENT_READ_ERROR)
         return self._cells.get(addr)
 
     def raw_write(
         self, addr: int, data: bytes, timestamp: int, checked: bool = True
     ) -> None:
         """Store (or overwrite) a cell, updating the page directory."""
+        # Injection site: a torn write lands corrupted bytes in the host
+        # cell. The enclave-side digest was computed over the *intended*
+        # data, so the next verified access of this cell raises an alarm
+        # — torn writes are detected, never silently served.
+        data = self.faults.mangle(fault_sites.TORN_WRITE, data)
         with self._lock:
             if addr not in self._cells:
                 self._page_addrs.setdefault(page_of(addr), set()).add(addr)
@@ -88,7 +99,11 @@ class UntrustedMemory:
         module docstring for why that is sound.
         """
         with self._lock:
-            return sorted(self._page_addrs.get(page_id, ()))
+            addrs = sorted(self._page_addrs.get(page_id, ()))
+        # Injection site: the untrusted directory omits a live cell.
+        # Soundness does not depend on this list — the omitted cell's
+        # WriteSet entry stays unmatched and the epoch check alarms.
+        return self.faults.drop_one(fault_sites.DIRECTORY_DROP, addrs)
 
     def pages(self) -> list[int]:
         with self._lock:

@@ -34,8 +34,8 @@ from typing import Callable, Iterable
 
 from repro.crypto.prf import PRF
 from repro.crypto.sethash import SetHash
-from repro.errors import StorageError, VerificationFailure
-from repro.memory.cells import page_of
+from repro.errors import StorageError, TransientFault, VerificationFailure
+from repro.memory.cells import Cell, page_of
 from repro.memory.rsws import RSWSGroup
 from repro.memory.untrusted import UntrustedMemory
 from repro.obs import default_registry
@@ -99,6 +99,7 @@ class VerifiedMemory:
         self._ctr_allocs = self.obs.counter("memory.allocs")
         self._ctr_frees = self.obs.counter("memory.frees")
         self._ctr_unverified = self.obs.counter("memory.unverified_ops")
+        self._ctr_read_retries = self.obs.counter("memory.transient_read_retries")
         self._hist_hooks = self.obs.histogram("memory.op_hook_seconds")
         self.obs.gauge_fn(
             "memory.enclave_state_bytes", self.enclave_state_bytes
@@ -145,7 +146,7 @@ class VerifiedMemory:
     def deregister_page(self, page_id: int) -> None:
         """Remove a page, retiring all of its live cells."""
         for addr in self.memory.page_addresses(page_id):
-            cell = self.memory.try_read(addr)
+            cell = self._try_read_retried(addr)
             if cell is None:
                 continue
             if cell.checked:
@@ -173,13 +174,32 @@ class VerifiedMemory:
     # ------------------------------------------------------------------
     # Algorithm 1: protected operations
     # ------------------------------------------------------------------
+    def _try_read_retried(self, addr: int) -> Cell | None:
+        """Fetch a cell, absorbing transient host-read faults in place.
+
+        Called with the partition lock held and *before* any digest or
+        cell mutation, so an immediate in-place retry (no delay) is safe
+        and keeps a mid-operation fault from leaving the partition's
+        RS/WS half-updated. Gives up after a bounded number of attempts
+        so a permanently failing host still surfaces a typed fault.
+        """
+        attempts = 3
+        for attempt in range(1, attempts + 1):
+            try:
+                return self.memory.try_read(addr)
+            except TransientFault:
+                if attempt >= attempts:
+                    raise
+                self._ctr_read_retries.inc()
+        return None  # unreachable
+
     def read(self, addr: int) -> bytes:
         """Verified read: RS gets the old stamp, WS the virtual write-back."""
         page = page_of(addr)
         partition = self.rsws.partition_for_page(page)
         partition.acquire()
         try:
-            cell = self.memory.try_read(addr)
+            cell = self._try_read_retried(addr)
             if cell is None:
                 raise VerificationFailure(
                     f"cell {addr:#x} vanished from untrusted memory",
@@ -211,7 +231,7 @@ class VerifiedMemory:
         partition = self.rsws.partition_for_page(page)
         partition.acquire()
         try:
-            cell = self.memory.try_read(addr)
+            cell = self._try_read_retried(addr)
             if cell is None:
                 raise VerificationFailure(
                     f"cell {addr:#x} vanished from untrusted memory",
@@ -265,7 +285,7 @@ class VerifiedMemory:
         partition = self.rsws.partition_for_page(page)
         partition.acquire()
         try:
-            cell = self.memory.try_read(addr)
+            cell = self._try_read_retried(addr)
             if cell is None:
                 raise VerificationFailure(
                     f"cell {addr:#x} vanished from untrusted memory",

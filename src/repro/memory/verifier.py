@@ -36,6 +36,7 @@ from time import perf_counter
 
 from repro.crypto.sethash import SetHash
 from repro.errors import ConfigurationError, VeriDBError, VerificationFailure
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.memory.verified import VerifiedMemory
 from repro.obs import default_registry
 
@@ -52,7 +53,13 @@ class VerifierStats:
 class Verifier:
     """Epoch verifier over a :class:`VerifiedMemory`."""
 
-    def __init__(self, vmem: VerifiedMemory, mode: str = "full", registry=None):
+    def __init__(
+        self,
+        vmem: VerifiedMemory,
+        mode: str = "full",
+        registry=None,
+        faults=None,
+    ):
         if mode not in ("full", "touched"):
             raise ConfigurationError(f"unknown verifier mode {mode!r}")
         if mode == "touched" and not vmem.page_digests_enabled:
@@ -61,6 +68,7 @@ class Verifier:
             )
         self.vmem = vmem
         self.mode = mode
+        self.faults = faults if faults is not None else default_fault_plane()
         self.stats = VerifierStats()
         self.obs = registry if registry is not None else default_registry()
         self._obs_on = self.obs.enabled
@@ -309,6 +317,20 @@ class Verifier:
         """The error that stopped the background loop, if any (not cleared)."""
         return self._bg_error
 
+    def background_degraded(self) -> bool:
+        """True when background verification was started but is not running.
+
+        The portal consults this to flag responses produced while no
+        verifier is watching (graceful degradation): a loop that died —
+        crash or alarm — leaves either a recorded error or a dead thread.
+        A verifier that was never started in background mode is *not*
+        degraded; synchronous/triggered deployments manage their own
+        cadence.
+        """
+        if self._bg_error is not None:
+            return True
+        return self._bg_thread is not None and not self._bg_thread.is_alive()
+
     def stop_background(self, timeout: float | None = 10.0) -> None:
         """Stop the background thread, re-raising any error it recorded.
 
@@ -359,7 +381,7 @@ class Verifier:
             new_parity = old_parity ^ 1
             cells = 0
             for addr in vmem.memory.page_addresses(page_id):
-                cell = vmem.memory.try_read(addr)
+                cell = vmem._try_read_retried(addr)
                 if cell is None:
                     # Listed by the (untrusted) directory but absent: the
                     # unmatched WriteSet entry will fail the epoch check.
@@ -399,7 +421,7 @@ class Verifier:
             observed = SetHash()
             cells = 0
             for addr in vmem.memory.page_addresses(page_id):
-                cell = vmem.memory.try_read(addr)
+                cell = vmem._try_read_retried(addr)
                 if cell is None or not cell.checked:
                     continue
                 observed.add(vmem.prf.cell(addr, cell.data, cell.timestamp))
@@ -427,11 +449,19 @@ class Verifier:
 
     def _close_epoch(self) -> None:
         vmem = self.vmem
+        # Injection site: the verifier process dies with the scan done but
+        # the epoch not yet advanced. Nothing is lost — the next pass
+        # re-covers everything — but a background loop goes degraded.
+        self.faults.check(fault_sites.VERIFIER_CRASH_BEFORE_END_PASS)
         if self.mode == "touched":
             # Per-page checks already ran; just advance the epoch marker.
             vmem.end_pass()
             self.stats.passes_completed += 1
             self._ctr_passes.inc()
+            # Injection site: crash right after the epoch advanced.
+            # Placed after the pass bookkeeping so a fired crash never
+            # masks an alarm (touched-mode alarms raise per page, above).
+            self.faults.check(fault_sites.VERIFIER_CRASH_AFTER_END_PASS)
             return
         old_parity = vmem.epoch & 1
         bad: list[int] = []
@@ -454,3 +484,7 @@ class Verifier:
                 f"in partition(s) {bad}",
                 partition=bad[0],
             )
+        # Injection site: crash after a *clean* epoch close — fires only
+        # when no alarm is pending, so an injected crash can never mask
+        # a real detection.
+        self.faults.check(fault_sites.VERIFIER_CRASH_AFTER_END_PASS)

@@ -401,7 +401,16 @@ def scoped_registry(
 # layer grouping
 # ----------------------------------------------------------------------
 #: layers the benchmark breakdown always lists, in display order
-KNOWN_LAYERS = ("portal", "verifier", "memory", "storage", "sql", "sgx")
+KNOWN_LAYERS = (
+    "portal",
+    "verifier",
+    "memory",
+    "storage",
+    "sql",
+    "sgx",
+    "faults",
+    "incidents",
+)
 
 
 def layer_breakdown(snapshot: dict[str, dict]) -> dict[str, dict[str, dict]]:

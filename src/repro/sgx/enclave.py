@@ -22,6 +22,7 @@ from typing import Any, Callable
 from repro.crypto.keys import KeyChain
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import EnclaveError, IntegrityError
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.sgx.attestation import AttestationReport, PlatformQuotingKey, measure
 from repro.sgx.costs import CycleMeter
 from repro.sgx.counter import MonotonicCounter
@@ -48,8 +49,10 @@ class Enclave:
         epc: EnclavePageCache | None = None,
         meter: CycleMeter | None = None,
         platform: PlatformQuotingKey | None = None,
+        faults=None,
     ):
         self.name = name
+        self.faults = faults if faults is not None else default_fault_plane()
         self.meter = meter or CycleMeter()
         self.epc = epc or EnclavePageCache(meter=self.meter)
         self.keychain = keychain or KeyChain()
@@ -105,6 +108,9 @@ class Enclave:
         fn = self._ecalls.get(name)
         if fn is None:
             raise EnclaveError(f"unknown ECall {name!r} on enclave {self.name!r}")
+        # Injection site: the entry aborts before dispatch — no enclave
+        # state has changed, so an identical retry is safe.
+        self.faults.check(fault_sites.ECALL_ABORT)
         self.meter.charge_ecall()
         return fn(*args, **kwargs)
 
@@ -126,7 +132,10 @@ class Enclave:
         stream = self._keystream(len(data))
         ciphertext = bytes(a ^ b for a, b in zip(data, stream))
         tag = self._seal_mac.tag(ciphertext)
-        return tag + ciphertext
+        # Injection site: the blob is corrupted on its way to untrusted
+        # storage; unsealing later fails authentication, never decrypts
+        # garbage silently.
+        return self.faults.mangle(fault_sites.SEAL_CORRUPTION, tag + ciphertext)
 
     def unseal(self, blob: bytes) -> bytes:
         """Recover sealed data; raises :class:`IntegrityError` on tampering."""

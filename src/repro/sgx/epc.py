@@ -19,6 +19,7 @@ import threading
 from collections import OrderedDict
 
 from repro.errors import EnclaveError
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.sgx.costs import CycleMeter
 
 DEFAULT_EPC_BYTES = 96 * 1024 * 1024
@@ -38,10 +39,12 @@ class EnclavePageCache:
         self,
         capacity_bytes: int = DEFAULT_EPC_BYTES,
         meter: CycleMeter | None = None,
+        faults=None,
     ):
         if capacity_bytes <= 0:
             raise EnclaveError("EPC capacity must be positive")
         self.capacity_bytes = capacity_bytes
+        self.faults = faults if faults is not None else default_fault_plane()
         self.meter = meter or CycleMeter()
         self._lock = threading.Lock()
         # name -> size; insertion order doubles as LRU order (most recent last)
@@ -116,9 +119,13 @@ class EnclavePageCache:
         if name in self._resident:
             self._resident.move_to_end(name)
             return
-        size = self._swapped.pop(name, None)
-        if size is None:
+        if name not in self._swapped:
             raise EnclaveError(f"unknown EPC allocation {name!r}")
+        # Injection site: the encrypted swap-in fails before any
+        # accounting moved — the allocation stays swapped, a retry of
+        # the touching operation is safe.
+        self.faults.check(fault_sites.EPC_SWAP_ERROR)
+        size = self._swapped.pop(name)
         # swap back in
         self.meter.charge_epc_swaps(self._pages_for(size))
         self._resident[name] = size

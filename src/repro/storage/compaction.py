@@ -25,6 +25,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import FaultInjected
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.storage.config import StorageConfig
 
 
@@ -33,25 +35,39 @@ class CompactionStats:
     pages_compacted: int = 0
     records_relocated: int = 0
     passes_skipped_busy: int = 0
+    aborts: int = 0
 
 
 class CompactionPolicy:
     """Binds a table's pages to the configured reclamation strategy."""
 
-    def __init__(self, table, config: StorageConfig):
+    def __init__(self, table, config: StorageConfig, faults=None):
         self._table = table
         self.config = config
         self.stats = CompactionStats()
+        self.faults = faults if faults is not None else default_fault_plane()
         obs = table.engine.obs
         self._ctr_pages = obs.counter("storage.pages_compacted")
         self._ctr_relocated = obs.counter("storage.compaction_records_relocated")
         self._ctr_skipped = obs.counter("storage.compactions_skipped_busy")
+        self._ctr_aborts = obs.counter("storage.compaction_aborts")
 
     def on_page_scan(self, page_id: int) -> None:
         """Verifier callback: compact the page while it is locked & hot."""
         if self.config.compaction != "deferred":
             return
         table = self._table
+        try:
+            # Injection site: the compaction pass aborts before touching
+            # the page. Compaction is pure space reclamation — skipping a
+            # page is always safe (it stays fragmented until a later
+            # pass) — so the abort is absorbed here rather than allowed
+            # to take down the verifier scan that hosts the hook.
+            self.faults.check(fault_sites.COMPACTION_ABORT)
+        except FaultInjected:
+            self.stats.aborts += 1
+            self._ctr_aborts.inc()
+            return
         if not table._lock.acquire(blocking=False):
             self.stats.passes_skipped_busy += 1
             self._ctr_skipped.inc()

@@ -27,6 +27,7 @@ from typing import Any, Iterable
 from repro.catalog.schema import Schema
 from repro.catalog.types import BOTTOM, TOP
 from repro.errors import IntegrityError, ProofError, StorageError
+from repro.faults import default_fault_plane, sites as fault_sites
 from repro.storage.compaction import CompactionPolicy
 from repro.storage.locking import POINT_READ_RETRIES, ThreadSafeIndex
 from repro.storage.engine import StorageEngine
@@ -63,6 +64,7 @@ class VerifiableTable:
         self.codec = RecordCodec()
         self.stats = TableStats()
         self.obs = engine.obs
+        self.faults = default_fault_plane()
         self._ctr_point_retries = self.obs.counter("storage.point_read_retries")
         self._ctr_moves = self.obs.counter("storage.records_moved")
         self._hist_splice = self.obs.histogram("storage.chain_splice_seconds")
@@ -92,6 +94,10 @@ class VerifiableTable:
             self._hist_splice.observe(perf_counter() - start)
 
     def _insert(self, row: Iterable[Any]) -> RecordId:
+        # Injection site: the splice is interrupted before any chain or
+        # heap mutation — no partial splice can exist, an identical
+        # retry of the insert is safe.
+        self.faults.check(fault_sites.SPLICE_INTERRUPTION)
         row = self.schema.validate_row(row)
         with self._lock:
             pk = row[self.layout.pk_index]
@@ -131,6 +137,9 @@ class VerifiableTable:
 
     def delete(self, pk: Any) -> bool:
         """Delete by primary key; False (with absence proof) if missing."""
+        # Injection site: mirror of the insert interruption — fires
+        # before the unlink touches anything.
+        self.faults.check(fault_sites.SPLICE_INTERRUPTION)
         with self._lock:
             rid, stored, proof = self._locate_pk(pk)
             proof.check()

@@ -1,0 +1,33 @@
+"""Shared test helpers and fixtures.
+
+``poll_until`` is the suite's one condition-synchronization primitive:
+tests that wait on a background thread (the verifier daemon, a crashing
+pass) poll the observable condition with a deadline instead of sleeping
+a fixed interval — fixed sleeps are simultaneously too slow on fast
+machines and flaky on loaded ones.
+"""
+
+import time
+
+import pytest
+
+
+def poll_until(predicate, timeout=5.0, interval=0.005):
+    """Poll ``predicate`` until truthy or ``timeout`` seconds elapse.
+
+    Returns the final value of ``predicate()`` so callers can simply
+    ``assert poll_until(...)`` and get a clean assertion failure (with
+    the predicate still false) instead of a hang or a race.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+@pytest.fixture(name="poll_until")
+def poll_until_fixture():
+    """The polling helper as a fixture, for tests that prefer injection."""
+    return poll_until

@@ -1,5 +1,6 @@
 """Property-based tests for the client's interval-compressed audit log."""
 
+import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -40,6 +41,69 @@ def test_any_permutation_of_a_range_compacts_to_one_interval(order):
         assert interval_set.add(value)
     assert interval_set.interval_count == 1
     assert interval_set.intervals() == [(0, 59)]
+
+
+# ----------------------------------------------------------------------
+# persistence round-trips: the audit log must survive client restarts
+# byte-exactly, and refuse to load anything non-canonical (a corrupted
+# or attacker-supplied blob must never widen the accepted-qid set)
+# ----------------------------------------------------------------------
+@given(st.lists(st.integers(0, 2**40), max_size=150))
+def test_serialization_round_trips(values):
+    original = IntervalSet()
+    for value in values:
+        original.add(value)
+    restored = IntervalSet.from_bytes(original.to_bytes())
+    assert restored.intervals() == original.intervals()
+    assert len(restored) == len(original)
+    # the round-trip is a fixed point: re-encoding is byte-identical
+    assert restored.to_bytes() == original.to_bytes()
+
+
+@given(st.lists(st.integers(0, 400), max_size=120), st.integers(0, 400))
+def test_restored_set_keeps_answering_correctly(values, probe):
+    """Membership and further adds behave identically after a reload."""
+    original = IntervalSet()
+    model: set[int] = set()
+    for value in values:
+        original.add(value)
+        model.add(value)
+    restored = IntervalSet.from_bytes(original.to_bytes())
+    assert (probe in restored) == (probe in model)
+    assert restored.add(probe) == (probe not in model)
+
+
+@given(st.binary(max_size=64))
+def test_random_blobs_never_load_silently_wrong(blob):
+    """Arbitrary bytes either raise ValueError or decode canonically."""
+    try:
+        restored = IntervalSet.from_bytes(blob)
+    except ValueError:
+        return
+    # anything accepted must be canonical: re-encoding reproduces it
+    assert restored.to_bytes() == blob
+    intervals = restored.intervals()
+    for lo, hi in intervals:
+        assert lo <= hi
+    for (_lo_a, hi_a), (lo_b, _hi_b) in zip(intervals, intervals[1:]):
+        assert lo_b > hi_a + 1
+
+
+@pytest.mark.parametrize(
+    "corrupt",
+    [
+        lambda b: b[:-1],  # truncated
+        lambda b: b + b"\x00",  # trailing junk
+        lambda b: b"\xff\xff\xff\xff" + b[4:],  # absurd count
+    ],
+    ids=["truncated", "trailing-junk", "bad-count"],
+)
+def test_tampered_blob_rejected(corrupt):
+    original = IntervalSet()
+    for value in (1, 2, 3, 10, 11, 40):
+        original.add(value)
+    with pytest.raises(ValueError):
+        IntervalSet.from_bytes(corrupt(original.to_bytes()))
 
 
 @given(st.sets(st.integers(0, 300), max_size=80))

@@ -5,8 +5,6 @@ other exception (a buggy scan hook, a storage error) killed the daemon
 thread without a trace while the system kept serving queries unverified.
 """
 
-import time
-
 import pytest
 
 from repro.crypto.prf import PRF
@@ -16,6 +14,7 @@ from repro.memory.rsws import RSWSGroup
 from repro.memory.verified import VerifiedMemory
 from repro.memory.verifier import Verifier
 from repro.obs import MetricsRegistry, scoped_registry
+from tests.conftest import poll_until as wait_until
 
 
 def make_vmem(pages=4, partitions=2, hooks=None):
@@ -26,15 +25,6 @@ def make_vmem(pages=4, partitions=2, hooks=None):
         for i in range(4):
             vmem.alloc(make_addr(p, i * 64), f"cell-{p}-{i}".encode())
     return vmem
-
-
-def wait_until(predicate, timeout=5.0):
-    deadline = time.monotonic() + timeout
-    while time.monotonic() < deadline:
-        if predicate():
-            return True
-        time.sleep(0.01)
-    return predicate()
 
 
 # ----------------------------------------------------------------------

@@ -216,6 +216,8 @@ def test_layer_breakdown_groups_by_first_segment():
         "storage",
         "sql",
         "sgx",
+        "faults",
+        "incidents",
     }
 
 

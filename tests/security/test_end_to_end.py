@@ -91,14 +91,16 @@ def test_continuous_verification_catches_tampering_inline():
 
 
 def test_background_verifier_reports_alarm(db):
+    from tests.conftest import poll_until
+
     adversary = Adversary(db.storage.memory)
     addr = _record_addr(db, 7)
     cell = db.storage.memory.raw_read(addr)
     db.start_background_verification()
     adversary.corrupt(addr, cell.data[:-1] + b"!")
-    import time
-
-    time.sleep(0.05)
+    # The loop dies on the alarm; wait for that observable state instead
+    # of sleeping a fixed interval (flaky on loaded machines).
+    assert poll_until(lambda: not db.storage.verifier.background_alive())
     with pytest.raises(VerificationFailure):
         db.stop_background_verification()
 

@@ -11,6 +11,7 @@ edge cases beyond plain ASCII, LIMIT only under a unique total ORDER
 BY.
 """
 
+import random
 import sqlite3
 
 import pytest
@@ -167,3 +168,167 @@ def test_scalar_subquery_matches_sqlite(rows):
         assert ours == [] and theirs == []
         return
     _approx_equal(ours, theirs)
+
+
+# ----------------------------------------------------------------------
+# seeded random-query fuzzer: joins, aggregates, NULLs, ORDER/LIMIT
+#
+# One seeded ``random.Random`` drives both data and query generation, so
+# a failure reproduces from nothing but the printed (seed, index) pair.
+# The CI corpus is bounded; the slow-marked variant runs a much larger
+# sweep for opt-in deep runs (``pytest -m slow``).
+# ----------------------------------------------------------------------
+class QueryFuzzer:
+    """Composes random two-table queries in the shared dialect subset."""
+
+    def __init__(self, rng: random.Random):
+        self.rng = rng
+
+    def literal(self):
+        return self.rng.randrange(-5, 51)
+
+    def predicate(self, cols, depth=2):
+        roll = self.rng.random()
+        if depth > 0 and roll < 0.3:
+            connective = self.rng.choice(["AND", "OR"])
+            left = self.predicate(cols, depth - 1)
+            right = self.predicate(cols, depth - 1)
+            return f"({left} {connective} {right})"
+        col = self.rng.choice(cols)
+        if roll < 0.45:
+            return f"({col} IS {'NOT ' if self.rng.random() < 0.5 else ''}NULL)"
+        if roll < 0.6:
+            items = ", ".join(
+                str(self.literal()) for _ in range(self.rng.randrange(1, 5))
+            )
+            return f"({col} IN ({items}))"
+        op = self.rng.choice(["=", "!=", "<", "<=", ">", ">="])
+        return f"({col} {op} {self.literal()})"
+
+    def single_table(self):
+        where = self.predicate(["a", "b", "id"])
+        return f"SELECT id, a, b FROM t WHERE {where}", False
+
+    def inner_join(self):
+        key = self.rng.choice(["a", "id"])
+        where = self.predicate(["t.a", "t.b", "u.c", "u.id"])
+        sql = (
+            "SELECT t.id, u.id, t.a, u.c FROM t "
+            f"JOIN u ON t.{key} = u.{'a' if key == 'a' else 'id'} "
+            f"WHERE {where}"
+        )
+        return sql, False
+
+    def left_join(self):
+        where = self.predicate(["t.a", "t.b"])
+        sql = (
+            "SELECT t.id, u.c FROM t LEFT JOIN u ON t.a = u.a "
+            f"WHERE {where}"
+        )
+        return sql, False
+
+    def join_aggregate(self):
+        sql = (
+            "SELECT t.a, COUNT(*), COUNT(u.c), SUM(u.c), MIN(u.c), MAX(t.b) "
+            "FROM t LEFT JOIN u ON t.a = u.a GROUP BY t.a"
+        )
+        return sql, False
+
+    def order_limit(self):
+        direction = self.rng.choice(["ASC", "DESC"])
+        limit = self.rng.randrange(0, 12)
+        where = self.predicate(["t.a", "t.b", "u.c"])
+        sql = (
+            "SELECT t.id, u.id FROM t JOIN u ON t.a = u.a "
+            f"WHERE {where} "
+            f"ORDER BY t.id {direction}, u.id {direction} LIMIT {limit}"
+        )
+        return sql, True  # unique total order: compare exactly
+
+    def aggregate_filter(self):
+        where = self.predicate(["a", "b"])
+        sql = (
+            "SELECT COUNT(*), COUNT(b), SUM(b), MIN(a), MAX(b), AVG(a) "
+            f"FROM t WHERE {where}"
+        )
+        return sql, False
+
+    def next_query(self):
+        shape = self.rng.choice(
+            [
+                self.single_table,
+                self.inner_join,
+                self.left_join,
+                self.join_aggregate,
+                self.order_limit,
+                self.aggregate_filter,
+            ]
+        )
+        return shape()
+
+
+def _fuzz_setup(rng):
+    storage = StorageEngine()
+    engine = QueryEngine(Catalog(), storage)
+    connection = sqlite3.connect(":memory:")
+    ddl_t = (
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, a INTEGER NOT NULL, "
+        "b INTEGER, s TEXT{chain})"
+    )
+    ddl_u = (
+        "CREATE TABLE u (id INTEGER PRIMARY KEY, a INTEGER NOT NULL, "
+        "c INTEGER{chain})"
+    )
+    engine.execute(ddl_t.format(chain=", CHAIN (a)"))
+    engine.execute(ddl_u.format(chain=", CHAIN (a)"))
+    connection.execute(ddl_t.format(chain=""))
+    connection.execute(ddl_u.format(chain=""))
+    for i in range(rng.randrange(5, 30)):
+        row = (
+            i,
+            rng.randrange(0, 8),
+            None if rng.random() < 0.3 else rng.randrange(-5, 6),
+            None if rng.random() < 0.3 else rng.choice(["x", "y", "zz"]),
+        )
+        engine.catalog.lookup("t").store.insert(row)
+        connection.execute("INSERT INTO t VALUES (?, ?, ?, ?)", row)
+    for i in range(rng.randrange(0, 20)):
+        row = (
+            i,
+            rng.randrange(0, 8),
+            None if rng.random() < 0.3 else rng.randrange(0, 50),
+        )
+        engine.catalog.lookup("u").store.insert(row)
+        connection.execute("INSERT INTO u VALUES (?, ?, ?)", row)
+    return storage, engine, connection
+
+
+def _fuzz_corpus(seed, queries, reseed_data_every=25):
+    """Run ``queries`` random queries; divergence fails with a repro tag."""
+    rng = random.Random(seed)
+    fuzzer = QueryFuzzer(rng)
+    storage = engine = connection = None
+    for index in range(queries):
+        if index % reseed_data_every == 0:
+            storage, engine, connection = _fuzz_setup(rng)
+        sql, exact_order = fuzzer.next_query()
+        tag = f"seed={seed} index={index} sql={sql!r}"
+        ours = engine.execute(sql).rows
+        theirs = [tuple(r) for r in connection.execute(sql).fetchall()]
+        if exact_order:
+            assert list(ours) == theirs, tag
+        else:
+            assert len(ours) == len(theirs), tag
+            assert _canon(ours) == _canon(theirs), tag
+    storage.verify_now()
+
+
+@pytest.mark.parametrize("seed", [11, 29, 47])
+def test_fuzzer_ci_corpus(seed):
+    _fuzz_corpus(seed, queries=60)
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("seed", list(range(8)))
+def test_fuzzer_deep_corpus(seed):
+    _fuzz_corpus(seed, queries=400)
