@@ -122,6 +122,26 @@ def run_fig9(n_initial: int, n_ops: int) -> dict[str, LatencyRecorder]:
     return results
 
 
+def run_seq_scan(
+    config: StorageConfig, n_rows: int, repeats: int = 3, seed: int = 0
+) -> float:
+    """Best-of wall time (seconds) for one full verified sequential scan.
+
+    The scan-heavy counterpart to the Figure 9 mixed op stream: this is
+    the workload the vectorized read path (``StorageConfig.batch_size``)
+    amortizes, so the batch-size ablation and the CI perf smoke both
+    drive it.
+    """
+    kv, _engine, _workload = build_kv(config, n_rows, seed)
+    best = None
+    for _ in range(repeats):
+        rows, elapsed = timed(lambda: list(kv.table.seq_scan()))
+        assert len(rows) == n_rows
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
 FIG10_FREQUENCIES = (50, 100, 200, 500, 1000)
 
 

@@ -20,8 +20,10 @@ from _harness import (
     print_latency_table,
     print_metrics_breakdown,
     run_fig9,
+    run_seq_scan,
     scaled,
 )
+from repro.storage.config import StorageConfig
 
 N_INITIAL = scaled(2000)
 N_OPS = scaled(1200)
@@ -65,6 +67,24 @@ def test_fig9_shape():
     # nKey maintenance makes structural ops pricier than point reads
     assert best("RSWS", "insert") > best("RSWS", "get")
     assert best("RSWS", "delete") > best("RSWS", "get")
+
+
+def test_fig9_seq_scan_batched_faster():
+    """CI perf smoke: the vectorized read path must beat batch size 1.
+
+    Batch size 1 reproduces the original row-at-a-time engine (one
+    simulated ECall and one partition-lock acquisition per cell); the
+    default batch size amortizes both per batch. This guards the
+    regression where that amortization stops paying for itself on the
+    sequential-scan workload.
+    """
+    n_rows = scaled(2500)
+    row_at_a_time = run_seq_scan(StorageConfig(batch_size=1), n_rows, repeats=3)
+    batched = run_seq_scan(StorageConfig(), n_rows, repeats=3)
+    assert batched < row_at_a_time, (
+        f"batched sequential scan ({batched * 1e3:.1f}ms) is not faster "
+        f"than row-at-a-time ({row_at_a_time * 1e3:.1f}ms)"
+    )
 
 
 def main():

@@ -57,6 +57,8 @@ class VeriDB:
         self.storage = StorageEngine(
             self.config.storage, keychain=keychain, registry=self.obs
         )
+        # batched verified reads bill one amortized ECall per batch
+        self.storage.attach_meter(self.enclave.meter)
         self.catalog = Catalog()
         self.engine = QueryEngine(self.catalog, self.storage, epc=self.enclave.epc)
         self.incidents = IncidentLog(registry=self.obs)

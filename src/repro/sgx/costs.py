@@ -50,10 +50,12 @@ class CycleMeter:
         self.ecalls = 0
         self.ocalls = 0
         self.epc_swaps = 0
+        self.batched_reads = 0
         obs = registry if registry is not None else default_registry()
         self._ctr_ecalls = obs.counter("sgx.ecalls")
         self._ctr_ocalls = obs.counter("sgx.ocalls")
         self._ctr_swaps = obs.counter("sgx.epc_swaps")
+        self._ctr_batched_reads = obs.counter("sgx.batched_read_crossings")
         self._ctr_cycles = obs.counter("sgx.simulated_cycles")
 
     def charge_ecall(self) -> None:
@@ -69,6 +71,21 @@ class CycleMeter:
             self.cycles += self.model.ocall_cycles
         self._ctr_ocalls.inc()
         self._ctr_cycles.inc(self.model.ocall_cycles)
+
+    def charge_batched_read(self) -> None:
+        """Bill one amortized boundary crossing for a batched data read.
+
+        The vectorized read path moves a whole batch of cells across the
+        trust boundary for the cost of a single ECall-sized crossing
+        (instead of one per row). Counted separately from ``ecalls`` so
+        the control-plane invariant — one ECall per submitted query —
+        stays observable.
+        """
+        with self._lock:
+            self.batched_reads += 1
+            self.cycles += self.model.ecall_cycles
+        self._ctr_batched_reads.inc()
+        self._ctr_cycles.inc(self.model.ecall_cycles)
 
     def charge_epc_swaps(self, count: int) -> None:
         if count <= 0:
@@ -87,6 +104,7 @@ class CycleMeter:
                 "ecalls": self.ecalls,
                 "ocalls": self.ocalls,
                 "epc_swaps": self.epc_swaps,
+                "batched_reads": self.batched_reads,
             }
 
     def reset(self) -> None:
@@ -95,6 +113,7 @@ class CycleMeter:
             self.ecalls = 0
             self.ocalls = 0
             self.epc_swaps = 0
+            self.batched_reads = 0
 
 
 @dataclass

@@ -1,0 +1,69 @@
+"""RowBatch: the unit of vectorized data flow between operators.
+
+The engine executes batch-at-a-time: every :class:`PhysicalOp` produces
+:class:`RowBatch` objects instead of single tuples, amortizing per-pull
+overhead (generator frames, timing laps, verified-memory crossings)
+over ``StorageConfig.batch_size`` rows. A batch is row-major — a list
+of row tuples, which is also what the spill machinery and the executor
+consume — with a columnar accessor for the vectorized expression
+evaluators, plus the "interesting order" metadata the planner's
+sort-elision depends on.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator
+
+#: fallback batch size for directly-constructed operators; plans built
+#: through the Planner are stamped with ``StorageConfig.batch_size``
+DEFAULT_BATCH_SIZE = 256
+
+
+class RowBatch:
+    """A slice of an operator's output: rows, cardinality, ordering."""
+
+    __slots__ = ("rows", "ordering")
+
+    def __init__(self, rows: list[tuple], ordering: tuple = ()):
+        #: row-major payload (list of row tuples)
+        self.rows = rows
+        #: the (qualifier, column, ascending) triples this batch's rows
+        #: are known to satisfy — same contract as ``PhysicalOp.ordering``
+        self.ordering = ordering
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    @property
+    def width(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    def column(self, position: int) -> list:
+        """Materialize one column of the batch (columnar view)."""
+        return [row[position] for row in self.rows]
+
+    def __repr__(self) -> str:
+        return f"RowBatch({len(self.rows)} rows)"
+
+
+def batched(
+    rows: Iterable[tuple], batch_size: int, ordering: tuple = ()
+) -> Iterator[RowBatch]:
+    """Chunk an iterable of rows into RowBatches of ``batch_size``."""
+    if isinstance(rows, list):
+        for i in range(0, len(rows), batch_size):
+            yield RowBatch(rows[i : i + batch_size], ordering)
+        return
+    iterator = iter(rows)
+    while True:
+        chunk = list(itertools.islice(iterator, batch_size))
+        if not chunk:
+            return
+        yield RowBatch(chunk, ordering)

@@ -92,6 +92,7 @@ class QueryEngine:
             catalog,
             subquery_executor=lambda select: self._run_select(select, None).rows,
             spill=spill,
+            batch_size=storage.config.batch_size if storage is not None else None,
         )
 
     # ------------------------------------------------------------------
@@ -158,10 +159,17 @@ class QueryEngine:
         """
         if result.plan is None:
             return
+        total_batches = 0
         for op in result.plan.walk():
             self.obs.histogram(
                 f"sql.op.{type(op).__name__}.self_seconds"
             ).observe(op.self_seconds)
+            total_batches += op.batches_out
+            if op.batches_out:
+                self.obs.histogram("sql.batch_size").observe(
+                    op.rows_out / op.batches_out
+                )
+        self.obs.histogram("sql.batches_per_query").observe(total_batches)
         self.obs.histogram("sql.scan_seconds").observe(result.scan_seconds())
         self.obs.histogram("sql.other_seconds").observe(result.other_seconds())
 
@@ -177,7 +185,9 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def _run_select(self, stmt: Select, join_hint: Optional[str]) -> ExecutionResult:
         plan = self.planner.plan_select(stmt, join_hint)
-        rows = list(plan.timed_rows())
+        rows: list[tuple] = []
+        for batch in plan.timed_batches():
+            rows.extend(batch.rows)
         return ExecutionResult(
             columns=plan.output.names, rows=rows, rowcount=len(rows), plan=plan
         )

@@ -6,7 +6,8 @@ from typing import Any, Iterator
 
 from repro.errors import PlanningError
 from repro.sql.ast_nodes import Aggregate, Expr
-from repro.sql.expressions import RowSchema, compile_expr
+from repro.sql.batch import RowBatch, batched
+from repro.sql.expressions import RowSchema, compile_expr, compile_expr_batch
 from repro.sql.operators.base import PhysicalOp
 
 
@@ -64,7 +65,9 @@ class HashAggregateOp(PhysicalOp):
 
     Output row = group-key values followed by aggregate results, with the
     synthetic names supplied by the planner (which rewrites aggregate
-    references above this operator into column refs).
+    references above this operator into column refs). Group-key and
+    argument expressions are evaluated vectorized over each input batch;
+    the accumulators then consume the resulting columns row-wise.
     """
 
     def __init__(
@@ -82,34 +85,52 @@ class HashAggregateOp(PhysicalOp):
         self.group_exprs = group_exprs
         self.aggregates = aggregates
         self._group_fns = [compile_expr(e, child.output) for e in group_exprs]
+        self._group_batch_fns = [
+            compile_expr_batch(e, child.output) for e in group_exprs
+        ]
         self._arg_fns = [
             compile_expr(agg.argument, child.output)
             if agg.argument is not None
             else None
             for agg in aggregates
         ]
+        self._arg_batch_fns = [
+            compile_expr_batch(agg.argument, child.output)
+            if agg.argument is not None
+            else None
+            for agg in aggregates
+        ]
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         groups: dict[tuple, list[_AggState]] = {}
         order: list[tuple] = []
-        for row in self.children[0].timed_rows():
-            key = tuple(fn(row) for fn in self._group_fns)
-            states = groups.get(key)
-            if states is None:
-                states = [
-                    _AggState(agg.func, agg.distinct) for agg in self.aggregates
-                ]
-                groups[key] = states
-                order.append(key)
-            for state, arg_fn in zip(states, self._arg_fns):
-                state.feed(_STAR if arg_fn is None else arg_fn(row))
+        for batch in self.children[0].timed_batches():
+            rows = batch.rows
+            key_columns = [fn(rows) for fn in self._group_batch_fns]
+            arg_columns = [
+                None if fn is None else fn(rows) for fn in self._arg_batch_fns
+            ]
+            for i in range(len(rows)):
+                key = tuple(column[i] for column in key_columns)
+                states = groups.get(key)
+                if states is None:
+                    states = [
+                        _AggState(agg.func, agg.distinct)
+                        for agg in self.aggregates
+                    ]
+                    groups[key] = states
+                    order.append(key)
+                for state, column in zip(states, arg_columns):
+                    state.feed(_STAR if column is None else column[i])
         if not groups and not self.group_exprs:
             # global aggregate over an empty input still yields one row
             states = [_AggState(agg.func, agg.distinct) for agg in self.aggregates]
-            yield tuple(state.result() for state in states)
+            yield RowBatch([tuple(state.result() for state in states)])
             return
-        for key in order:
-            yield key + tuple(state.result() for state in groups[key])
+        output = [
+            key + tuple(state.result() for state in groups[key]) for key in order
+        ]
+        yield from batched(output, self.batch_size)
 
     def describe(self) -> str:
         aggs = ", ".join(repr(a) for a in self.aggregates)

@@ -1,35 +1,47 @@
-"""Operator base class: schema, children, timing."""
+"""Operator base class: schema, children, timing, batch protocol."""
 
 from __future__ import annotations
 
+import itertools
 from typing import Iterator
 
 from repro.obs import Stopwatch
+from repro.sql.batch import DEFAULT_BATCH_SIZE, RowBatch
 from repro.sql.expressions import RowSchema
 
 
 class PhysicalOp:
     """Base of all physical operators.
 
-    Subclasses implement :meth:`rows` (a fresh iterator per call).
-    Consumers iterate :meth:`timed_rows`, which accumulates the wall
-    time spent *producing* each row into ``total_seconds`` — inclusive
-    of children; ``self_seconds`` subtracts the children's totals, which
-    is what the per-node breakdown reports. Timing goes through the
-    observability layer's :class:`~repro.obs.trace.Stopwatch` (stream
-    laps: the consumer's time between pulls is never charged), and the
-    executor folds every node's self time into per-operator latency
-    histograms after the plan drains.
+    Execution is batch-at-a-time: subclasses implement :meth:`batches`
+    (a fresh iterator of :class:`RowBatch` per call); :meth:`rows` is a
+    derived row-at-a-time view. Legacy subclasses that only implement
+    :meth:`rows` still work — the default :meth:`batches` chunks their
+    row stream into batches of :attr:`batch_size`.
+
+    Consumers iterate :meth:`timed_batches` (or :meth:`timed_rows`,
+    which flattens it), accumulating the wall time spent *producing*
+    each batch into ``total_seconds`` — inclusive of children, one
+    Stopwatch lap per batch rather than per row; ``self_seconds``
+    subtracts the children's totals, which is what the per-node
+    breakdown reports. The consumer's time between pulls is never
+    charged, and the executor folds every node's self time into
+    per-operator latency histograms after the plan drains.
     """
 
     #: operators whose self-time counts as "scan nodes" in Figure 12
     is_scan = False
+
+    #: rows per RowBatch this operator emits; the planner stamps the
+    #: configured ``StorageConfig.batch_size`` onto every plan node
+    batch_size = DEFAULT_BATCH_SIZE
 
     def __init__(self, output: RowSchema, children: list["PhysicalOp"]):
         self.output = output
         self.children = children
         self.total_seconds = 0.0
         self.rows_out = 0
+        self.batches_out = 0
         #: extra scan time incurred internally (index-nested-loop inner
         #: lookups), counted toward scan nodes
         self.internal_scan_seconds = 0.0
@@ -42,27 +54,52 @@ class PhysicalOp:
         self.ordering: list[tuple] = []
 
     # ------------------------------------------------------------------
-    def rows(self) -> Iterator[tuple]:
-        raise NotImplementedError
+    def batches(self) -> Iterator[RowBatch]:
+        """Produce the operator's output as RowBatches.
 
-    def timed_rows(self) -> Iterator[tuple]:
-        # Time the rows() call itself: eager operators (scans, sorts)
+        The default adapts a rows()-only subclass by chunking its row
+        stream; subclasses implementing neither protocol raise.
+        """
+        if type(self).rows is PhysicalOp.rows:
+            raise NotImplementedError
+        ordering = tuple(self.ordering)
+        iterator = self.rows()
+        while True:
+            chunk = list(itertools.islice(iterator, self.batch_size))
+            if not chunk:
+                return
+            yield RowBatch(chunk, ordering)
+
+    def rows(self) -> Iterator[tuple]:
+        """Row-at-a-time view of :meth:`batches` (DML paths, tests)."""
+        if type(self).batches is PhysicalOp.batches:
+            raise NotImplementedError
+        for batch in self.batches():
+            yield from batch.rows
+
+    def timed_batches(self) -> Iterator[RowBatch]:
+        # Time the batches() call itself: eager operators (scans, sorts)
         # do their work during construction, and missing it would
         # attribute their cost to an ancestor's self-time.
         watch = Stopwatch()
         watch.resume()
-        iterator = self.rows()
+        iterator = self.batches()
         self.total_seconds += watch.pause()
         while True:
             watch.resume()
             try:
-                row = next(iterator)
+                batch = next(iterator)
             except StopIteration:
                 self.total_seconds += watch.pause()
                 return
             self.total_seconds += watch.pause()
-            self.rows_out += 1
-            yield row
+            self.rows_out += len(batch)
+            self.batches_out += 1
+            yield batch
+
+    def timed_rows(self) -> Iterator[tuple]:
+        for batch in self.timed_batches():
+            yield from batch.rows
 
     # ------------------------------------------------------------------
     @property

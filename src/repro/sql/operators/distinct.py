@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.sql.batch import RowBatch
 from repro.sql.operators.base import PhysicalOp
 
 
@@ -13,13 +14,17 @@ class DistinctOp(PhysicalOp):
     def __init__(self, child: PhysicalOp):
         super().__init__(child.output, [child])
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         seen: set[tuple] = set()
-        for row in self.children[0].timed_rows():
-            if row in seen:
-                continue
-            seen.add(row)
-            yield row
+        for batch in self.children[0].timed_batches():
+            fresh = []
+            for row in batch.rows:
+                if row in seen:
+                    continue
+                seen.add(row)
+                fresh.append(row)
+            if fresh:
+                yield RowBatch(fresh)
 
     def describe(self) -> str:
         return "Distinct"

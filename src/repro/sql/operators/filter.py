@@ -5,7 +5,8 @@ from __future__ import annotations
 from typing import Iterator
 
 from repro.sql.ast_nodes import Expr
-from repro.sql.expressions import compile_predicate
+from repro.sql.batch import RowBatch
+from repro.sql.expressions import compile_predicate, compile_predicate_batch
 from repro.sql.operators.base import PhysicalOp
 
 
@@ -16,13 +17,17 @@ class FilterOp(PhysicalOp):
         super().__init__(child.output, [child])
         self.predicate = predicate
         self._fn = compile_predicate(predicate, child.output)
+        self._batch_fn = compile_predicate_batch(predicate, child.output)
         self.ordering = list(child.ordering)  # selection preserves order
 
-    def rows(self) -> Iterator[tuple]:
-        fn = self._fn
-        for row in self.children[0].timed_rows():
-            if fn(row):
-                yield row
+    def batches(self) -> Iterator[RowBatch]:
+        fn = self._batch_fn
+        ordering = tuple(self.ordering)
+        for batch in self.children[0].timed_batches():
+            keep = fn(batch.rows)
+            rows = [row for row, ok in zip(batch.rows, keep) if ok]
+            if rows:
+                yield RowBatch(rows, ordering)
 
     def describe(self) -> str:
         return f"Filter({self.predicate!r})"

@@ -8,7 +8,10 @@ usable inner index.
 
 Join conditions are split by the planner into equi-key pairs
 (left-expr = right-expr) plus a residual predicate evaluated on the
-combined row.
+combined row. All joins consume and emit :class:`RowBatch` streams; the
+match logic itself stays row-wise (its cost is dominated by the data
+movement the batches already amortize), with output rows flushed in
+batches of ``batch_size``.
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ from typing import Iterator, Optional
 
 from repro.obs import timed_call
 from repro.sql.ast_nodes import Expr
+from repro.sql.batch import RowBatch, batched
 from repro.sql.expressions import compile_expr, compile_predicate
 from repro.sql.operators.base import PhysicalOp
 from repro.sql.operators.scan import table_schema
@@ -71,27 +75,38 @@ class NestedLoopJoinOp(_JoinBase):
     this storage reuse for oversized intermediate state.
     """
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         buffer = None
         if self.spill is not None:
             buffer = self.spill.buffer("nl-inner")
             buffer.extend(self.children[1].timed_rows())
             inner = buffer
         else:
-            inner = list(self.children[1].timed_rows())
+            inner = [
+                row
+                for batch in self.children[1].timed_batches()
+                for row in batch.rows
+            ]
         try:
-            for left_row in self.children[0].timed_rows():
-                lkey = self._left_key(left_row) if self.left_keys else None
-                matched = False
-                for right_row in inner:
-                    if lkey is not None and lkey != self._right_key(right_row):
-                        continue
-                    combined = self._emit(left_row, right_row)
-                    if combined is not None:
-                        matched = True
-                        yield combined
-                if self.left_outer and not matched:
-                    yield left_row + self._null_right
+            out: list[tuple] = []
+            for batch in self.children[0].timed_batches():
+                for left_row in batch.rows:
+                    lkey = self._left_key(left_row) if self.left_keys else None
+                    matched = False
+                    for right_row in inner:
+                        if lkey is not None and lkey != self._right_key(right_row):
+                            continue
+                        combined = self._emit(left_row, right_row)
+                        if combined is not None:
+                            matched = True
+                            out.append(combined)
+                    if self.left_outer and not matched:
+                        out.append(left_row + self._null_right)
+                    if len(out) >= self.batch_size:
+                        yield RowBatch(out)
+                        out = []
+            if out:
+                yield RowBatch(out)
         finally:
             if buffer is not None:
                 buffer.close()
@@ -109,9 +124,12 @@ class MergeJoinOp(_JoinBase):
     duplicate keys on both sides.
     """
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         if not self.left_keys:
             raise ValueError("MergeJoin requires equi-join keys")
+        return batched(self._merge(), self.batch_size)
+
+    def _merge(self) -> Iterator[tuple]:
         left_sorted = self._sorted_side(0, self._left_key)
         right_sorted = self._sorted_side(1, self._right_key)
         left_groups = itertools.groupby(left_sorted, key=self._left_key)
@@ -156,21 +174,29 @@ class MergeJoinOp(_JoinBase):
 class HashJoinOp(_JoinBase):
     """Classic build/probe hash join on the equi-keys (build = right)."""
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         if not self.left_keys:
             raise ValueError("HashJoin requires equi-join keys")
         build: dict[tuple, list[tuple]] = {}
-        for right_row in self.children[1].timed_rows():
-            build.setdefault(self._right_key(right_row), []).append(right_row)
-        for left_row in self.children[0].timed_rows():
-            matched = False
-            for right_row in build.get(self._left_key(left_row), ()):
-                combined = self._emit(left_row, right_row)
-                if combined is not None:
-                    matched = True
-                    yield combined
-            if self.left_outer and not matched:
-                yield left_row + self._null_right
+        for batch in self.children[1].timed_batches():
+            for right_row in batch.rows:
+                build.setdefault(self._right_key(right_row), []).append(right_row)
+        out: list[tuple] = []
+        for batch in self.children[0].timed_batches():
+            for left_row in batch.rows:
+                matched = False
+                for right_row in build.get(self._left_key(left_row), ()):
+                    combined = self._emit(left_row, right_row)
+                    if combined is not None:
+                        matched = True
+                        out.append(combined)
+                if self.left_outer and not matched:
+                    out.append(left_row + self._null_right)
+                if len(out) >= self.batch_size:
+                    yield RowBatch(out)
+                    out = []
+        if out:
+            yield RowBatch(out)
 
     def describe(self) -> str:
         outer = ", left-outer" if self.left_outer else ""
@@ -186,7 +212,8 @@ class IndexNestedLoopJoinOp(PhysicalOp):
     The inner side must be a base table whose primary key equals the
     outer join key. Each inner lookup is a verified point access; its
     time is tracked separately so benchmarks can attribute it to scan
-    work.
+    work. Lookups run one batch of outer rows at a time, emitting one
+    output batch per input batch.
     """
 
     def __init__(
@@ -210,19 +237,23 @@ class IndexNestedLoopJoinOp(PhysicalOp):
 
     is_scan = False  # inner lookups are charged to internal_scan_seconds
 
-    def rows(self) -> Iterator[tuple]:
-        for left_row in self.children[0].timed_rows():
-            key = self._left_key_fn(left_row)
-            if key is None:
-                continue
-            (inner_row, _proof), elapsed = timed_call(self.inner_table.get, key)
-            self.internal_scan_seconds += elapsed
-            if inner_row is None:
-                continue
-            combined = left_row + inner_row
-            if self._residual_fn is not None and not self._residual_fn(combined):
-                continue
-            yield combined
+    def batches(self) -> Iterator[RowBatch]:
+        for batch in self.children[0].timed_batches():
+            out: list[tuple] = []
+            for left_row in batch.rows:
+                key = self._left_key_fn(left_row)
+                if key is None:
+                    continue
+                (inner_row, _proof), elapsed = timed_call(self.inner_table.get, key)
+                self.internal_scan_seconds += elapsed
+                if inner_row is None:
+                    continue
+                combined = left_row + inner_row
+                if self._residual_fn is not None and not self._residual_fn(combined):
+                    continue
+                out.append(combined)
+            if out:
+                yield RowBatch(out)
 
     def describe(self) -> str:
         return (

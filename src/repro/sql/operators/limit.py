@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
+from repro.sql.batch import RowBatch
 from repro.sql.operators.base import PhysicalOp
 
 
@@ -15,15 +16,18 @@ class LimitOp(PhysicalOp):
         self.limit = limit
         self.ordering = list(child.ordering)  # a prefix preserves order
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         if self.limit <= 0:
             return
-        produced = 0
-        for row in self.children[0].timed_rows():
-            yield row
-            produced += 1
-            if produced >= self.limit:
+        remaining = self.limit
+        ordering = tuple(self.ordering)
+        for batch in self.children[0].timed_batches():
+            rows = batch.rows
+            if len(rows) >= remaining:
+                yield RowBatch(rows[:remaining], ordering)
                 return
+            remaining -= len(rows)
+            yield RowBatch(rows, ordering)
 
     def describe(self) -> str:
         return f"Limit({self.limit})"

@@ -5,12 +5,18 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.sql.ast_nodes import Expr
-from repro.sql.expressions import RowSchema, compile_expr
+from repro.sql.batch import RowBatch
+from repro.sql.expressions import RowSchema, compile_expr, compile_expr_batch
 from repro.sql.operators.base import PhysicalOp
 
 
 class ProjectOp(PhysicalOp):
-    """Compute output columns from each input row."""
+    """Compute output columns from each input row.
+
+    Vectorized: each output expression is evaluated over the whole
+    input batch, producing one column list; the columns are then zipped
+    back into row tuples (the engine's batches stay row-major).
+    """
 
     def __init__(
         self,
@@ -27,11 +33,16 @@ class ProjectOp(PhysicalOp):
         )
         self.exprs = exprs
         self._fns = [compile_expr(e, child.output) for e in exprs]
+        self._batch_fns = [compile_expr_batch(e, child.output) for e in exprs]
 
-    def rows(self) -> Iterator[tuple]:
-        fns = self._fns
-        for row in self.children[0].timed_rows():
-            yield tuple(fn(row) for fn in fns)
+    def batches(self) -> Iterator[RowBatch]:
+        fns = self._batch_fns
+        for batch in self.children[0].timed_batches():
+            if not fns:
+                yield RowBatch([()] * len(batch))
+                continue
+            columns = [fn(batch.rows) for fn in fns]
+            yield RowBatch(list(zip(*columns)))
 
     def describe(self) -> str:
         return f"Project({', '.join(self.output.names)})"

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator
 
+from repro.sql.batch import RowBatch, batched
 from repro.sql.expressions import RowSchema
 from repro.sql.operators.base import PhysicalOp
 
@@ -30,8 +31,11 @@ class SeqScanOp(PhysicalOp):
         # the primary chain yields rows in primary-key order
         self.ordering = [(binding, table.schema.primary_key, True)]
 
-    def rows(self) -> Iterator[tuple]:
-        return iter(self.table.seq_scan())
+    def batches(self) -> Iterator[RowBatch]:
+        # the storage layer fetches chain records through the batched
+        # verified-read path at the same granularity the engine consumes
+        rows = self.table.seq_scan(batch_size=self.batch_size)
+        return batched(rows, self.batch_size, tuple(self.ordering))
 
     def describe(self) -> str:
         return f"SeqScan({self.table.name} as {self.binding})"
@@ -64,12 +68,16 @@ class RangeScanOp(PhysicalOp):
         if column != table.schema.primary_key:
             self.ordering.append((binding, table.schema.primary_key, True))
 
-    def rows(self) -> Iterator[tuple]:
-        return iter(
-            self.table.scan(
-                self.column, self.lo, self.hi, self.include_lo, self.include_hi
-            )
+    def batches(self) -> Iterator[RowBatch]:
+        rows = self.table.scan(
+            self.column,
+            self.lo,
+            self.hi,
+            self.include_lo,
+            self.include_hi,
+            batch_size=self.batch_size,
         )
+        return batched(rows, self.batch_size, tuple(self.ordering))
 
     def describe(self) -> str:
         lo_bracket = "[" if self.include_lo else "("
@@ -91,10 +99,10 @@ class PointLookupOp(PhysicalOp):
         self.binding = binding
         self.key = key
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         row, _proof = self.table.get(self.key)
         if row is not None:
-            yield row
+            yield RowBatch([row])
 
     def describe(self) -> str:
         return (

@@ -6,6 +6,7 @@ import functools
 from typing import Iterator
 
 from repro.sql.ast_nodes import OrderItem
+from repro.sql.batch import RowBatch, batched
 from repro.sql.expressions import compile_expr
 from repro.sql.operators.base import PhysicalOp
 
@@ -39,10 +40,11 @@ class SortOp(PhysicalOp):
             if isinstance(item.expr, ColumnRef)
         ]
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         source = self.children[0].timed_rows()
+        ordering = tuple(self.ordering)
         if self.spill is not None:
-            return self._external(source)
+            return batched(self._external(source), self.batch_size, ordering)
         rows = list(source)
         # last key first: stable sorts compose right-to-left
         for item, fn in reversed(list(zip(self.items, self._fns))):
@@ -50,7 +52,7 @@ class SortOp(PhysicalOp):
                 key=lambda row: _null_key(fn(row)),
                 reverse=not item.ascending,
             )
-        return iter(rows)
+        return batched(rows, self.batch_size, ordering)
 
     def _external(self, source) -> Iterator[tuple]:
         """Spill-backed sort: one composite key, single merge pass.
@@ -108,7 +110,7 @@ class TopNOp(PhysicalOp):
         self._fns = [compile_expr(item.expr, child.output) for item in items]
         self._directions = [item.ascending for item in items]
 
-    def rows(self) -> Iterator[tuple]:
+    def batches(self) -> Iterator[RowBatch]:
         if self.limit <= 0:
             return iter(())
         import heapq
@@ -123,7 +125,7 @@ class TopNOp(PhysicalOp):
         top = heapq.nsmallest(
             self.limit, self.children[0].timed_rows(), key=key
         )
-        return iter(top)
+        return batched(top, self.batch_size)
 
     def describe(self) -> str:
         parts = [

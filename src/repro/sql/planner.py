@@ -85,7 +85,13 @@ class _Constraint:
 
 
 class Planner:
-    def __init__(self, catalog: Catalog, subquery_executor=None, spill=None):
+    def __init__(
+        self,
+        catalog: Catalog,
+        subquery_executor=None,
+        spill=None,
+        batch_size: Optional[int] = None,
+    ):
         self.catalog = catalog
         #: callable(Select) -> list[tuple]; installed by the QueryEngine.
         #: Uncorrelated subqueries are executed (through the same verified
@@ -94,6 +100,17 @@ class Planner:
         #: optional SpillManager: materializing operators overflow their
         #: intermediate state into verifiable storage (Section 5.4)
         self.spill = spill
+        #: rows per RowBatch on every stamped plan node; 1 degenerates to
+        #: row-at-a-time execution. None keeps each operator's class
+        #: default (DEFAULT_BATCH_SIZE).
+        self.batch_size = batch_size
+
+    def _stamp(self, plan: PhysicalOp) -> PhysicalOp:
+        """Propagate the configured batch size to every plan node."""
+        if self.batch_size is not None:
+            for op in plan.walk():
+                op.batch_size = self.batch_size
+        return plan
 
     # ------------------------------------------------------------------
     # SELECT
@@ -173,7 +190,7 @@ class Planner:
 
         plan, agg_output_map = self._plan_aggregation(plan, stmt)
         plan = self._plan_projection_order_limit(plan, stmt, agg_output_map)
-        return plan
+        return self._stamp(plan)
 
     # ------------------------------------------------------------------
     # uncorrelated subqueries (resolved at plan time)
@@ -747,7 +764,7 @@ class Planner:
         conjuncts = split_conjuncts(where)
         for conjunct in conjuncts:
             self._bindings_of(conjunct, [binding])  # validates columns
-        return self._access_path(binding, conjuncts)
+        return self._stamp(self._access_path(binding, conjuncts))
 
 
 def _and_all(conjuncts: list[Expr]) -> Optional[Expr]:

@@ -38,6 +38,11 @@ class StorageConfig:
     #: enclave memory (the Section 5.4 future-work direction); None
     #: keeps all intermediate state in the enclave
     spill_threshold_rows: int | None = None
+    #: rows per :class:`~repro.sql.batch.RowBatch` pulled through the
+    #: operator tree, and cells per batched verified read beneath it.
+    #: 1 degenerates to the original row-at-a-time execution; the
+    #: default is the winner of ``benchmarks/test_ablation_batch_size``
+    batch_size: int = 256
 
     def __post_init__(self):
         if self.page_size < 512:
@@ -54,3 +59,5 @@ class StorageConfig:
             raise ConfigurationError("touched_group_size must be >= 1")
         if self.spill_threshold_rows is not None and self.spill_threshold_rows < 1:
             raise ConfigurationError("spill_threshold_rows must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")

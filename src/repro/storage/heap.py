@@ -52,6 +52,20 @@ class HeapFile:
     def read(self, rid: RecordId) -> bytes:
         return self._page(rid.page_id).read(rid.slot)
 
+    def read_many(self, rids: list[RecordId]) -> list[bytes]:
+        """Fetch several records, grouping consecutive same-page reads
+        into one batched verified read per page run."""
+        out: list[bytes] = []
+        i, n = 0, len(rids)
+        while i < n:
+            page_id = rids[i].page_id
+            j = i + 1
+            while j < n and rids[j].page_id == page_id:
+                j += 1
+            out.extend(self._page(page_id).read_many([r.slot for r in rids[i:j]]))
+            i = j
+        return out
+
     def write(self, rid: RecordId, payload: bytes) -> None:
         self._page(rid.page_id).write(rid.slot, payload)
 

@@ -248,9 +248,12 @@ class VerifiableTable:
         hi: Any = None,
         include_lo: bool = True,
         include_hi: bool = True,
+        batch_size: int | None = None,
     ) -> list[tuple]:
         """Verified range scan; returns the matching rows."""
-        rows, _ = self.scan_with_proof(column, lo, hi, include_lo, include_hi)
+        rows, _ = self.scan_with_proof(
+            column, lo, hi, include_lo, include_hi, batch_size
+        )
         return rows
 
     def scan_with_proof(
@@ -260,8 +263,15 @@ class VerifiableTable:
         hi: Any = None,
         include_lo: bool = True,
         include_hi: bool = True,
+        batch_size: int | None = None,
     ) -> tuple[list[tuple], RangeProof]:
-        """Verified range scan returning rows plus the checked evidence."""
+        """Verified range scan returning rows plus the checked evidence.
+
+        ``batch_size`` controls how many chain records are fetched per
+        batched verified read (default: ``StorageConfig.batch_size``);
+        the adjacency proof itself is checked record by record either
+        way, so the evidence is identical at every batch size.
+        """
         column = column or self.schema.primary_key
         chain_id = self.schema.chain_id(column)
         if chain_id is None:
@@ -269,15 +279,19 @@ class VerifiableTable:
                 f"column {column!r} has no key chain; scan the primary key "
                 f"and filter, or declare it in Schema.chain_columns"
             )
+        if batch_size is None:
+            batch_size = self.engine.config.batch_size
         with self._lock:
-            result = self._scan_chain(chain_id, lo, hi, include_lo, include_hi)
+            result = self._scan_chain(
+                chain_id, lo, hi, include_lo, include_hi, batch_size
+            )
         self.stats.range_scans += 1
         self.stats.proofs_checked += 1
         return result
 
-    def seq_scan(self) -> list[tuple]:
+    def seq_scan(self, batch_size: int | None = None) -> list[tuple]:
         """Full verified sequential scan (range (⊥, ⊤) on the primary key)."""
-        return self.scan()
+        return self.scan(batch_size=batch_size)
 
     # ------------------------------------------------------------------
     # introspection
@@ -306,6 +320,11 @@ class VerifiableTable:
 
     def _read_stored(self, rid: RecordId) -> StoredRecord:
         return self.layout.from_tuple(self.codec.decode(self.heap.read(rid)))
+
+    def _read_stored_many(self, rids: list[RecordId]) -> list[StoredRecord]:
+        decode = self.codec.decode
+        from_tuple = self.layout.from_tuple
+        return [from_tuple(decode(p)) for p in self.heap.read_many(rids)]
 
     def _write_stored(self, rid: RecordId, stored: StoredRecord) -> RecordId:
         """Rewrite a record; relocates (Move) when it no longer fits."""
@@ -369,7 +388,7 @@ class VerifiableTable:
         return (rid if found else None), stored, proof
 
     def _scan_chain(
-        self, chain_id: int, lo, hi, include_lo, include_hi
+        self, chain_id: int, lo, hi, include_lo, include_hi, batch_size: int = 1
     ) -> tuple[list[tuple], RangeProof]:
         layout = self.layout
         index = self.indexes[chain_id]
@@ -395,31 +414,54 @@ class VerifiableTable:
         rows: list[tuple] = []
         expected: Any = None
         finished = False
-        for _, rid in index.items(lo=seed[0]):
-            stored = self._read_stored(rid)
-            key = stored.key(chain_id)
-            if key is None:
-                raise ProofError(
-                    f"index returned a record outside chain {chain_id}"
-                )
-            if expected is None:
-                proof.first_key = key
-                proof.check_left()  # condition 1
-            else:
-                proof.check_link(expected, key)  # condition 3
-            proof.records_read += 1
-            if not stored.is_sentinel and self._emit(
-                layout.chain_value(chain_id, key), lo, hi, include_lo, include_hi
-            ):
-                rows.append(layout.row_from_stored(stored))
-            next_key = stored.next_key(chain_id)
-            proof.last_next_key = next_key
-            expected = next_key
-            if next_key is TOP or self._past_bound(
-                next_key, hi_bound, include_hi
-            ):
-                finished = True
+        # Records are fetched ``batch_size`` at a time through the
+        # batched verified-read path. Chunk membership uses only the
+        # *untrusted* index keys as a prefetch hint (read no further
+        # once the index claims the bound is passed); termination and
+        # omission detection still rest exclusively on the trusted
+        # nKey chain below, so a lying index cannot truncate a scan.
+        item_iter = iter(index.items(lo=seed[0]))
+        first = True
+        drained = False
+        while not finished and not drained:
+            rids: list[RecordId] = []
+            while len(rids) < batch_size:
+                nxt = next(item_iter, None)
+                if nxt is None:
+                    drained = True
+                    break
+                ikey, rid = nxt
+                if not first and self._past_bound(ikey, hi_bound, include_hi):
+                    drained = True
+                    break
+                first = False
+                rids.append(rid)
+            if not rids:
                 break
+            for stored in self._read_stored_many(rids):
+                key = stored.key(chain_id)
+                if key is None:
+                    raise ProofError(
+                        f"index returned a record outside chain {chain_id}"
+                    )
+                if expected is None:
+                    proof.first_key = key
+                    proof.check_left()  # condition 1
+                else:
+                    proof.check_link(expected, key)  # condition 3
+                proof.records_read += 1
+                if not stored.is_sentinel and self._emit(
+                    layout.chain_value(chain_id, key), lo, hi, include_lo, include_hi
+                ):
+                    rows.append(layout.row_from_stored(stored))
+                next_key = stored.next_key(chain_id)
+                proof.last_next_key = next_key
+                expected = next_key
+                if next_key is TOP or self._past_bound(
+                    next_key, hi_bound, include_hi
+                ):
+                    finished = True
+                    break
         if not finished and expected is not TOP:
             raise ProofError(
                 f"untrusted index omitted chain-{chain_id} records: chain "

@@ -44,8 +44,8 @@ CHAOS_RATES = {
 }
 
 
-def build_db():
-    db = VeriDB(VeriDBConfig(key_seed=9))
+def build_db(config=None):
+    db = VeriDB(config if config is not None else VeriDBConfig(key_seed=9))
     db.sql("CREATE TABLE acct (id INTEGER PRIMARY KEY, balance INTEGER)")
     for i in range(12):
         db.sql(f"INSERT INTO acct VALUES ({i}, {i * 100})")

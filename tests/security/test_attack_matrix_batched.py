@@ -1,0 +1,55 @@
+"""The attack matrix holds at every batch size.
+
+Vectorized execution amortizes verified reads into per-batch ECalls, but
+each cell in a batch is still individually verified (Algorithm 1 runs
+per cell inside :meth:`VerifiedMemory.read_many`). So every adversary
+capability must stay detectable whether the engine pulls rows one at a
+time (batch size 1 — the pre-vectorization behaviour), in small ragged
+batches (7), or in batches wider than any table here (1024).
+"""
+
+import pytest
+
+from repro.core.config import VeriDBConfig
+from repro.memory.adversary import Adversary
+from repro.storage.config import StorageConfig
+from tests.security.test_attack_matrix import (
+    ATTACKS,
+    DETECTION_ERRORS,
+    build_db,
+    detect,
+)
+
+BATCH_SIZES = [1, 7, 1024]
+
+
+def _config(batch_size):
+    return VeriDBConfig(
+        storage=StorageConfig(batch_size=batch_size), key_seed=9
+    )
+
+
+@pytest.mark.parametrize("attack_name", sorted(ATTACKS))
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_attack_detected_at_batch_size(attack_name, batch_size):
+    db = build_db(_config(batch_size))
+    client = db.connect()
+    client.execute("SELECT COUNT(*) FROM acct")
+    adversary = Adversary(db.storage.memory)
+    ATTACKS[attack_name](db, adversary)
+    caught = detect(db, client, attack_name)
+    assert caught is not None, (
+        f"attack {attack_name!r} went undetected at batch_size={batch_size}"
+    )
+    assert isinstance(caught, DETECTION_ERRORS)
+
+
+@pytest.mark.parametrize("batch_size", BATCH_SIZES)
+def test_honest_run_stays_clean_at_batch_size(batch_size):
+    db = build_db(_config(batch_size))
+    client = db.connect()
+    for i in range(12):
+        client.execute(f"SELECT balance FROM acct WHERE id = {i}")
+    client.execute("SELECT COUNT(*), SUM(balance) FROM acct")
+    db.verify_now()
+    assert db.incidents.active("verification-alarm") == []

@@ -267,8 +267,8 @@ class QueryFuzzer:
         return shape()
 
 
-def _fuzz_setup(rng):
-    storage = StorageEngine()
+def _fuzz_setup(rng, storage_config=None):
+    storage = StorageEngine(storage_config)
     engine = QueryEngine(Catalog(), storage)
     connection = sqlite3.connect(":memory:")
     ddl_t = (
@@ -303,14 +303,14 @@ def _fuzz_setup(rng):
     return storage, engine, connection
 
 
-def _fuzz_corpus(seed, queries, reseed_data_every=25):
+def _fuzz_corpus(seed, queries, reseed_data_every=25, storage_config=None):
     """Run ``queries`` random queries; divergence fails with a repro tag."""
     rng = random.Random(seed)
     fuzzer = QueryFuzzer(rng)
     storage = engine = connection = None
     for index in range(queries):
         if index % reseed_data_every == 0:
-            storage, engine, connection = _fuzz_setup(rng)
+            storage, engine, connection = _fuzz_setup(rng, storage_config)
         sql, exact_order = fuzzer.next_query()
         tag = f"seed={seed} index={index} sql={sql!r}"
         ours = engine.execute(sql).rows
