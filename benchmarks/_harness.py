@@ -13,6 +13,7 @@ and by roughly what factor (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
+import json
 import os
 import time
 from contextlib import contextmanager
@@ -325,6 +326,33 @@ def timed(fn, *args, **kwargs):
     start = time.perf_counter()
     result = fn(*args, **kwargs)
     return result, time.perf_counter() - start
+
+
+# ----------------------------------------------------------------------
+# machine-readable results
+# ----------------------------------------------------------------------
+def write_bench_json(name: str, payload: dict) -> str:
+    """Write a benchmark's results to ``BENCH_<name>.json`` at repo root.
+
+    Every ``__main__`` benchmark run emits its numbers this way (in
+    addition to the printed tables) so CI can upload them as artifacts
+    and runs can be diffed across commits. The payload is wrapped with
+    the benchmark name and the scale the run used; values must already
+    be JSON-serializable (plain dicts/lists/numbers/strings).
+    """
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.path.join(root, f"BENCH_{name}.json")
+    doc = {"benchmark": name, "scale": SCALE, "results": payload}
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"\n[bench-json] wrote {path}")
+    return path
+
+
+def recorder_summary(recorder: LatencyRecorder) -> dict:
+    """JSON-ready per-kind mean latencies (us) from a LatencyRecorder."""
+    return recorder.report()
 
 
 # ----------------------------------------------------------------------

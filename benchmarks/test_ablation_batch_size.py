@@ -28,6 +28,7 @@ from _harness import (
     run_seq_scan,
     scaled,
     timed,
+    write_bench_json,
 )
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
@@ -133,6 +134,15 @@ def main():
         print(
             f"combined winner: batch_size={winner} "
             f"(configured default: {DEFAULT_BATCH_SIZE})"
+        )
+        write_bench_json(
+            "ablation_batch_size",
+            {
+                "seq_scan_seconds": scan,
+                "tpch_q1_seconds": q1,
+                "winner": winner,
+                "default_batch_size": DEFAULT_BATCH_SIZE,
+            },
         )
         print_metrics_breakdown(registry)
 

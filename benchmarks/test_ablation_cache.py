@@ -1,0 +1,238 @@
+"""Record-cache ablation — when does trusted caching pay, and when not?
+
+The trusted record cache (``StorageConfig.cache_bytes``,
+:mod:`repro.memory.cache`) serves point reads from inside the enclave
+boundary: a hit skips the whole Algorithm-1 verified-read protocol.
+Three configurations bracket the regimes:
+
+* ``cache=0`` — caching disabled, every read pays the full protocol;
+* ``fits`` — a 16 MB cache under the default 96 MB EPC: the hot set
+  stays resident and Zipf-skewed point reads mostly hit;
+* ``over budget`` — the same 16 MB cache against a 2 MB EPC: resident
+  shards get paged out, every page-out is a whole-cache eviction storm
+  (the enclave cannot trust swapped-out plaintext), and the swap
+  traffic is billed — the cache now *costs* instead of winning.
+
+Workload: Zipfian (theta=0.9) point reads over records with 4000-byte
+values, so per-read verification work dominates fixed overheads.
+Measured here (pure-Python engine, best-of-3): "fits" wins by ~2.5x
+over ``cache=0``; "over budget" gives the win back and lands behind
+"fits" by well over the 1.25x the guard test demands. A full
+sequential scan is also measured: scans bypass cache admission, so a
+cache-enabled scan must not lose to ``cache=0`` (scan resistance).
+
+Run ``python benchmarks/test_ablation_cache.py`` for the table; the run
+also writes ``BENCH_ablation_cache.json`` at the repo root.
+"""
+
+import pytest
+
+from _harness import (
+    obs_scope,
+    print_metrics_breakdown,
+    run_seq_scan,
+    scaled,
+    timed,
+    write_bench_json,
+)
+from repro.sgx.epc import EnclavePageCache
+from repro.storage.config import StorageConfig
+from repro.storage.engine import StorageEngine
+from repro.workloads.micro import KVTable, MicroWorkload, ZipfianKeys, load_kv
+
+#: large values so the per-record verification cost dominates; at the
+#: paper's 500-byte values the fixed point-read overhead (index search,
+#: proof assembly) caps the cache's win well below its potential
+VALUE_BYTES = 4000
+
+N_ROWS = scaled(1200)
+N_READS = scaled(4000)
+ZIPF_THETA = 0.9
+
+CACHE_BYTES = 16 * 1024 * 1024
+#: EPC budget that cannot hold the cache: forces eviction storms
+SMALL_EPC_BYTES = 2 * 1024 * 1024
+
+CONFIG_LABELS = ("cache=0", "fits", "over budget")
+
+
+def build_cached_kv(
+    cache_bytes: int,
+    n_rows: int,
+    epc_bytes: int | None = None,
+    seed: int = 0,
+) -> KVTable:
+    """A loaded KV table with the given cache budget.
+
+    ``epc_bytes`` attaches a standalone EPC of that capacity (the
+    over-budget configuration); None leaves the cache unaccounted, which
+    models the default 96 MB EPC with everything comfortably resident.
+    """
+    engine = StorageEngine(StorageConfig(cache_bytes=cache_bytes))
+    if epc_bytes is not None:
+        engine.attach_epc(EnclavePageCache(capacity_bytes=epc_bytes))
+    kv = KVTable(engine)
+    workload = MicroWorkload(
+        n_initial=n_rows, seed=seed, value_bytes=VALUE_BYTES
+    )
+    load_kv(kv, workload.initial_pairs())
+    return kv
+
+
+def zipfian_read_keys(n_rows: int, n_reads: int, seed: int = 7) -> list[int]:
+    return ZipfianKeys(n_rows, theta=ZIPF_THETA, seed=seed).sample(n_reads)
+
+
+def time_point_reads(kv: KVTable, keys: list[int], repeats: int = 3) -> float:
+    """Best-of wall time for the Zipfian point-read stream.
+
+    The first repeat doubles as cache warmup; best-of keeps the steady
+    state, which is the regime the ablation compares.
+    """
+
+    def run():
+        get = kv.get
+        for key in keys:
+            get(key)
+
+    best = None
+    for _ in range(repeats):
+        _, elapsed = timed(run)
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def run_cache_ablation(
+    n_rows: int = N_ROWS, n_reads: int = N_READS, repeats: int = 3
+) -> dict[str, float]:
+    """Best-of wall time (seconds) per configuration."""
+    keys = zipfian_read_keys(n_rows, n_reads)
+    results = {}
+    for label in CONFIG_LABELS:
+        if label == "cache=0":
+            kv = build_cached_kv(0, n_rows)
+        elif label == "fits":
+            kv = build_cached_kv(CACHE_BYTES, n_rows)
+        else:
+            kv = build_cached_kv(
+                CACHE_BYTES, n_rows, epc_bytes=SMALL_EPC_BYTES
+            )
+        results[label] = time_point_reads(kv, keys, repeats)
+    return results
+
+
+def print_ablation_table(results: dict[str, float]) -> None:
+    base = results["cache=0"]
+    print(
+        f"\nRecord-cache ablation: Zipfian({ZIPF_THETA}) point reads, "
+        f"{VALUE_BYTES}B values (best-of-N)"
+    )
+    header = f"{'configuration':<16}{'wall ms':>12}{'vs cache=0':>12}"
+    print(header)
+    print("-" * len(header))
+    for label in CONFIG_LABELS:
+        print(
+            f"{label:<16}{results[label] * 1e3:>12.1f}"
+            f"{base / results[label]:>11.2f}x"
+        )
+
+
+# ----------------------------------------------------------------------
+# pytest surface
+# ----------------------------------------------------------------------
+def test_cache_zipfian_speedup():
+    """The headline: an in-budget cache wins >=2x on skewed point reads."""
+    keys = zipfian_read_keys(N_ROWS, N_READS)
+    plain = time_point_reads(build_cached_kv(0, N_ROWS), keys)
+    cached = time_point_reads(build_cached_kv(CACHE_BYTES, N_ROWS), keys)
+    assert plain > cached * 2.0, (
+        f"Zipfian point reads: cache=0 took {plain * 1e3:.1f}ms vs "
+        f"{cached * 1e3:.1f}ms cached ({plain / cached:.2f}x) — the "
+        "trusted cache stopped paying for itself"
+    )
+
+
+def test_cache_over_epc_budget_slower():
+    """The EPC-pressure cliff: an over-budget cache must get slower.
+
+    A 16 MB cache against a 2 MB EPC pages shards out continuously;
+    every page-out flushes the whole cache (eviction storm), so the
+    hit rate craters and the swap churn is pure overhead.
+    """
+    keys = zipfian_read_keys(N_ROWS, N_READS)
+    fits = time_point_reads(build_cached_kv(CACHE_BYTES, N_ROWS), keys)
+    over = time_point_reads(
+        build_cached_kv(CACHE_BYTES, N_ROWS, epc_bytes=SMALL_EPC_BYTES), keys
+    )
+    assert over > fits * 1.25, (
+        f"over-budget cache took {over * 1e3:.1f}ms vs {fits * 1e3:.1f}ms "
+        "in-budget — EPC pressure is not being charged; the cache is "
+        "getting protected memory for free"
+    )
+
+
+def test_cache_scan_no_regression():
+    """Scan resistance: enabling the cache must not slow full scans.
+
+    Unbounded sequential scans bypass cache admission, so the only
+    cache work on the scan path is the (empty-cache) lookup probe; a
+    cache-enabled scan losing to cache=0 means admission leaked back
+    into the scan path or the probe got expensive.
+    """
+    n_rows = scaled(2000)
+    plain = run_seq_scan(StorageConfig(), n_rows, repeats=3)
+    cached = run_seq_scan(
+        StorageConfig(cache_bytes=CACHE_BYTES), n_rows, repeats=3
+    )
+    assert cached < plain * 1.15, (
+        f"verified seq scan: {cached * 1e3:.1f}ms with the cache enabled "
+        f"vs {plain * 1e3:.1f}ms without — scans must bypass the cache, "
+        "not pay for it"
+    )
+
+
+def main():
+    with obs_scope() as registry:
+        results = run_cache_ablation()
+        print_ablation_table(results)
+        base, fits = results["cache=0"], results["fits"]
+        over = results["over budget"]
+        print(
+            f"in-budget speedup: {base / fits:.2f}x; "
+            f"over-budget penalty vs fits: {over / fits:.2f}x"
+        )
+        n_scan = scaled(2000)
+        scan_plain = run_seq_scan(StorageConfig(), n_scan, repeats=3)
+        scan_cached = run_seq_scan(
+            StorageConfig(cache_bytes=CACHE_BYTES), n_scan, repeats=3
+        )
+        print(
+            f"seq scan {n_scan} rows: {scan_plain * 1e3:.1f}ms plain, "
+            f"{scan_cached * 1e3:.1f}ms cache-enabled (scans bypass "
+            "admission)"
+        )
+        write_bench_json(
+            "ablation_cache",
+            {
+                "zipfian_point_reads_seconds": results,
+                "speedup_vs_nocache": {
+                    label: base / results[label] for label in CONFIG_LABELS
+                },
+                "seq_scan_seconds": {
+                    "cache=0": scan_plain,
+                    "fits": scan_cached,
+                },
+                "n_rows": N_ROWS,
+                "n_reads": N_READS,
+                "value_bytes": VALUE_BYTES,
+                "zipf_theta": ZIPF_THETA,
+                "cache_bytes": CACHE_BYTES,
+                "small_epc_bytes": SMALL_EPC_BYTES,
+            },
+        )
+        print_metrics_breakdown(registry)
+
+
+if __name__ == "__main__":
+    main()

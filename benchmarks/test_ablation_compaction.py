@@ -18,6 +18,7 @@ from _harness import (
     obs_scope,
     print_metrics_breakdown,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 
@@ -101,6 +102,20 @@ def main():
         print(
             "(paper: deferred compaction removes per-delete relocation; the "
             "scan-time compaction adds little, as the page is already hot)"
+        )
+        write_bench_json(
+            "ablation_compaction",
+            {
+                strategy: {
+                    "delete_phase_seconds": result[0],
+                    "verify_pass_seconds": result[1],
+                    "records_moved_at_scan": result[2],
+                }
+                for strategy, result in (
+                    ("eager", eager),
+                    ("deferred", deferred),
+                )
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -14,7 +14,9 @@ from _harness import (
     build_kv,
     obs_scope,
     print_metrics_breakdown,
+    recorder_summary,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 from repro.workloads.runner import run_operations
@@ -68,6 +70,20 @@ def main():
         print(
             f"RSWS-operation reduction: {(1 - ops_off / ops_on) * 100:.0f}% "
             f"(paper: 50-65%, worth ~20% latency)"
+        )
+        write_bench_json(
+            "ablation_metadata",
+            {
+                "metadata_verified": {
+                    "rsws_ops": ops_on,
+                    "mean_latency_us": recorder_summary(rec_on),
+                },
+                "metadata_excluded": {
+                    "rsws_ops": ops_off,
+                    "mean_latency_us": recorder_summary(rec_off),
+                },
+                "rsws_op_reduction": 1 - ops_off / ops_on,
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -25,6 +25,7 @@ from _harness import (
     obs_scope,
     print_metrics_breakdown,
     scaled,
+    write_bench_json,
 )
 from repro.catalog.catalog import Catalog
 from repro.sql.executor import QueryEngine
@@ -111,6 +112,18 @@ def main():
             f"(enclave residency bounded at {SPILL_THRESHOLD} rows/run vs "
             f"{N_ROWS} rows resident without spilling; the overhead is "
             f"verified write+read of each spilled row — the §5.4 trade)"
+        )
+        write_bench_json(
+            "ablation_spill",
+            {
+                "in_enclave_sort_seconds": t_mem,
+                "spilled_sort_seconds": t_spill,
+                "rows_spilled": stats.rows_spilled,
+                "sort_runs": stats.sort_runs,
+                "extra_prfs": prf_delta,
+                "spill_threshold_rows": SPILL_THRESHOLD,
+                "n_rows": N_ROWS,
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -17,6 +17,7 @@ from _harness import (
     obs_scope,
     print_metrics_breakdown,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 from repro.workloads.micro import MicroWorkload
@@ -83,6 +84,22 @@ def main():
         print(
             f"touched-mode pages skipped as cold: "
             f"{touched_stats.pages_skipped_untouched}"
+        )
+        write_bench_json(
+            "ablation_touched_pages",
+            {
+                "full": {
+                    "second_pass_seconds": full_seconds,
+                    "pages_scanned": full_stats.pages_scanned,
+                },
+                "touched": {
+                    "second_pass_seconds": touched_seconds,
+                    "pages_scanned": touched_stats.pages_scanned,
+                    "pages_skipped_untouched": (
+                        touched_stats.pages_skipped_untouched
+                    ),
+                },
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -18,8 +18,10 @@ from _harness import (
     obs_scope,
     print_latency_table,
     print_metrics_breakdown,
+    recorder_summary,
     run_fig10,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 from repro.workloads.runner import run_operations
@@ -77,6 +79,17 @@ def main():
             "Figure 10: latency of reads/writes vs verification frequency "
             "(ops per page scan)",
             results,
+        )
+        write_bench_json(
+            "fig10_verification_freq",
+            {
+                "mean_latency_us": {
+                    freq: recorder_summary(rec)
+                    for freq, rec in results.items()
+                },
+                "n_initial": N_INITIAL,
+                "n_ops": N_OPS,
+            },
         )
         print_metrics_breakdown(registry)
 

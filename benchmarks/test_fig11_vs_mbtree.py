@@ -15,8 +15,10 @@ from _harness import (
     obs_scope,
     print_latency_table,
     print_metrics_breakdown,
+    recorder_summary,
     run_fig11,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 from repro.workloads.runner import run_operations
@@ -88,6 +90,18 @@ def main():
         print(
             "(paper: VeriDB reduces read/write latency by 94-96%; on a "
             "native engine the crypto-work ratio above dominates latency)"
+        )
+        write_bench_json(
+            "fig11_vs_mbtree",
+            {
+                "mean_latency_us": {
+                    label: recorder_summary(rec)
+                    for label, rec in results["latency"].items()
+                },
+                "crypto_work_per_op": work,
+                "n_initial": N_INITIAL,
+                "n_ops": N_OPS,
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -20,6 +20,7 @@ from _harness import (
     print_fig12_table,
     print_metrics_breakdown,
     run_fig12,
+    write_bench_json,
 )
 from repro.workloads.tpch import QUERIES
 
@@ -79,6 +80,10 @@ def main():
         print(
             "(paper: overhead dominated by scan nodes; 9% for Q19/NL up to "
             "39% for scan-bound queries)"
+        )
+        write_bench_json(
+            "fig12_tpch",
+            {"queries": rows, "scale_factor": SCALE_FACTOR},
         )
         print_metrics_breakdown(registry)
 

@@ -24,6 +24,7 @@ from _harness import (
     print_metrics_breakdown,
     run_fig13,
     scaled,
+    write_bench_json,
 )
 
 WAREHOUSES = scaled(8, minimum=2)
@@ -89,6 +90,14 @@ def main():
         print(
             "(paper: peak at 6 clients; 1024 RSWSs ≈ 3-4x overhead vs no "
             "verification; fewer RSWSs progressively worse)"
+        )
+        write_bench_json(
+            "fig13_tpcc",
+            {
+                "tps": results,
+                "warehouses": WAREHOUSES,
+                "txns_per_client": TXNS_PER_CLIENT,
+            },
         )
         print_metrics_breakdown(registry)
 

@@ -19,9 +19,11 @@ from _harness import (
     obs_scope,
     print_latency_table,
     print_metrics_breakdown,
+    recorder_summary,
     run_fig9,
     run_seq_scan,
     scaled,
+    write_bench_json,
 )
 from repro.storage.config import StorageConfig
 
@@ -103,6 +105,21 @@ def main():
         print(
             f"RSWS overhead vs Baseline: {min(overheads):.1f}-{max(overheads):.1f} µs "
             f"(paper: 1.5-2.2 µs on native hardware)"
+        )
+        write_bench_json(
+            "fig9_rw_latency",
+            {
+                "mean_latency_us": {
+                    label: recorder_summary(rec)
+                    for label, rec in results.items()
+                },
+                "rsws_overhead_us": {
+                    "min": min(overheads),
+                    "max": max(overheads),
+                },
+                "n_initial": N_INITIAL,
+                "n_ops": N_OPS,
+            },
         )
         print_metrics_breakdown(registry)
 

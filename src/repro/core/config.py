@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import ConfigurationError
 from repro.storage.config import StorageConfig
 
 
@@ -17,11 +18,19 @@ class VeriDBConfig:
     — the Figure 10 knob — scanning one page per N operations; None
     leaves verification to explicit :meth:`VeriDB.verify_now` calls or a
     background thread started by the caller.
+    ``verifier_workers`` is the default parallelism of every
+    verification pass (the "multiple verifiers" of Figure 2); explicit
+    ``run_pass(workers=...)`` calls still override it.
     """
 
     storage: StorageConfig = field(default_factory=StorageConfig)
     ops_per_page_scan: int | None = None
     key_seed: int | None = None  # deterministic keys for tests/benchmarks
+    verifier_workers: int = 1
+
+    def __post_init__(self):
+        if self.verifier_workers < 1:
+            raise ConfigurationError("verifier_workers must be >= 1")
 
     @classmethod
     def baseline(cls) -> "VeriDBConfig":

@@ -45,6 +45,14 @@ site                                      behaviour when fired
                                           interrupted *before* the first
                                           mutation; a retry of the statement
                                           is safe.
+``cache.evict_storm``                     EPC pressure forces the whole
+                                          trusted record cache out of
+                                          protected memory; the cache flushes
+                                          and every subsequent read re-runs
+                                          the full Algorithm-1 protocol.
+                                          Never surfaces to callers —
+                                          correctness is unaffected, only
+                                          latency.
 ========================================  =====================================
 """
 
@@ -64,6 +72,8 @@ VERIFIER_CRASH_AFTER_END_PASS = "verifier.crash_after_end_pass"
 COMPACTION_ABORT = "storage.compaction_abort"
 SPLICE_INTERRUPTION = "storage.splice_interruption"
 
+CACHE_EVICT_STORM = "cache.evict_storm"
+
 #: every registered site, for schedules that want blanket coverage
 ALL_SITES = (
     ECALL_ABORT,
@@ -76,16 +86,19 @@ ALL_SITES = (
     VERIFIER_CRASH_AFTER_END_PASS,
     COMPACTION_ABORT,
     SPLICE_INTERRUPTION,
+    CACHE_EVICT_STORM,
 )
 
 #: sites that are safe to fire during write statements: they either fire
 #: before any state is mutated (clean abort, retryable) or are recovered
-#: without surfacing (compaction retries on the next scan)
+#: without surfacing (compaction retries on the next scan, an evict
+#: storm only costs re-verified reads)
 SAFE_ABORT_SITES = (
     ECALL_ABORT,
     EPC_SWAP_ERROR,
     COMPACTION_ABORT,
     SPLICE_INTERRUPTION,
+    CACHE_EVICT_STORM,
 )
 
 #: sites that model active host corruption; firing one means the *next*

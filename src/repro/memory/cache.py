@@ -1,0 +1,441 @@
+"""Trusted in-enclave record cache with EPC-pressure-aware eviction.
+
+The paper's trust model (Section 2.1) makes memory checking necessary
+only for data *outside* the enclave: anything resident in protected
+memory is trusted by construction. :class:`RecordCache` exploits that —
+a bounded set of verified cell values is kept logically inside the
+simulated enclave, so a hit returns the trusted copy with zero RSWS
+digest work and zero ECall/verified-read charges, while a miss pays the
+full Algorithm-1 protocol and admits the result.
+
+Soundness rests on three rules, enforced by the integration points in
+:class:`~repro.memory.verified.VerifiedMemory` and
+:class:`~repro.memory.verifier.Verifier`:
+
+* every verified ``write``/``free`` (and therefore every compaction
+  relocation, which travels through verified free+alloc) updates or
+  invalidates the cached entry *under the cell's RSWS partition lock*,
+  so the cache can never serve a value the verifier would reject;
+* the cache is flushed at every epoch close and on any
+  :class:`~repro.errors.VerificationFailure`, so deferred-verification
+  semantics are untouched — a cached value never outlives the epoch
+  state it was verified under;
+* admissions only come from the verified read path; nothing enters the
+  cache without having passed the Figure-5 keychain checks.
+
+EPC accounting: the cache registers its resident bytes with an
+:class:`~repro.sgx.epc.EnclavePageCache` in fixed-size *shard*
+allocations (``record-cache/<i>``), so cache residency competes with
+operator state for protected memory. When the EPC pages a shard out,
+the cache treats it as a whole-cache loss (the enclave cannot trust
+swapped-out plaintext) — an *eviction storm* — and the swap cost is
+billed through the EPC's :class:`~repro.sgx.costs.CycleMeter`. An
+over-sized cache therefore gets slower, reproducing the paper's
+EPC-pressure cliff; ``benchmarks/test_ablation_cache.py`` measures it.
+
+Admission policies (``StorageConfig.cache_policy``):
+
+* ``lru`` — least-recently-used, the default;
+* ``clock`` — second-chance ring: hits set a reference bit instead of
+  reordering, the eviction hand clears bits until it finds a cold entry;
+* ``2q`` — simplified 2Q: first touch lands in a probationary FIFO,
+  a second touch promotes to the protected LRU; single-touch entries
+  (scans) evict first.
+
+Large sequential scans additionally bypass admission entirely
+(``admit=False`` through the batched read path) so a table scan cannot
+wash the hot set out regardless of policy.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict, deque
+
+from repro.errors import ConfigurationError, FaultInjected
+from repro.faults import default_fault_plane, sites as fault_sites
+from repro.obs import default_registry
+
+CACHE_POLICIES = ("lru", "clock", "2q")
+
+#: approximate per-entry bookkeeping (key, links, ref bits) charged
+#: against ``capacity_bytes`` so tiny records cannot inflate the entry
+#: count past what the byte budget is meant to bound
+ENTRY_OVERHEAD = 64
+
+#: granularity of EPC residency accounting: one named allocation per
+#: this many resident cache bytes
+DEFAULT_SHARD_BYTES = 64 * 1024
+
+
+class _LRUPolicy:
+    """Classic LRU over an ordered dict (most recent last)."""
+
+    def __init__(self):
+        self._entries: OrderedDict[int, bytes] = OrderedDict()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, addr):
+        data = self._entries.get(addr)
+        if data is not None:
+            self._entries.move_to_end(addr)
+        return data
+
+    def put(self, addr, data):
+        self._entries[addr] = data
+        self._entries.move_to_end(addr)
+
+    def pop(self, addr):
+        return self._entries.pop(addr, None)
+
+    def evict_one(self):
+        return self._entries.popitem(last=False)
+
+    def clear(self):
+        self._entries.clear()
+
+
+class _ClockPolicy:
+    """Second-chance ring: hits are O(1) bit-sets, no reordering."""
+
+    def __init__(self):
+        self._entries: dict[int, bytes] = {}
+        self._ref: dict[int, bool] = {}
+        self._ring: deque[int] = deque()
+
+    def __len__(self):
+        return len(self._entries)
+
+    def get(self, addr):
+        data = self._entries.get(addr)
+        if data is not None:
+            self._ref[addr] = True
+        return data
+
+    def put(self, addr, data):
+        if addr not in self._entries:
+            # fresh admissions start cold: one untouched round through
+            # the ring and they are eviction candidates (second chance
+            # is earned by a hit, not granted on entry)
+            self._ring.append(addr)
+            self._ref[addr] = False
+        else:
+            self._ref[addr] = True
+        self._entries[addr] = data
+
+    def pop(self, addr):
+        # the ring slot goes stale and is skipped by the hand later
+        self._ref.pop(addr, None)
+        return self._entries.pop(addr, None)
+
+    def evict_one(self):
+        while True:
+            addr = self._ring.popleft()
+            if addr not in self._entries:
+                continue  # stale slot left by pop()
+            if self._ref[addr]:
+                self._ref[addr] = False
+                self._ring.append(addr)
+                continue
+            del self._ref[addr]
+            return addr, self._entries.pop(addr)
+
+    def clear(self):
+        self._entries.clear()
+        self._ref.clear()
+        self._ring.clear()
+
+
+class _TwoQPolicy:
+    """Simplified 2Q: probationary FIFO feeding a protected LRU.
+
+    A first admission lands in probation; only a second touch promotes
+    to the protected queue. Eviction drains probation first whenever it
+    holds more than :attr:`PROBATION_SHARE` of the entries, so
+    single-touch traffic (scans) cannot displace the protected hot set.
+    """
+
+    PROBATION_SHARE = 0.25
+
+    def __init__(self):
+        self._probation: OrderedDict[int, bytes] = OrderedDict()
+        self._protected: OrderedDict[int, bytes] = OrderedDict()
+
+    def __len__(self):
+        return len(self._probation) + len(self._protected)
+
+    def get(self, addr):
+        data = self._protected.get(addr)
+        if data is not None:
+            self._protected.move_to_end(addr)
+            return data
+        data = self._probation.pop(addr, None)
+        if data is not None:
+            self._protected[addr] = data  # second touch: promote
+        return data
+
+    def put(self, addr, data):
+        if addr in self._protected:
+            self._protected[addr] = data
+            self._protected.move_to_end(addr)
+        else:
+            self._probation[addr] = data
+
+    def pop(self, addr):
+        data = self._probation.pop(addr, None)
+        if data is not None:
+            return data
+        return self._protected.pop(addr, None)
+
+    def evict_one(self):
+        if self._probation and (
+            not self._protected
+            or len(self._probation) >= self.PROBATION_SHARE * len(self)
+        ):
+            return self._probation.popitem(last=False)
+        if self._protected:
+            return self._protected.popitem(last=False)
+        return self._probation.popitem(last=False)
+
+    def clear(self):
+        self._probation.clear()
+        self._protected.clear()
+
+
+_POLICY_CLASSES = {
+    "lru": _LRUPolicy,
+    "clock": _ClockPolicy,
+    "2q": _TwoQPolicy,
+}
+
+
+class RecordCache:
+    """Bounded addr → verified-bytes cache inside the enclave boundary.
+
+    Thread-safe; the lock is reentrant because an EPC shard allocation
+    made while admitting can synchronously signal an eviction storm.
+    Mutating integration points (:meth:`update`, :meth:`invalidate`)
+    are called by :class:`~repro.memory.verified.VerifiedMemory` under
+    the cell's RSWS partition lock, which serializes them against the
+    admission of the same address.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: str = "lru",
+        registry=None,
+        faults=None,
+        epc=None,
+        epc_name: str = "record-cache",
+        shard_bytes: int = DEFAULT_SHARD_BYTES,
+    ):
+        if capacity_bytes <= 0:
+            raise ConfigurationError("cache capacity_bytes must be positive")
+        if policy not in _POLICY_CLASSES:
+            raise ConfigurationError(
+                f"unknown cache policy {policy!r}; pick one of {CACHE_POLICIES}"
+            )
+        if shard_bytes <= 0:
+            raise ConfigurationError("shard_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        self.faults = faults if faults is not None else default_fault_plane()
+        self._lock = threading.RLock()
+        self._policy = _POLICY_CLASSES[policy]()
+        self._bytes = 0
+        self._storm_pending = False
+
+        self._epc = None
+        self._epc_name = epc_name
+        self._shard_bytes = shard_bytes
+        self._n_shards = 0
+
+        self.obs = registry if registry is not None else default_registry()
+        self._ctr_hits = self.obs.counter("memory.cache_hits")
+        self._ctr_misses = self.obs.counter("memory.cache_misses")
+        self._ctr_evictions = self.obs.counter("memory.cache_evictions")
+        self._ctr_invalidations = self.obs.counter("memory.cache_invalidations")
+        self._ctr_epc_evictions = self.obs.counter("sgx.cache_epc_evictions")
+        self.obs.gauge_fn("memory.cache_bytes_resident", lambda: self._bytes)
+
+        if epc is not None:
+            self.attach_epc(epc)
+
+    # ------------------------------------------------------------------
+    # EPC residency accounting
+    # ------------------------------------------------------------------
+    def attach_epc(self, epc) -> None:
+        """Register cache residency with an enclave page cache.
+
+        Resident bytes are mirrored as fixed-size shard allocations; the
+        EPC paging one of them out fires :meth:`_on_shard_evicted`.
+        """
+        with self._lock:
+            self._release_shards()
+            self._epc = epc
+        self._sync_epc()
+
+    def _on_shard_evicted(self, name: str, size: int) -> None:
+        """EPC paged a cache shard out: schedule a whole-cache loss.
+
+        The enclave cannot keep trusting entries whose backing pages
+        were swapped to untrusted memory, so the next cache operation
+        flushes everything (the *eviction storm* of the EPC-pressure
+        cliff). Deferred to the next operation because the EPC signals
+        evictions mid-allocation.
+        """
+        self._ctr_epc_evictions.inc()
+        self._storm_pending = True
+
+    def _sync_epc(self) -> None:
+        """Mirror resident bytes into ceil(bytes/shard) EPC allocations."""
+        epc = self._epc
+        if epc is None:
+            return
+        with self._lock:
+            target = -(-self._bytes // self._shard_bytes)
+            while self._n_shards < target:
+                epc.allocate(
+                    f"{self._epc_name}/{self._n_shards}",
+                    self._shard_bytes,
+                    on_evict=self._on_shard_evicted,
+                )
+                self._n_shards += 1
+            while self._n_shards > target:
+                self._n_shards -= 1
+                epc.free(f"{self._epc_name}/{self._n_shards}")
+
+    def _release_shards(self) -> None:
+        """Free every shard allocation (caller holds the lock)."""
+        epc = self._epc
+        while self._n_shards > 0:
+            self._n_shards -= 1
+            if epc is not None:
+                epc.free(f"{self._epc_name}/{self._n_shards}")
+
+    # ------------------------------------------------------------------
+    # the cache interface
+    # ------------------------------------------------------------------
+    def lookup(self, addr: int) -> bytes | None:
+        """Trusted copy for ``addr``, or None on miss. Counts hit/miss."""
+        if self._storm_pending:
+            self._absorb_storm()
+        with self._lock:
+            data = self._policy.get(addr)
+        if data is None:
+            self._ctr_misses.inc()
+        else:
+            self._ctr_hits.inc()
+        return data
+
+    def lookup_many(self, addrs) -> list:
+        """Batched :meth:`lookup`: one lock acquisition for the batch."""
+        if self._storm_pending:
+            self._absorb_storm()
+        hits = 0
+        with self._lock:
+            get = self._policy.get
+            out = [get(addr) for addr in addrs]
+        for data in out:
+            if data is not None:
+                hits += 1
+        if hits:
+            self._ctr_hits.inc(hits)
+        misses = len(out) - hits
+        if misses:
+            self._ctr_misses.inc(misses)
+        return out
+
+    def admit(self, addr: int, data: bytes) -> None:
+        """Insert a freshly verified value, evicting per policy to fit.
+
+        Values larger than the whole capacity are never admitted. The
+        ``cache.evict_storm`` fault site is consulted here (the miss
+        path): a firing is absorbed in place as a forced whole-cache
+        invalidation — cache loss is a performance event, never an
+        error the caller sees.
+        """
+        if self.faults.enabled:
+            try:
+                self.faults.check(fault_sites.CACHE_EVICT_STORM)
+            except FaultInjected:
+                self.flush()
+        if self._storm_pending:
+            self._absorb_storm()
+        size = len(data) + ENTRY_OVERHEAD
+        if size > self.capacity_bytes:
+            return
+        evicted = 0
+        with self._lock:
+            prev = self._policy.pop(addr)
+            if prev is not None:
+                self._bytes -= len(prev) + ENTRY_OVERHEAD
+            self._policy.put(addr, data)
+            self._bytes += size
+            while self._bytes > self.capacity_bytes:
+                _vaddr, vdata = self._policy.evict_one()
+                self._bytes -= len(vdata) + ENTRY_OVERHEAD
+                evicted += 1
+        if evicted:
+            self._ctr_evictions.inc(evicted)
+        self._sync_epc()
+
+    def update(self, addr: int, data: bytes) -> None:
+        """Write-through: refresh the entry if present, else do nothing.
+
+        Called under the cell's partition lock by every verified write,
+        so a cached entry always reflects the latest verified value.
+        Writes to uncached addresses do not admit (write-around): a
+        write-heavy cold set should not wash out the hot read set.
+        """
+        with self._lock:
+            prev = self._policy.pop(addr)
+            if prev is None:
+                return
+            self._bytes += len(data) - len(prev)
+            self._policy.put(addr, data)
+        self._sync_epc()
+
+    def invalidate(self, addr: int) -> None:
+        """Drop the entry for ``addr`` (frees, relocations, raw paths)."""
+        with self._lock:
+            prev = self._policy.pop(addr)
+            if prev is None:
+                return
+            self._bytes -= len(prev) + ENTRY_OVERHEAD
+        self._ctr_invalidations.inc()
+        self._sync_epc()
+
+    def flush(self) -> int:
+        """Drop every entry; returns how many were dropped.
+
+        Runs at epoch close, on any :class:`VerificationFailure`, on an
+        EPC eviction storm, and when the ``cache.evict_storm`` fault
+        site fires. Flushed entries count as invalidations.
+        """
+        with self._lock:
+            n = len(self._policy)
+            self._policy.clear()
+            self._bytes = 0
+            self._release_shards()
+        if n:
+            self._ctr_invalidations.inc(n)
+        return n
+
+    def _absorb_storm(self) -> None:
+        self._storm_pending = False
+        self.flush()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._policy)
+
+    @property
+    def bytes_resident(self) -> int:
+        return self._bytes

@@ -123,6 +123,10 @@ class VerifiedMemory:
         # optional CycleMeter: batched reads charge one amortized ECall
         # per batch (the trust-boundary crossing the batch saves on)
         self.meter = None
+        # optional RecordCache (repro.memory.cache): hits return the
+        # trusted in-enclave copy with zero digest work; writes and
+        # frees keep it coherent under the partition locks below
+        self.cache = None
 
     # ------------------------------------------------------------------
     # page registry (the Register interface of Section 4.2)
@@ -198,18 +202,39 @@ class VerifiedMemory:
                 self._ctr_read_retries.inc()
         return None  # unreachable
 
+    def _vanished(self, addr: int, partition) -> VerificationFailure:
+        """Build the cell-vanished alarm; any alarm flushes the cache
+        (a detected inconsistency voids every trusted copy)."""
+        if self.cache is not None:
+            self.cache.flush()
+        return VerificationFailure(
+            f"cell {addr:#x} vanished from untrusted memory",
+            partition=partition.index,
+        )
+
     def read(self, addr: int) -> bytes:
-        """Verified read: RS gets the old stamp, WS the virtual write-back."""
+        """Verified read: RS gets the old stamp, WS the virtual write-back.
+
+        With a :class:`~repro.memory.cache.RecordCache` attached, a hit
+        returns the trusted in-enclave copy immediately — zero RSWS
+        digest work, no partition lock, no ECall charge (the data never
+        leaves the boundary). A miss runs the full Algorithm-1 protocol
+        and admits the verified value while still holding the partition
+        lock, so a concurrent write to the same cell cannot interleave a
+        stale admission.
+        """
+        cache = self.cache
+        if cache is not None:
+            data = cache.lookup(addr)
+            if data is not None:
+                return data
         page = page_of(addr)
         partition = self.rsws.partition_for_page(page)
         partition.acquire()
         try:
             cell = self._try_read_retried(addr)
             if cell is None:
-                raise VerificationFailure(
-                    f"cell {addr:#x} vanished from untrusted memory",
-                    partition=partition.index,
-                )
+                raise self._vanished(addr, partition)
             parity = self._parity_of(page)
             consumed = self.prf.cell(addr, cell.data, cell.timestamp)
             partition.record_read(parity, consumed)
@@ -223,6 +248,8 @@ class VerifiedMemory:
                 digest.add(opened)
             self._mark_touched(page)
             data = cell.data
+            if cache is not None:
+                cache.admit(addr, data)
         finally:
             partition.release()
         self.stats.verified_reads += 1
@@ -230,7 +257,7 @@ class VerifiedMemory:
         self._fire_hooks()
         return data
 
-    def read_many(self, addrs) -> list:
+    def read_many(self, addrs, admit: bool = True) -> list:
         """Batched verified reads (the vectorized engine's hot path).
 
         Semantically identical to ``read()`` per cell — same digest
@@ -243,18 +270,43 @@ class VerifiedMemory:
         ECall per batch rather than one per cell. A single-address batch
         degenerates to a plain ``read()`` so batch size 1 reproduces the
         row-at-a-time behaviour exactly.
+
+        With a record cache attached, cached addresses are served from
+        the trusted copies first; only the misses pay the batched
+        protocol. A fully cached batch costs nothing — no ECall charge,
+        no digest work. ``admit=False`` still *serves* hits but skips
+        admitting the misses — the scan-resistance escape hatch large
+        sequential scans use so they cannot wash out the hot set.
         """
         n = len(addrs)
         if n == 0:
             return []
         if n == 1:
             return [self.read(addrs[0])]
+        cache = self.cache
+        if cache is None:
+            return self._read_many_verified(addrs, None, admit)
+        out = cache.lookup_many(addrs)
+        miss = [i for i, data in enumerate(out) if data is None]
+        if not miss:
+            return out
+        miss_data = self._read_many_verified(
+            [addrs[i] for i in miss], cache, admit
+        )
+        for i, data in zip(miss, miss_data):
+            out[i] = data
+        return out
+
+    def _read_many_verified(self, addrs, cache, admit: bool) -> list:
+        """The Algorithm-1 batch loop over cache-missed addresses."""
+        n = len(addrs)
         if self.meter is not None:
             self.meter.charge_batched_read()
         self._ctr_read_batches.inc()
         self._hist_batch_cells.observe(n)
         out: list = []
         rsws = self.rsws
+        do_admit = cache is not None and admit
         i = 0
         while i < n:
             pages = [page_of(addrs[i])]
@@ -273,10 +325,7 @@ class VerifiedMemory:
                     page = pages[k - i]
                     cell = self._try_read_retried(addr)
                     if cell is None:
-                        raise VerificationFailure(
-                            f"cell {addr:#x} vanished from untrusted memory",
-                            partition=partition.index,
-                        )
+                        raise self._vanished(addr, partition)
                     parity = self._parity_of(page)
                     consumed = self.prf.cell(addr, cell.data, cell.timestamp)
                     partition.record_read(parity, consumed)
@@ -289,6 +338,8 @@ class VerifiedMemory:
                         digest.remove(consumed)
                         digest.add(opened)
                     self._mark_touched(page)
+                    if do_admit:
+                        cache.admit(addr, cell.data)
                     out.append(cell.data)
             finally:
                 partition.release()
@@ -310,10 +361,7 @@ class VerifiedMemory:
         try:
             cell = self._try_read_retried(addr)
             if cell is None:
-                raise VerificationFailure(
-                    f"cell {addr:#x} vanished from untrusted memory",
-                    partition=partition.index,
-                )
+                raise self._vanished(addr, partition)
             parity = self._parity_of(page)
             consumed = self.prf.cell(addr, cell.data, cell.timestamp)
             partition.record_read(parity, consumed)
@@ -326,6 +374,10 @@ class VerifiedMemory:
                 digest.remove(consumed)
                 digest.add(opened)
             self._mark_touched(page)
+            if self.cache is not None:
+                # write-through under the partition lock: a cached entry
+                # always reflects the latest verified value
+                self.cache.update(addr, data)
         finally:
             partition.release()
         self.stats.verified_writes += 1
@@ -364,10 +416,7 @@ class VerifiedMemory:
         try:
             cell = self._try_read_retried(addr)
             if cell is None:
-                raise VerificationFailure(
-                    f"cell {addr:#x} vanished from untrusted memory",
-                    partition=partition.index,
-                )
+                raise self._vanished(addr, partition)
             parity = self._parity_of(page)
             consumed = self.prf.cell(addr, cell.data, cell.timestamp)
             partition.record_read(parity, consumed)
@@ -376,6 +425,11 @@ class VerifiedMemory:
                 self._page_digest[page].remove(consumed)
             self._mark_touched(page)
             data = cell.data
+            if self.cache is not None:
+                # deletes and compaction relocations travel through
+                # verified free+alloc, so this single invalidation
+                # covers both (the Move case re-admits at the new addr)
+                self.cache.invalidate(addr)
         finally:
             partition.release()
         self.stats.frees += 1
@@ -394,6 +448,10 @@ class VerifiedMemory:
     def write_unverified(self, addr: int, data: bytes) -> None:
         self.stats.unverified_ops += 1
         self._ctr_unverified.inc()
+        if self.cache is not None:
+            # defensive: the raw path bypasses the digests, so it must
+            # also bypass (and clear) any trusted copy of the cell
+            self.cache.invalidate(addr)
         self.memory.raw_write(addr, data, 0, checked=False)
 
     def alloc_unverified(self, addr: int, data: bytes) -> None:
@@ -406,6 +464,8 @@ class VerifiedMemory:
     def free_unverified(self, addr: int) -> bytes:
         self.stats.unverified_ops += 1
         self._ctr_unverified.inc()
+        if self.cache is not None:
+            self.cache.invalidate(addr)
         return self.memory.remove(addr).data
 
     # ------------------------------------------------------------------

@@ -59,6 +59,7 @@ class Verifier:
         mode: str = "full",
         registry=None,
         faults=None,
+        default_workers: int = 1,
     ):
         if mode not in ("full", "touched"):
             raise ConfigurationError(f"unknown verifier mode {mode!r}")
@@ -66,8 +67,11 @@ class Verifier:
             raise ConfigurationError(
                 "touched-page verification requires VerifiedMemory(page_digests=True)"
             )
+        if default_workers < 1:
+            raise ConfigurationError("verifier workers must be >= 1")
         self.vmem = vmem
         self.mode = mode
+        self.default_workers = default_workers
         self.faults = faults if faults is not None else default_fault_plane()
         self.stats = VerifierStats()
         self.obs = registry if registry is not None else default_registry()
@@ -82,6 +86,10 @@ class Verifier:
             "verifier.page_lock_hold_seconds"
         )
         self._gauge_bg_alive = self.obs.gauge("verifier.background_alive")
+        # the verification parallelism actually used by the last pass
+        # (benchmark breakdowns read this; defaults until a pass runs)
+        self._gauge_workers = self.obs.gauge("verifier.workers")
+        self._gauge_workers.set(default_workers)
         self._pass_lock = threading.Lock()
         # state of an in-progress incremental pass
         self._pending_pages: list[int] | None = None
@@ -97,7 +105,14 @@ class Verifier:
     # ------------------------------------------------------------------
     # synchronous full pass
     # ------------------------------------------------------------------
-    def run_pass(self, workers: int = 1) -> None:
+    def set_default_workers(self, workers: int) -> None:
+        """Set the worker count used when :meth:`run_pass` gets none."""
+        if workers < 1:
+            raise ConfigurationError("verifier workers must be >= 1")
+        self.default_workers = workers
+        self._gauge_workers.set(workers)
+
+    def run_pass(self, workers: int | None = None) -> None:
         """Scan and close one full epoch; raises on detected inconsistency.
 
         If an *incremental* pass (driven by the op-count trigger) is
@@ -105,13 +120,21 @@ class Verifier:
         page twice within one pass would corrupt both epoch generations,
         so all verification activity serializes on the step lock.
 
-        With ``workers > 1``, the fresh pass's page snapshot is split
-        into disjoint sections scanned by parallel threads — the
-        "multiple verifiers" of Figure 2. Pages are independent units of
-        scanning (each scan holds only its page's RSWS partition lock),
-        so the only synchronization point is the epoch close after all
-        workers join.
+        ``workers`` defaults to :attr:`default_workers` (wired from
+        ``VeriDBConfig.verifier_workers``). With more than one, the
+        fresh pass's page snapshot is split into disjoint sections
+        scanned by parallel threads — the "multiple verifiers" of
+        Figure 2. Pages are independent units of scanning (each scan
+        holds only its page's RSWS partition lock), so the only
+        synchronization point is the epoch close after all workers
+        join. The count actually used is exported as the
+        ``verifier.workers`` gauge.
         """
+        if workers is None:
+            workers = self.default_workers
+        if workers < 1:
+            raise ConfigurationError("verifier workers must be >= 1")
+        self._gauge_workers.set(workers)
         with self._pass_lock:
             start = perf_counter()
             # Compaction hooks issue verified operations; the re-entrancy
@@ -434,6 +457,9 @@ class Verifier:
             if observed != expected:
                 self.stats.alarms += 1
                 self._ctr_alarms.inc()
+                if vmem.cache is not None:
+                    # a detected inconsistency voids every trusted copy
+                    vmem.cache.flush()
                 raise VerificationFailure(
                     f"page {page_id} content does not match its trusted digest",
                     partition=partition.index,
@@ -458,6 +484,10 @@ class Verifier:
             vmem.end_pass()
             self.stats.passes_completed += 1
             self._ctr_passes.inc()
+            if vmem.cache is not None:
+                # epoch boundary: cached copies were verified under the
+                # generation that just closed, so they are retired with it
+                vmem.cache.flush()
             # Injection site: crash right after the epoch advanced.
             # Placed after the pass bookkeeping so a fired crash never
             # masks an alarm (touched-mode alarms raise per page, above).
@@ -476,6 +506,11 @@ class Verifier:
         vmem.end_pass()
         self.stats.passes_completed += 1
         self._ctr_passes.inc()
+        if vmem.cache is not None:
+            # epoch boundary (clean or alarming): flush before any alarm
+            # below raises, so deferred verification semantics never see
+            # a cached value that outlived its epoch
+            vmem.cache.flush()
         if bad:
             self.stats.alarms += 1
             self._ctr_alarms.inc()

@@ -50,19 +50,30 @@ class EnclavePageCache:
         # name -> size; insertion order doubles as LRU order (most recent last)
         self._resident: OrderedDict[str, int] = OrderedDict()
         self._swapped: dict[str, int] = {}
+        # name -> callback(name, size), fired when the allocation is
+        # paged out (outside the lock: callbacks may re-enter the EPC)
+        self._on_evict: dict[str, callable] = {}
 
     # ------------------------------------------------------------------
     # allocation API
     # ------------------------------------------------------------------
-    def allocate(self, name: str, size: int) -> None:
-        """Register an allocation of ``size`` bytes under ``name``."""
+    def allocate(self, name: str, size: int, on_evict=None) -> None:
+        """Register an allocation of ``size`` bytes under ``name``.
+
+        ``on_evict(name, size)``, if given, is invoked whenever this
+        allocation is swapped out by capacity pressure — after the EPC
+        lock is released, so the callback may call back into the EPC.
+        """
         if size < 0:
             raise EnclaveError("allocation size must be non-negative")
         with self._lock:
             if name in self._resident or name in self._swapped:
                 raise EnclaveError(f"EPC allocation {name!r} already exists")
             self._resident[name] = size
-            self._evict_if_needed()
+            if on_evict is not None:
+                self._on_evict[name] = on_evict
+            victims = self._evict_if_needed()
+        self._fire_evictions(victims)
 
     def resize(self, name: str, size: int) -> None:
         """Change the size of an existing allocation (touches it)."""
@@ -71,10 +82,12 @@ class EnclavePageCache:
         with self._lock:
             self._touch_locked(name)
             self._resident[name] = size
-            self._evict_if_needed()
+            victims = self._evict_if_needed()
+        self._fire_evictions(victims)
 
     def free(self, name: str) -> None:
         with self._lock:
+            self._on_evict.pop(name, None)
             if self._resident.pop(name, None) is None:
                 if self._swapped.pop(name, None) is None:
                     raise EnclaveError(f"unknown EPC allocation {name!r}")
@@ -83,7 +96,8 @@ class EnclavePageCache:
         """Record an access; swapped-out allocations are paged back in."""
         with self._lock:
             self._touch_locked(name)
-            self._evict_if_needed()
+            victims = self._evict_if_needed()
+        self._fire_evictions(victims)
 
     # ------------------------------------------------------------------
     # introspection
@@ -130,13 +144,24 @@ class EnclavePageCache:
         self.meter.charge_epc_swaps(self._pages_for(size))
         self._resident[name] = size
 
-    def _evict_if_needed(self) -> None:
+    def _evict_if_needed(self) -> list[tuple[str, int]]:
+        """Swap LRU allocations out; returns them so callbacks can fire
+        after the caller releases the lock."""
         used = sum(self._resident.values())
+        victims: list[tuple[str, int]] = []
         while used > self.capacity_bytes and len(self._resident) > 1:
             victim, size = self._resident.popitem(last=False)
             self._swapped[victim] = size
             self.meter.charge_epc_swaps(self._pages_for(size))
             used -= size
+            victims.append((victim, size))
+        return victims
+
+    def _fire_evictions(self, victims: list[tuple[str, int]]) -> None:
+        for name, size in victims:
+            callback = self._on_evict.get(name)
+            if callback is not None:
+                callback(name, size)
 
     def _pages_for(self, size: int) -> int:
         page = self.meter.model.page_size

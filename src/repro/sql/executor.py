@@ -93,6 +93,8 @@ class QueryEngine:
             subquery_executor=lambda select: self._run_select(select, None).rows,
             spill=spill,
             batch_size=storage.config.batch_size if storage is not None else None,
+            cache_bytes=storage.config.cache_bytes if storage is not None else None,
+            cache_policy=storage.config.cache_policy if storage is not None else None,
         )
 
     # ------------------------------------------------------------------

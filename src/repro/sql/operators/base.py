@@ -36,6 +36,13 @@ class PhysicalOp:
     #: configured ``StorageConfig.batch_size`` onto every plan node
     batch_size = DEFAULT_BATCH_SIZE
 
+    #: record-cache regime the plan executes under; stamped by the
+    #: planner from ``StorageConfig.cache_bytes``/``cache_policy`` so
+    #: EXPLAIN output records whether point reads can be served from
+    #: the trusted cache (0 = caching disabled)
+    cache_bytes = 0
+    cache_policy = "lru"
+
     def __init__(self, output: RowSchema, children: list["PhysicalOp"]):
         self.output = output
         self.children = children

@@ -91,6 +91,8 @@ class Planner:
         subquery_executor=None,
         spill=None,
         batch_size: Optional[int] = None,
+        cache_bytes: Optional[int] = None,
+        cache_policy: Optional[str] = None,
     ):
         self.catalog = catalog
         #: callable(Select) -> list[tuple]; installed by the QueryEngine.
@@ -104,12 +106,26 @@ class Planner:
         #: row-at-a-time execution. None keeps each operator's class
         #: default (DEFAULT_BATCH_SIZE).
         self.batch_size = batch_size
+        #: record-cache budget/policy active beneath the plan, stamped
+        #: onto every node so EXPLAIN output shows the cache regime the
+        #: plan will execute under. None keeps the class defaults.
+        self.cache_bytes = cache_bytes
+        self.cache_policy = cache_policy
 
     def _stamp(self, plan: PhysicalOp) -> PhysicalOp:
-        """Propagate the configured batch size to every plan node."""
-        if self.batch_size is not None:
+        """Propagate execution-wide knobs to every plan node."""
+        if (
+            self.batch_size is not None
+            or self.cache_bytes is not None
+            or self.cache_policy is not None
+        ):
             for op in plan.walk():
-                op.batch_size = self.batch_size
+                if self.batch_size is not None:
+                    op.batch_size = self.batch_size
+                if self.cache_bytes is not None:
+                    op.cache_bytes = self.cache_bytes
+                if self.cache_policy is not None:
+                    op.cache_policy = self.cache_policy
         return plan
 
     # ------------------------------------------------------------------

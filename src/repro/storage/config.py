@@ -43,6 +43,15 @@ class StorageConfig:
     #: 1 degenerates to the original row-at-a-time execution; the
     #: default is the winner of ``benchmarks/test_ablation_batch_size``
     batch_size: int = 256
+    #: bytes of trusted in-enclave record cache
+    #: (:class:`~repro.memory.cache.RecordCache`); 0 disables caching.
+    #: Residency is accounted against the EPC, so budgets beyond the
+    #: enclave's protected memory thrash instead of helping — see
+    #: ``benchmarks/test_ablation_cache.py``
+    cache_bytes: int = 0
+    #: admission/eviction policy of the record cache: "lru" (default),
+    #: "clock" (second-chance ring) or "2q" (scan-resistant two-queue)
+    cache_policy: str = "lru"
 
     def __post_init__(self):
         if self.page_size < 512:
@@ -61,3 +70,10 @@ class StorageConfig:
             raise ConfigurationError("spill_threshold_rows must be >= 1")
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if self.cache_bytes < 0:
+            raise ConfigurationError("cache_bytes must be >= 0")
+        if self.cache_policy not in ("lru", "clock", "2q"):
+            raise ConfigurationError(
+                f"unknown cache policy {self.cache_policy!r}; "
+                "pick one of ('lru', 'clock', '2q')"
+            )

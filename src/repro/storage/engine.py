@@ -12,6 +12,7 @@ import itertools
 
 from repro.crypto.keys import KeyChain
 from repro.crypto.prf import PRF
+from repro.memory.cache import RecordCache
 from repro.memory.rsws import RSWSGroup
 from repro.memory.untrusted import UntrustedMemory
 from repro.memory.verified import VerifiedMemory
@@ -46,6 +47,19 @@ class StorageEngine:
             if self.config.verification
             else None
         )
+        # the trusted record cache: hits skip the Algorithm-1 protocol
+        # entirely (repro.memory.cache); only meaningful when the
+        # verified read path is active
+        self.cache = (
+            RecordCache(
+                self.config.cache_bytes,
+                policy=self.config.cache_policy,
+                registry=self.obs,
+            )
+            if self.config.cache_bytes > 0 and self.config.verification
+            else None
+        )
+        self.vmem.cache = self.cache
         self._page_ids = itertools.count(0)
 
     def attach_meter(self, meter) -> None:
@@ -56,6 +70,16 @@ class StorageEngine:
         of one per row, mirroring Section 2.1's cost-model motivation.
         """
         self.vmem.meter = meter
+
+    def attach_epc(self, epc) -> None:
+        """Account record-cache residency against an enclave page cache.
+
+        The cache mirrors its resident bytes as EPC shard allocations,
+        so it competes with operator state for protected memory and an
+        over-budget cache pays eviction storms (the EPC-pressure cliff).
+        """
+        if self.cache is not None:
+            self.cache.attach_epc(epc)
 
     @property
     def verification_enabled(self) -> bool:

@@ -52,9 +52,12 @@ class HeapFile:
     def read(self, rid: RecordId) -> bytes:
         return self._page(rid.page_id).read(rid.slot)
 
-    def read_many(self, rids: list[RecordId]) -> list[bytes]:
+    def read_many(
+        self, rids: list[RecordId], admit: bool = True
+    ) -> list[bytes]:
         """Fetch several records, grouping consecutive same-page reads
-        into one batched verified read per page run."""
+        into one batched verified read per page run. ``admit=False``
+        keeps the reads out of the record cache (scan resistance)."""
         out: list[bytes] = []
         i, n = 0, len(rids)
         while i < n:
@@ -62,7 +65,11 @@ class HeapFile:
             j = i + 1
             while j < n and rids[j].page_id == page_id:
                 j += 1
-            out.extend(self._page(page_id).read_many([r.slot for r in rids[i:j]]))
+            out.extend(
+                self._page(page_id).read_many(
+                    [r.slot for r in rids[i:j]], admit=admit
+                )
+            )
             i = j
         return out
 

@@ -141,17 +141,18 @@ class Page:
         offset = self._slot_offset(slot)
         return self.data_io.read(self._addr(offset))
 
-    def read_many(self, slots: list[int]) -> list[bytes]:
+    def read_many(self, slots: list[int], admit: bool = True) -> list[bytes]:
         """Fetch several records, batching the verified payload reads.
 
         Slot pointers resolve through the metadata path one cell at a
         time (so per-cell fault sites still fire for every pointer);
         the payload cells then go through ``VerifiedMemory.read_many``
-        when the data path is verified.
+        when the data path is verified. ``admit=False`` keeps the
+        payloads out of the record cache (scan resistance).
         """
         addrs = [self._addr(self._slot_offset(slot)) for slot in slots]
         if self.data_io.verified:
-            return self.vmem.read_many(addrs)
+            return self.vmem.read_many(addrs, admit=admit)
         return [self.data_io.read(addr) for addr in addrs]
 
     def write(self, slot: int, payload: bytes) -> None:

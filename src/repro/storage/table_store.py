@@ -321,10 +321,15 @@ class VerifiableTable:
     def _read_stored(self, rid: RecordId) -> StoredRecord:
         return self.layout.from_tuple(self.codec.decode(self.heap.read(rid)))
 
-    def _read_stored_many(self, rids: list[RecordId]) -> list[StoredRecord]:
+    def _read_stored_many(
+        self, rids: list[RecordId], admit: bool = True
+    ) -> list[StoredRecord]:
         decode = self.codec.decode
         from_tuple = self.layout.from_tuple
-        return [from_tuple(decode(p)) for p in self.heap.read_many(rids)]
+        return [
+            from_tuple(decode(p))
+            for p in self.heap.read_many(rids, admit=admit)
+        ]
 
     def _write_stored(self, rid: RecordId, stored: StoredRecord) -> RecordId:
         """Rewrite a record; relocates (Move) when it no longer fits."""
@@ -411,6 +416,10 @@ class VerifiableTable:
         seed = index.search_le(lo_bound)
         if seed is None:
             raise ProofError(f"untrusted index lost the chain-{chain_id} sentinel")
+        # Unbounded full-table sweeps bypass cache admission so one large
+        # sequential scan cannot evict the hot working set (scan
+        # resistance); bounded range reads still warm the cache.
+        admit = not (lo_bound is BOTTOM and hi_bound is TOP)
         rows: list[tuple] = []
         expected: Any = None
         finished = False
@@ -438,7 +447,7 @@ class VerifiableTable:
                 rids.append(rid)
             if not rids:
                 break
-            for stored in self._read_stored_many(rids):
+            for stored in self._read_stored_many(rids, admit=admit):
                 key = stored.key(chain_id)
                 if key is None:
                     raise ProofError(

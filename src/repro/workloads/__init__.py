@@ -11,7 +11,13 @@
   helpers shared by the benchmarks.
 """
 
-from repro.workloads.micro import KVTable, MicroWorkload
+from repro.workloads.micro import KVTable, MicroWorkload, ZipfianKeys
 from repro.workloads.runner import LatencyRecorder, run_operations
 
-__all__ = ["KVTable", "LatencyRecorder", "MicroWorkload", "run_operations"]
+__all__ = [
+    "KVTable",
+    "LatencyRecorder",
+    "MicroWorkload",
+    "ZipfianKeys",
+    "run_operations",
+]

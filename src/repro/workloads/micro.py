@@ -66,19 +66,76 @@ class KVTable:
         return self.table.row_count
 
 
-class MicroWorkload:
-    """Deterministic generator for the initial state and the op stream."""
+class ZipfianKeys:
+    """Zipf-distributed key picker over keys ``1..n`` (skew ``theta``).
 
-    def __init__(self, n_initial: int = 10_000, seed: int = 0):
+    Standard inverse-CDF sampling against the precomputed harmonic
+    weights ``1/rank^theta``; ``theta=0.9`` gives the YCSB-style hot set
+    used by the cache ablation (a handful of keys absorb most reads).
+    Ranks are shuffled once so the hot keys are spread across the key
+    space instead of clustering at the low end (which would also cluster
+    them on the same heap pages and flatter the cache).
+    """
+
+    def __init__(self, n: int, theta: float = 0.9, seed: int = 0):
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        if theta < 0:
+            raise ValueError("theta must be >= 0")
+        self.n = n
+        self.theta = theta
+        self._rng = random.Random(seed)
+        weights = [1.0 / (rank**theta) for rank in range(1, n + 1)]
+        total = sum(weights)
+        self._cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._keys = list(range(1, n + 1))
+        self._rng.shuffle(self._keys)
+
+    def next(self) -> int:
+        u = self._rng.random()
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return self._keys[lo]
+
+    def sample(self, count: int) -> list[int]:
+        return [self.next() for _ in range(count)]
+
+
+class MicroWorkload:
+    """Deterministic generator for the initial state and the op stream.
+
+    ``value_bytes`` defaults to the paper's 500-byte values; the cache
+    ablation uses larger values so the per-record verification cost
+    dominates the fixed SQL overhead.
+    """
+
+    def __init__(
+        self,
+        n_initial: int = 10_000,
+        seed: int = 0,
+        value_bytes: int = VALUE_BYTES,
+    ):
         self.n_initial = n_initial
         self.seed = seed
+        self.value_bytes = value_bytes
         self._rng = random.Random(seed)
 
     # ------------------------------------------------------------------
     def value(self) -> str:
-        """A fresh 500-byte printable value."""
+        """A fresh printable value of ``value_bytes`` characters."""
         return "".join(
-            self._rng.choices(string.ascii_letters + string.digits, k=VALUE_BYTES)
+            self._rng.choices(
+                string.ascii_letters + string.digits, k=self.value_bytes
+            )
         )
 
     def initial_pairs(self) -> Iterator[tuple[int, str]]:

@@ -317,3 +317,55 @@ def test_compaction_abort_is_absorbed_and_counted():
     assert [r[0] for r in db.sql("SELECT id FROM t ORDER BY id").rows] == list(
         range(1, 30, 2)
     )
+
+
+def test_cache_evict_storm_flushes_and_never_surfaces():
+    from repro.memory.cache import RecordCache
+    from repro.storage.config import StorageConfig
+
+    plane = plane_for(sites.CACHE_EVICT_STORM)
+    plane.disarm()
+    registry = MetricsRegistry()
+    cache = RecordCache(64 * 1024, registry=registry, faults=plane)
+    cache.admit(1, b"warm")
+    cache.admit(2, b"warm")
+    assert cache.lookup(1) == b"warm"
+    plane.arm()
+    # the firing is absorbed in place: the whole cache is invalidated,
+    # the admit itself still lands, and nothing propagates to the caller
+    cache.admit(3, b"new")
+    plane.disarm()
+    assert cache.lookup(1) is None
+    assert cache.lookup(2) is None
+    assert cache.lookup(3) == b"new"
+    assert plane.fired_count() == 1
+    snap = registry.snapshot()
+    assert snap["memory.cache_invalidations"]["value"] >= 2
+
+
+def test_cache_evict_storm_end_to_end_correctness():
+    """A storm mid-workload costs latency only: results and the epoch
+    close are untouched."""
+    from repro.storage.config import StorageConfig
+
+    plane = plane_for(sites.CACHE_EVICT_STORM, limit=3)
+    plane.disarm()
+    with scoped_fault_plane(plane):
+        db = VeriDB(
+            VeriDBConfig(
+                key_seed=7, storage=StorageConfig(cache_bytes=1 << 20)
+            )
+        )
+        db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+        for i in range(20):
+            db.sql(f"INSERT INTO t VALUES ({i}, {i * 10})")
+    # cold start: the insert phase warmed the cache through the
+    # predecessor searches, and warm hits never reach the admit site
+    db.storage.cache.flush()
+    plane.arm()
+    for i in range(20):
+        rows = db.sql(f"SELECT v FROM t WHERE id = {i}").rows
+        assert rows == [(i * 10,)]
+    plane.disarm()
+    assert plane.fired_count() == 3
+    db.verify_now()

@@ -111,3 +111,44 @@ def test_grouped_tracking_still_detects():
     vmem.read(make_addr(7, 0))  # sibling touch pulls the group into scope
     with pytest.raises(VerificationFailure):
         verifier.run_pass()
+
+
+# ----------------------------------------------------------------------
+# default worker count (VeriDBConfig.verifier_workers)
+# ----------------------------------------------------------------------
+def test_default_workers_used_by_run_pass():
+    from repro.obs import MetricsRegistry
+
+    registry = MetricsRegistry()
+    vmem = make_vmem(pages=8)
+    verifier = Verifier(vmem, registry=registry, default_workers=3)
+    assert registry.snapshot()["verifier.workers"]["value"] == 3
+    verifier.run_pass()  # no explicit workers: the default applies
+    assert registry.snapshot()["verifier.workers"]["value"] == 3
+    verifier.run_pass(workers=5)  # explicit override still wins
+    assert registry.snapshot()["verifier.workers"]["value"] == 5
+
+
+def test_worker_count_validation():
+    from repro.errors import ConfigurationError
+
+    vmem = make_vmem(pages=2)
+    with pytest.raises(ConfigurationError):
+        Verifier(vmem, default_workers=0)
+    verifier = Verifier(vmem)
+    with pytest.raises(ConfigurationError):
+        verifier.run_pass(workers=0)
+    with pytest.raises(ConfigurationError):
+        verifier.set_default_workers(-1)
+
+
+def test_workers_default_flows_from_veridb_config():
+    from repro.core.config import VeriDBConfig
+    from repro.core.database import VeriDB
+    from repro.errors import ConfigurationError
+
+    db = VeriDB(VeriDBConfig(key_seed=1, verifier_workers=4))
+    assert db.storage.verifier.default_workers == 4
+    db.verify_now()  # runs with 4 workers, no alarm
+    with pytest.raises(ConfigurationError):
+        VeriDBConfig(verifier_workers=0)
