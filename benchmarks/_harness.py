@@ -22,7 +22,13 @@ from repro.baselines.mbtree import MBTree
 from repro.baselines.plain import PlainKVStore
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
-from repro.obs import KNOWN_LAYERS, MetricsRegistry, layer_breakdown, scoped_registry
+from repro.obs import (
+    KNOWN_LAYERS,
+    MetricsRegistry,
+    default_registry,
+    layer_breakdown,
+    scoped_registry,
+)
 from repro.storage.config import StorageConfig
 from repro.storage.engine import StorageEngine
 from repro.workloads.micro import KVTable, MicroWorkload, load_kv
@@ -118,6 +124,10 @@ def run_fig9(n_initial: int, n_ops: int) -> dict[str, LatencyRecorder]:
     """Latency of reads/writes under the three Figure 9 configurations."""
     results = {}
     for label, config in FIG9_CONFIGS.items():
+        # One registry serves the whole run; zero it per configuration so
+        # the printed breakdown reflects the last measured phase, not the
+        # aggregate of every repetition (no-op under the NullRegistry).
+        default_registry().reset()
         kv, _engine, workload = build_kv(config, n_initial)
         results[label] = run_operations(kv, workload.operations(n_ops))
     return results
@@ -150,6 +160,7 @@ def run_fig10(n_initial: int, n_ops: int) -> dict[str, LatencyRecorder]:
     """Latency vs verification frequency (one page scan per N ops)."""
     results = {}
     for freq in FIG10_FREQUENCIES:
+        default_registry().reset()
         kv, engine, workload = build_kv(StorageConfig(), n_initial)
         engine.enable_continuous_verification(freq)
         results[str(freq)] = run_operations(kv, workload.operations(n_ops))
@@ -166,6 +177,7 @@ def run_fig11(n_initial: int, n_ops: int) -> dict:
     gap (a Python interpreter flattens absolute latencies; the work
     ratio does not flatten).
     """
+    default_registry().reset()
     kv, engine, workload = build_kv(StorageConfig(), n_initial)
     engine.enable_continuous_verification(1000)
     prf_before = engine.vmem.prf.calls
@@ -262,6 +274,7 @@ def run_fig13(
     """TPC-C throughput vs client count for each RSWS partition count."""
     results: dict[str, dict[int, float]] = {}
     for rsws in rsws_series:
+        default_registry().reset()
         series: dict[int, float] = {}
         for n_clients in clients:
             bench = build_tpcc(rsws, warehouses)
@@ -347,7 +360,139 @@ def write_bench_json(name: str, payload: dict) -> str:
         json.dump(doc, fh, indent=2, sort_keys=True)
         fh.write("\n")
     print(f"\n[bench-json] wrote {path}")
+    print_baseline_comparison(name, doc)
     return path
+
+
+# ----------------------------------------------------------------------
+# committed baselines and regression comparison
+# ----------------------------------------------------------------------
+#: where reference BENCH_*.json documents live, committed to the repo so
+#: CI (and anyone re-running a figure) can diff against a known run
+BASELINE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "baselines")
+
+#: deltas on metrics below these floors are noise, not regressions
+NOISE_FLOOR_SECONDS = 1e-3
+NOISE_FLOOR_US = 50.0
+
+
+def load_baseline(name: str) -> dict | None:
+    """The committed baseline document for benchmark ``name``, if any."""
+    path = os.path.join(BASELINE_DIR, f"BENCH_{name}.json")
+    if not os.path.exists(path):
+        return None
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def flatten_numeric(payload, prefix: str = "") -> dict[str, float]:
+    """Flatten nested result dicts to ``a.b.c -> number`` paths."""
+    out: dict[str, float] = {}
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            out.update(flatten_numeric(value, f"{prefix}{key}."))
+    elif isinstance(payload, (int, float)) and not isinstance(payload, bool):
+        out[prefix[:-1]] = float(payload)
+    return out
+
+
+def _latency_unit(path: str) -> str | None:
+    """``"s"``/``"us"`` when the path names a latency, else None.
+
+    The unit marker may sit on any segment — ``seq_scan_seconds.256`` and
+    ``mean_latency_us.RSWS.get`` are both latencies — so every segment is
+    checked, not just the leaf.
+    """
+    for segment in path.split("."):
+        if segment.endswith("_us"):
+            return "us"
+        if segment.endswith(("_s", "_seconds")):
+            return "s"
+    # LatencyRecorder report leaves are per-kind means in microseconds
+    if path.rsplit(".", 1)[-1] in ("get", "insert", "update", "delete"):
+        return "us"
+    return None
+
+
+def _is_latency_metric(path: str) -> bool:
+    """Latency-like metrics: bigger is worse, and they gate the CI job."""
+    return _latency_unit(path) is not None
+
+
+def _above_noise_floor(path: str, value: float) -> bool:
+    if _latency_unit(path) == "s":
+        return value >= NOISE_FLOOR_SECONDS
+    return value >= NOISE_FLOOR_US
+
+
+def compare_with_baseline(
+    doc: dict, baseline: dict, threshold: float
+) -> tuple[list[dict], list[dict]]:
+    """Diff a run against a baseline document.
+
+    Returns ``(regressions, comparisons)``: every latency-like metric
+    present in both documents is compared, and those whose relative
+    increase exceeds ``threshold`` (and whose baseline *and* absolute
+    increase both clear the noise floor) are regressions. Non-matching
+    scales return no comparisons at all — a scale-0.05 run against a
+    scale-0.2 baseline proves nothing.
+    """
+    if doc.get("scale") != baseline.get("scale"):
+        return [], []
+    current = flatten_numeric(doc.get("results", {}))
+    reference = flatten_numeric(baseline.get("results", {}))
+    comparisons: list[dict] = []
+    regressions: list[dict] = []
+    for path in sorted(set(current) & set(reference)):
+        if not _is_latency_metric(path):
+            continue
+        base, now = reference[path], current[path]
+        if base <= 0.0 or not _above_noise_floor(path, base):
+            continue
+        ratio = now / base - 1.0
+        row = {"metric": path, "baseline": base, "current": now, "delta": ratio}
+        comparisons.append(row)
+        # a regression must be big in relative AND absolute terms: a 25%
+        # jump on a 70 us metric is scheduler jitter, not a slowdown
+        if ratio > threshold and _above_noise_floor(path, now - base):
+            regressions.append(row)
+    return regressions, comparisons
+
+
+def print_baseline_comparison(
+    name: str, doc: dict, threshold: float = 0.25
+) -> None:
+    """Informational diff against the committed baseline (never fails).
+
+    The CI gate lives in ``benchmarks/perf_trend.py``; this printout
+    gives a local run the same signal without the exit code.
+    """
+    baseline = load_baseline(name)
+    if baseline is None:
+        return
+    if doc.get("scale") != baseline.get("scale"):
+        print(
+            f"[baseline] {name}: scale mismatch "
+            f"(run={doc.get('scale')}, baseline={baseline.get('scale')}); "
+            "skipping comparison"
+        )
+        return
+    regressions, comparisons = compare_with_baseline(doc, baseline, threshold)
+    if not comparisons:
+        print(f"[baseline] {name}: no comparable latency metrics")
+        return
+    worst = max(comparisons, key=lambda row: row["delta"])
+    print(
+        f"[baseline] {name}: {len(comparisons)} latency metrics compared, "
+        f"{len(regressions)} above +{threshold:.0%}; worst "
+        f"{worst['metric']} {worst['delta']:+.1%}"
+    )
+    for row in regressions:
+        print(
+            f"[baseline]   REGRESSION {row['metric']}: "
+            f"{row['baseline']:.4g} -> {row['current']:.4g} "
+            f"({row['delta']:+.1%})"
+        )
 
 
 def recorder_summary(recorder: LatencyRecorder) -> dict:

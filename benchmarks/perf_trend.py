@@ -1,0 +1,99 @@
+"""CI perf-trend gate: fail on latency regressions vs committed baselines.
+
+Usage::
+
+    python benchmarks/perf_trend.py [BENCH_*.json ...]
+
+With no arguments, every ``BENCH_*.json`` at the repo root (the output
+of a fresh benchmark run) is checked against its committed counterpart
+in ``benchmarks/baselines/``. A latency-like metric (``*_s``, ``*_us``,
+``*_seconds``, or a per-kind mean from a :class:`LatencyRecorder`) that
+grew by more than the threshold — default 25%, override with
+``REPRO_PERF_THRESHOLD`` (a fraction, e.g. ``0.25``) — fails the run
+with exit code 1.
+
+Guard rails against false alarms:
+
+* a run and its baseline must be at the same ``REPRO_BENCH_SCALE`` —
+  mismatched scales are reported and skipped, never compared;
+* baselines below the noise floor (1 ms for seconds-valued metrics,
+  50 µs for microsecond-valued ones) are ignored: at those magnitudes
+  interpreter jitter dwarfs any real trend;
+* benchmarks without a committed baseline are reported as uncovered,
+  not failed — commit a baseline (copy the fresh ``BENCH_*.json`` into
+  ``benchmarks/baselines/``) to extend coverage.
+"""
+
+from __future__ import annotations
+
+import glob
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import compare_with_baseline, load_baseline  # noqa: E402
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_THRESHOLD = 0.25
+
+
+def check_document(path: str, threshold: float) -> tuple[str, list[dict]]:
+    """Return (status-line, regressions) for one fresh BENCH document."""
+    with open(path) as fh:
+        doc = json.load(fh)
+    name = doc.get("benchmark") or os.path.basename(path)[len("BENCH_"):-len(".json")]
+    baseline = load_baseline(name)
+    if baseline is None:
+        return f"SKIP  {name}: no committed baseline", []
+    if doc.get("scale") != baseline.get("scale"):
+        return (
+            f"SKIP  {name}: scale mismatch "
+            f"(run={doc.get('scale')}, baseline={baseline.get('scale')})",
+            [],
+        )
+    regressions, comparisons = compare_with_baseline(doc, baseline, threshold)
+    if not comparisons:
+        return f"SKIP  {name}: no comparable latency metrics", []
+    if regressions:
+        return (
+            f"FAIL  {name}: {len(regressions)}/{len(comparisons)} latency "
+            f"metrics regressed more than {threshold:.0%}",
+            regressions,
+        )
+    worst = max(comparisons, key=lambda row: row["delta"])
+    return (
+        f"OK    {name}: {len(comparisons)} metrics within {threshold:.0%} "
+        f"(worst {worst['metric']} {worst['delta']:+.1%})",
+        [],
+    )
+
+
+def main(argv: list[str]) -> int:
+    threshold = float(os.environ.get("REPRO_PERF_THRESHOLD", DEFAULT_THRESHOLD))
+    paths = argv or sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    if not paths:
+        print("perf-trend: no BENCH_*.json documents to check")
+        return 0
+    print(f"perf-trend: threshold +{threshold:.0%}\n")
+    failed = False
+    for path in paths:
+        line, regressions = check_document(path, threshold)
+        print(line)
+        for row in regressions:
+            print(
+                f"        {row['metric']}: {row['baseline']:.4g} -> "
+                f"{row['current']:.4g} ({row['delta']:+.1%})"
+            )
+        failed = failed or bool(regressions)
+    print()
+    if failed:
+        print("perf-trend: FAILED — latency regressed beyond the threshold")
+        return 1
+    print("perf-trend: passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

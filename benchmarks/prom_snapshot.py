@@ -1,0 +1,71 @@
+"""Write a Prometheus text-format metrics snapshot from a short workload.
+
+Usage::
+
+    python benchmarks/prom_snapshot.py [OUTPUT]
+
+Runs a compact representative workload — verified point ops, one
+TPC-H-style join under ``explain_analyze``, one verification pass — with
+a live registry, then renders every instrument in Prometheus
+text-exposition format 0.0.4 to ``OUTPUT`` (default ``metrics.prom`` at
+the repo root). CI uploads the file as an artifact from the perf-smoke
+run, so each commit has a scrape-equivalent snapshot to diff.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import obs_scope, scaled  # noqa: E402
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.obs import write_prometheus_snapshot
+from repro.storage.config import StorageConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def run_workload() -> None:
+    db = VeriDB(
+        VeriDBConfig(
+            key_seed=7,
+            storage=StorageConfig(cache_bytes=1 << 20),
+            trace_sample_rate=1.0,
+        )
+    )
+    db.sql(
+        "CREATE TABLE items (id INT PRIMARY KEY, owner INT, qty INT)"
+    )
+    db.sql("CREATE TABLE owners (id INT PRIMARY KEY, region INT)")
+    n = scaled(400)
+    db.load_rows("items", [(i, i % 20, i * 3) for i in range(n)])
+    db.load_rows("owners", [(i, i % 4) for i in range(20)])
+    client = db.connect("prom-snapshot")
+    client.execute("SELECT * FROM items WHERE id = 5")
+    client.execute(
+        "SELECT items.id, owners.region FROM items, owners "
+        "WHERE items.owner = owners.id AND owners.region = 1"
+    )
+    db.explain_analyze(
+        "SELECT items.id, owners.region FROM items, owners "
+        "WHERE items.owner = owners.id"
+    )
+    db.verify_now()
+
+
+def main(argv: list[str]) -> int:
+    output = argv[0] if argv else os.path.join(REPO_ROOT, "metrics.prom")
+    with obs_scope() as registry:
+        run_workload()
+        path = write_prometheus_snapshot(registry, output)
+    size = os.path.getsize(path)
+    print(f"[prom-snapshot] wrote {path} ({size} bytes)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -21,16 +21,27 @@ class VeriDBConfig:
     ``verifier_workers`` is the default parallelism of every
     verification pass (the "multiple verifiers" of Figure 2); explicit
     ``run_pass(workers=...)`` calls still override it.
+    ``trace_sample_rate`` is the fraction of portal queries executed
+    under a per-query :class:`~repro.obs.trace_context.TraceContext`
+    (0.0 = never, the zero-cost default; 1.0 = every query). Sampling
+    is deterministic in the query sequence number, so a rate of 0.25
+    traces exactly every fourth query. ``VeriDB.explain_analyze``
+    always traces, regardless of this rate.
     """
 
     storage: StorageConfig = field(default_factory=StorageConfig)
     ops_per_page_scan: int | None = None
     key_seed: int | None = None  # deterministic keys for tests/benchmarks
     verifier_workers: int = 1
+    trace_sample_rate: float = 0.0
 
     def __post_init__(self):
         if self.verifier_workers < 1:
             raise ConfigurationError("verifier_workers must be >= 1")
+        if not 0.0 <= self.trace_sample_rate <= 1.0:
+            raise ConfigurationError(
+                "trace_sample_rate must be within [0.0, 1.0]"
+            )
 
     @classmethod
     def baseline(cls) -> "VeriDBConfig":

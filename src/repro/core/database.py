@@ -76,6 +76,7 @@ class VeriDB:
             registry=self.obs,
             verifier_degraded=self._verifier_degraded,
             incidents=self.incidents,
+            trace_sample_rate=self.config.trace_sample_rate,
         )
         self.enclave.register_ecall("submit_query", self.portal.submit)
         if self.config.ops_per_page_scan is not None:
@@ -128,6 +129,21 @@ class VeriDB:
     def sql(self, statement: str, join_hint: Optional[str] = None) -> ExecutionResult:
         """Execute SQL directly (admin/benchmark path, skips the portal)."""
         return self.engine.execute(statement, join_hint=join_hint)
+
+    def explain_analyze(self, statement: str, join_hint: Optional[str] = None):
+        """Execute ``statement`` under a trace and annotate its plan.
+
+        Returns an :class:`~repro.sql.explain.ExplainAnalyzeResult`:
+        ``.text`` is the rendered plan tree with per-operator verified
+        reads, cache hits/misses, boundary crossings, simulated cycles
+        and self-times; ``.data`` is the same as a dict whose
+        ``totals`` match the per-query registry deltas. Tracing is
+        always on for this call, regardless of the configured sample
+        rate.
+        """
+        from repro.sql.explain import explain_analyze
+
+        return explain_analyze(self.engine, statement, join_hint=join_hint)
 
     def session(self, name: str = "session", lock_timeout: float = 5.0):
         """Open a transactional statement session (BEGIN/COMMIT/ROLLBACK).

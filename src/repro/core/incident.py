@@ -31,7 +31,7 @@ from typing import Optional
 from repro.catalog.types import BOTTOM, TOP
 from repro.errors import VerificationFailure
 from repro.memory.cells import make_addr
-from repro.obs import default_registry
+from repro.obs import default_event_sink, default_registry
 
 
 @dataclass
@@ -74,6 +74,11 @@ class IncidentLog:
         with self._lock:
             self._incidents.append(incident)
         self._ctr_opened.inc()
+        sink = default_event_sink()
+        if sink.enabled:
+            sink.emit(
+                {"type": "incident_open", "key": key, "message": message}
+            )
         return incident
 
     def open_once(self, key: str, message: str) -> Incident:
@@ -95,6 +100,9 @@ class IncidentLog:
                     resolved_any = True
         if resolved_any:
             self._ctr_resolved.inc()
+            sink = default_event_sink()
+            if sink.enabled:
+                sink.emit({"type": "incident_resolve", "key": key})
         return resolved_any
 
     def active(self, key: str | None = None) -> list[Incident]:

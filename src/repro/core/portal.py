@@ -36,7 +36,8 @@ from typing import Optional
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import AuthenticationError
 from repro.faults.retry import PORTAL_RETRY, RetryPolicy
-from repro.obs import default_registry
+from repro.obs import default_event_sink, default_registry
+from repro.obs.trace_context import TraceContext
 from repro.sgx.counter import MonotonicCounter
 from repro.sql.executor import QueryEngine
 from repro.storage.record import RecordCodec
@@ -189,6 +190,7 @@ class QueryPortal:
         retry_policy: RetryPolicy = PORTAL_RETRY,
         verifier_degraded=None,
         incidents=None,
+        trace_sample_rate: float = 0.0,
     ):
         self._engine = engine
         self._mac = MessageAuthenticator(mac_key)
@@ -198,6 +200,12 @@ class QueryPortal:
         self._executed = 0
         self._lock = threading.Lock()
         self._retry_policy = retry_policy
+        #: deterministic trace sampling: query n (1-based, counted under
+        #: the portal lock) is sampled iff the integer part of n*rate
+        #: advances — every query at 1.0, exactly every fourth at 0.25,
+        #: never at 0.0 (where the counter is not even maintained).
+        self._trace_sample_rate = trace_sample_rate
+        self._sample_seq = 0
         #: callable returning True while background verification is down
         self._verifier_degraded = verifier_degraded
         self._incidents = incidents
@@ -209,6 +217,7 @@ class QueryPortal:
         self._ctr_execute_errors = self.obs.counter("portal.execute_errors")
         self._ctr_execute_retries = self.obs.counter("portal.execute_retries")
         self._ctr_unverified = self.obs.counter("portal.unverified_responses")
+        self._ctr_traced = self.obs.counter("portal.traces_sampled")
         self.obs.gauge_fn("portal.qid_ledger_size", self._ledger_size)
         self.obs.gauge_fn("portal.qid_salts", lambda: self._seen.salt_count)
 
@@ -237,6 +246,7 @@ class QueryPortal:
             # Reserve, don't record: a failed execution must leave the
             # qid available for an honest retry of the same query.
             self._pending.add(query.qid)
+        trace = self._maybe_sample_trace(query.qid)
         try:
             sequence_number = self._counter.increment()
             with self.obs.span("portal.execute_seconds"):
@@ -244,7 +254,7 @@ class QueryPortal:
                 # errors, ECall aborts) are retried within this submit;
                 # each attempt starts before any table mutation, so a
                 # retried execution is a clean re-run, not a partial one.
-                result = self._retry_policy.call(
+                run = lambda: self._retry_policy.call(
                     lambda: self._engine.execute(
                         query.sql, join_hint=query.join_hint
                     ),
@@ -252,6 +262,11 @@ class QueryPortal:
                         self._ctr_execute_retries.inc()
                     ),
                 )
+                if trace is not None:
+                    with trace:
+                        result = run()
+                else:
+                    result = run()
             verified = not (
                 self._verifier_degraded is not None
                 and self._verifier_degraded()
@@ -291,6 +306,19 @@ class QueryPortal:
                 )
         elif self._incidents is not None:
             self._incidents.resolve("verifier-down")
+        if trace is not None:
+            sink = default_event_sink()
+            if sink.enabled:
+                sink.emit(
+                    {
+                        "type": "query_trace",
+                        "qid": trace.qid,
+                        "sequence_number": sequence_number,
+                        "rowcount": result.rowcount,
+                        "verified": verified,
+                        "totals": trace.totals(),
+                    }
+                )
         return EndorsedResult(
             qid=query.qid,
             sequence_number=sequence_number,
@@ -301,6 +329,19 @@ class QueryPortal:
             endorsement=endorsement,
             verified=verified,
         )
+
+    def _maybe_sample_trace(self, qid: bytes) -> TraceContext | None:
+        """Decide (deterministically) whether this query is traced."""
+        rate = self._trace_sample_rate
+        if rate <= 0.0:
+            return None
+        with self._lock:
+            self._sample_seq += 1
+            n = self._sample_seq
+        if int(n * rate) == int((n - 1) * rate):
+            return None
+        self._ctr_traced.inc()
+        return TraceContext(qid=qid.hex())
 
     # ------------------------------------------------------------------
     def seen_query_count(self) -> int:

@@ -27,11 +27,11 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Iterator, Sequence
+from typing import Iterator
 
 from repro.errors import PermanentFault, TransientFault
 from repro.faults.schedule import ChaosSchedule, FaultRecord
-from repro.obs import default_registry
+from repro.obs import default_event_sink, default_registry
 
 
 class NullFaultPlane:
@@ -178,6 +178,16 @@ class ChaosPlane:
             self._log.append(FaultRecord(site=site, ordinal=count, action=action))
         self._ctr_injected.inc()
         self.obs.counter(f"faults.{site}").inc()
+        sink = default_event_sink()
+        if sink.enabled:
+            sink.emit(
+                {
+                    "type": "fault_injected",
+                    "site": site,
+                    "ordinal": count,
+                    "action": action,
+                }
+            )
         return count
 
 

@@ -55,6 +55,7 @@ from collections import OrderedDict, deque
 from repro.errors import ConfigurationError, FaultInjected
 from repro.faults import default_fault_plane, sites as fault_sites
 from repro.obs import default_registry
+from repro.obs.trace_context import current_trace
 
 CACHE_POLICIES = ("lru", "clock", "2q")
 
@@ -329,6 +330,12 @@ class RecordCache:
             self._ctr_misses.inc()
         else:
             self._ctr_hits.inc()
+        trace = current_trace()
+        if trace is not None:
+            if data is None:
+                trace.top.cache_misses += 1
+            else:
+                trace.top.cache_hits += 1
         return data
 
     def lookup_many(self, addrs) -> list:
@@ -347,6 +354,10 @@ class RecordCache:
         misses = len(out) - hits
         if misses:
             self._ctr_misses.inc(misses)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.cache_hits += hits
+            trace.top.cache_misses += misses
         return out
 
     def admit(self, addr: int, data: bytes) -> None:

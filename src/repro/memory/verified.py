@@ -39,6 +39,7 @@ from repro.memory.cells import Cell, page_of
 from repro.memory.rsws import RSWSGroup
 from repro.memory.untrusted import UntrustedMemory
 from repro.obs import default_registry
+from repro.obs.trace_context import current_trace
 
 
 @dataclass
@@ -254,6 +255,9 @@ class VerifiedMemory:
             partition.release()
         self.stats.verified_reads += 1
         self._ctr_reads.inc()
+        trace = current_trace()
+        if trace is not None:
+            trace.top.verified_reads += 1
         self._fire_hooks()
         return data
 
@@ -304,6 +308,9 @@ class VerifiedMemory:
             self.meter.charge_batched_read()
         self._ctr_read_batches.inc()
         self._hist_batch_cells.observe(n)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.verified_reads += n
         out: list = []
         rsws = self.rsws
         do_admit = cache is not None and admit

@@ -38,7 +38,7 @@ from repro.crypto.sethash import SetHash
 from repro.errors import ConfigurationError, VeriDBError, VerificationFailure
 from repro.faults import default_fault_plane, sites as fault_sites
 from repro.memory.verified import VerifiedMemory
-from repro.obs import default_registry
+from repro.obs import default_event_sink, default_registry
 
 
 @dataclass
@@ -488,6 +488,7 @@ class Verifier:
                 # epoch boundary: cached copies were verified under the
                 # generation that just closed, so they are retired with it
                 vmem.cache.flush()
+            self._emit_epoch_event(alarm_partitions=[])
             # Injection site: crash right after the epoch advanced.
             # Placed after the pass bookkeeping so a fired crash never
             # masks an alarm (touched-mode alarms raise per page, above).
@@ -511,6 +512,7 @@ class Verifier:
             # below raises, so deferred verification semantics never see
             # a cached value that outlived its epoch
             vmem.cache.flush()
+        self._emit_epoch_event(alarm_partitions=bad)
         if bad:
             self.stats.alarms += 1
             self._ctr_alarms.inc()
@@ -523,3 +525,19 @@ class Verifier:
         # when no alarm is pending, so an injected crash can never mask
         # a real detection.
         self.faults.check(fault_sites.VERIFIER_CRASH_AFTER_END_PASS)
+
+    def _emit_epoch_event(self, alarm_partitions: list[int]) -> None:
+        """Structured-event marker for one closed verification epoch."""
+        sink = default_event_sink()
+        if not sink.enabled:
+            return
+        sink.emit(
+            {
+                "type": "epoch_close",
+                "epoch": self.vmem.epoch,
+                "mode": self.mode,
+                "pass_number": self.stats.passes_completed,
+                "alarm": bool(alarm_partitions),
+                "partitions": list(alarm_partitions),
+            }
+        )

@@ -1,10 +1,23 @@
-"""``repro.obs`` — dependency-free metrics and tracing.
+"""``repro.obs`` — dependency-free metrics, tracing, and exporters.
 
-See :mod:`repro.obs.metrics` for the instrument/registry model and
-:mod:`repro.obs.trace` for spans and stream stopwatches. The metric-name
-catalog and usage guide live in ``docs/INTERNALS.md`` ("Observability").
+See :mod:`repro.obs.metrics` for the instrument/registry model,
+:mod:`repro.obs.trace` for spans and stream stopwatches,
+:mod:`repro.obs.trace_context` for per-query cost attribution, and
+:mod:`repro.obs.export` for the Prometheus/JSONL exporters. The
+metric-name catalog and usage guide live in ``docs/INTERNALS.md``
+("Observability").
 """
 
+from repro.obs.export import (
+    NULL_EVENT_SINK,
+    JsonlEventSink,
+    NullEventSink,
+    default_event_sink,
+    render_prometheus,
+    scoped_event_sink,
+    set_default_event_sink,
+    write_prometheus_snapshot,
+)
 from repro.obs.metrics import (
     KNOWN_LAYERS,
     NULL_REGISTRY,
@@ -19,21 +32,39 @@ from repro.obs.metrics import (
     set_default_registry,
 )
 from repro.obs.trace import Span, Stopwatch, current_span, timed_call
+from repro.obs.trace_context import (
+    OpStats,
+    TraceContext,
+    current_trace,
+    trace_active,
+)
 
 __all__ = [
     "KNOWN_LAYERS",
+    "NULL_EVENT_SINK",
     "NULL_REGISTRY",
     "Counter",
     "Gauge",
     "Histogram",
+    "JsonlEventSink",
     "MetricsRegistry",
+    "NullEventSink",
     "NullRegistry",
+    "OpStats",
     "Span",
     "Stopwatch",
+    "TraceContext",
     "current_span",
+    "current_trace",
+    "default_event_sink",
     "default_registry",
     "layer_breakdown",
+    "render_prometheus",
+    "scoped_event_sink",
     "scoped_registry",
+    "set_default_event_sink",
     "set_default_registry",
     "timed_call",
+    "trace_active",
+    "write_prometheus_snapshot",
 ]

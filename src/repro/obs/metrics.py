@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from time import perf_counter
 from typing import Callable, Iterator
 
@@ -142,6 +143,8 @@ class Histogram:
                 "min": 0.0 if self.count == 0 else self.min,
                 "max": self.max,
                 "mean": self.mean,
+                # sparse log2 buckets, for the Prometheus exposition
+                "buckets": dict(self.buckets),
             }
 
 
@@ -365,9 +368,21 @@ NULL_REGISTRY = NullRegistry()
 
 _default_registry: MetricsRegistry | NullRegistry = NULL_REGISTRY
 
+#: context-local override installed by :func:`scoped_registry`. Kept in
+#: a ContextVar rather than the process global so two scopes entered
+#: concurrently on different threads (e.g. parallel test workers, or a
+#: benchmark main racing ``Verifier.run_pass`` worker threads) cannot
+#: clobber each other's default on exit.
+_scoped_override: ContextVar[MetricsRegistry | NullRegistry | None] = ContextVar(
+    "veridb_scoped_registry", default=None
+)
+
 
 def default_registry() -> MetricsRegistry | NullRegistry:
     """The registry components bind when none is passed explicitly."""
+    override = _scoped_override.get()
+    if override is not None:
+        return override
     return _default_registry
 
 
@@ -388,13 +403,22 @@ def set_default_registry(
 def scoped_registry(
     registry: MetricsRegistry | NullRegistry | None = None,
 ) -> Iterator[MetricsRegistry | NullRegistry]:
-    """Temporarily install ``registry`` (default: a fresh one) as default."""
-    previous = _default_registry
-    current = set_default_registry(registry or MetricsRegistry())
+    """Temporarily install ``registry`` (default: a fresh one) as default.
+
+    Context-local: the override rides a ContextVar, so the scope only
+    affects the thread (or asyncio task) that entered it — components
+    constructed on *other* threads keep seeing the process default, and
+    concurrent scopes restore independently instead of racing on one
+    global. Threads spawned while a scope is open start from a fresh
+    context and therefore also see the process default; pass the scoped
+    registry explicitly to anything you construct off-thread.
+    """
+    current = registry if registry is not None else MetricsRegistry()
+    token = _scoped_override.set(current)
     try:
         yield current
     finally:
-        set_default_registry(previous)
+        _scoped_override.reset(token)
 
 
 # ----------------------------------------------------------------------
@@ -410,6 +434,7 @@ KNOWN_LAYERS = (
     "sgx",
     "faults",
     "incidents",
+    "obs",
 )
 
 

@@ -1,0 +1,213 @@
+"""Per-query trace contexts: who paid for each cost, not just how much.
+
+:mod:`repro.obs.metrics` answers "how many verified reads happened in
+this process"; this module answers "how many of them did *this query's
+hash-join probe* perform". A :class:`TraceContext` is created per query
+(by the portal for sampled client queries, or unconditionally by
+``VeriDB.explain_analyze``) and carried through the execution by a
+:class:`contextvars.ContextVar`, so two queries interleaving on
+different threads — or different asyncio tasks — accumulate into
+disjoint contexts with no shared mutable state.
+
+Inside a context, attribution follows a stack of :class:`OpStats`
+frames. The operator tree pushes a frame around each batch it produces
+(:meth:`~repro.sql.operators.base.PhysicalOp.timed_batches`), so costs
+incurred while an operator is *producing* — verified reads in the
+storage layer, record-cache hits and misses, simulated SGX cycles
+charged by the :class:`~repro.sgx.costs.CycleMeter` — land on the
+innermost producing operator, exactly mirroring how the stopwatch
+attributes wall time. Costs incurred outside any operator (portal
+authorization, DML row writes, planning) land on the context's *root*
+frame, so the per-query totals always balance.
+
+Zero-cost guarantee: the hot paths consult :func:`current_trace`, which
+is one module-global integer compare while no trace is active anywhere
+in the process — no ContextVar read, no clock read, no allocation. Only
+entering a ``TraceContext`` (sampling decision already made) switches
+the gate on.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextvars import ContextVar
+from time import perf_counter
+from typing import Iterator
+
+_current: ContextVar["TraceContext | None"] = ContextVar(
+    "veridb_trace", default=None
+)
+
+#: number of TraceContexts currently entered, process-wide. The hot-path
+#: gate: while zero, ``current_trace()`` returns without touching the
+#: ContextVar. Mutated under ``_active_lock`` only on trace enter/exit.
+_active_traces = 0
+_active_lock = threading.Lock()
+
+
+def trace_active() -> bool:
+    """Whether any trace context is live anywhere in the process."""
+    return _active_traces > 0
+
+
+def current_trace() -> "TraceContext | None":
+    """The trace context carrying this thread/task, or None.
+
+    This is the call instrumented components make once per operation
+    (or once per batch); with no trace active it is a single integer
+    compare, preserving the unobserved hot path.
+    """
+    if _active_traces == 0:
+        return None
+    return _current.get()
+
+
+class OpStats:
+    """One attribution frame: the costs charged to a single plan node.
+
+    The same counters the process-wide registry keeps, scoped to one
+    operator of one query. ``wall_seconds`` is filled in at render time
+    from the operator's stopwatch (``self_seconds``); everything else
+    accumulates live while the frame is on top of its context's stack.
+    """
+
+    __slots__ = (
+        "label",
+        "verified_reads",
+        "cache_hits",
+        "cache_misses",
+        "ecalls",
+        "batched_read_crossings",
+        "simulated_cycles",
+        "epc_swaps",
+        "wall_seconds",
+    )
+
+    def __init__(self, label: str):
+        self.label = label
+        self.verified_reads = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.ecalls = 0
+        self.batched_read_crossings = 0
+        self.simulated_cycles = 0
+        self.epc_swaps = 0
+        self.wall_seconds = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "verified_reads": self.verified_reads,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "ecalls": self.ecalls,
+            "batched_read_crossings": self.batched_read_crossings,
+            "simulated_cycles": self.simulated_cycles,
+            "epc_swaps": self.epc_swaps,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def add(self, other: "OpStats") -> None:
+        self.verified_reads += other.verified_reads
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.ecalls += other.ecalls
+        self.batched_read_crossings += other.batched_read_crossings
+        self.simulated_cycles += other.simulated_cycles
+        self.epc_swaps += other.epc_swaps
+        self.wall_seconds += other.wall_seconds
+
+
+class TraceContext:
+    """Accounting context for one query, keyed by its query id.
+
+    Use as a context manager around the execution::
+
+        with TraceContext(qid="a1b2...") as trace:
+            result = engine.execute(sql)
+        trace.totals()          # per-query cost roll-up
+        trace.op_stats(op)      # one operator's share
+
+    A context is owned by the single thread/task executing its query;
+    frames are pushed and popped only by that owner, so no locking is
+    needed on the attribution path.
+    """
+
+    def __init__(self, qid: str, sampled: bool = True):
+        self.qid = qid
+        self.sampled = sampled
+        self.root = OpStats("<query>")
+        self._stack: list[OpStats] = [self.root]
+        #: id(op) -> OpStats for every plan node that produced under
+        #: this context (including subquery plans)
+        self._by_op: dict[int, OpStats] = {}
+        self.started_at = 0.0
+        self.elapsed = 0.0
+        self._token = None
+
+    # ------------------------------------------------------------------
+    # activation
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "TraceContext":
+        global _active_traces
+        self._token = _current.set(self)
+        with _active_lock:
+            _active_traces += 1
+        self.started_at = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        global _active_traces
+        self.elapsed = perf_counter() - self.started_at
+        with _active_lock:
+            _active_traces -= 1
+        _current.reset(self._token)
+        self._token = None
+
+    # ------------------------------------------------------------------
+    # the attribution stack
+    # ------------------------------------------------------------------
+    @property
+    def top(self) -> OpStats:
+        """The frame currently charged (innermost producing operator)."""
+        return self._stack[-1]
+
+    def op_stats(self, op) -> OpStats:
+        """The (created-on-first-use) frame for one plan node."""
+        stats = self._by_op.get(id(op))
+        if stats is None:
+            stats = self._by_op[id(op)] = OpStats(type(op).__name__)
+        return stats
+
+    def op_stats_if_traced(self, op) -> OpStats | None:
+        """The frame for ``op`` if it produced under this trace."""
+        return self._by_op.get(id(op))
+
+    def push(self, stats: OpStats) -> None:
+        self._stack.append(stats)
+
+    def pop(self) -> None:
+        self._stack.pop()
+
+    # ------------------------------------------------------------------
+    # roll-ups
+    # ------------------------------------------------------------------
+    def frames(self) -> Iterator[OpStats]:
+        """Every frame: the root plus one per traced plan node."""
+        yield self.root
+        yield from self._by_op.values()
+
+    def totals(self) -> dict:
+        """Whole-query totals: the sum of every frame.
+
+        By construction this equals the delta the process-wide registry
+        saw for the costs charged while this context was active on its
+        thread — the property the EXPLAIN ANALYZE tests pin.
+        """
+        total = OpStats("<total>")
+        for frame in self.frames():
+            total.add(frame)
+        out = total.as_dict()
+        out["label"] = self.qid
+        out["elapsed_seconds"] = self.elapsed
+        return out

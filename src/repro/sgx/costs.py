@@ -16,6 +16,7 @@ import threading
 from dataclasses import dataclass, field
 
 from repro.obs import default_registry
+from repro.obs.trace_context import current_trace
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,10 @@ class CycleMeter:
             self.cycles += self.model.ecall_cycles
         self._ctr_ecalls.inc()
         self._ctr_cycles.inc(self.model.ecall_cycles)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.ecalls += 1
+            trace.top.simulated_cycles += self.model.ecall_cycles
 
     def charge_ocall(self) -> None:
         with self._lock:
@@ -71,6 +76,9 @@ class CycleMeter:
             self.cycles += self.model.ocall_cycles
         self._ctr_ocalls.inc()
         self._ctr_cycles.inc(self.model.ocall_cycles)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.simulated_cycles += self.model.ocall_cycles
 
     def charge_batched_read(self) -> None:
         """Bill one amortized boundary crossing for a batched data read.
@@ -86,6 +94,10 @@ class CycleMeter:
             self.cycles += self.model.ecall_cycles
         self._ctr_batched_reads.inc()
         self._ctr_cycles.inc(self.model.ecall_cycles)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.batched_read_crossings += 1
+            trace.top.simulated_cycles += self.model.ecall_cycles
 
     def charge_epc_swaps(self, count: int) -> None:
         if count <= 0:
@@ -95,6 +107,10 @@ class CycleMeter:
             self.cycles += count * self.model.epc_swap_cycles
         self._ctr_swaps.inc(count)
         self._ctr_cycles.inc(count * self.model.epc_swap_cycles)
+        trace = current_trace()
+        if trace is not None:
+            trace.top.epc_swaps += count
+            trace.top.simulated_cycles += count * self.model.epc_swap_cycles
 
     def snapshot(self) -> dict:
         """Return a point-in-time copy of all counters."""

@@ -1,0 +1,175 @@
+"""EXPLAIN ANALYZE: a drained plan tree annotated with traced costs.
+
+``VeriDB.explain_analyze`` executes a statement under a
+:class:`~repro.obs.trace_context.TraceContext` and wraps the outcome in
+an :class:`ExplainAnalyzeResult`, which joins two sources of truth:
+
+* the *plan tree* (row/batch counts and stopwatch self-times each
+  operator accumulated while draining), and
+* the *trace frames* (verified reads, cache hits/misses, boundary
+  crossings, simulated SGX cycles attributed to each operator by the
+  trace stack).
+
+``.text`` renders the annotated tree for humans; ``.data`` returns the
+same information as a machine-readable dict whose ``totals`` equal the
+per-query deltas the process-wide registry observed — the invariant the
+observability tests pin.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.trace_context import OpStats, TraceContext
+from repro.sql.executor import ExecutionResult
+from repro.sql.operators.base import PhysicalOp
+
+_EMPTY = OpStats("<none>")
+
+
+class ExplainAnalyzeResult:
+    """Execution result + per-operator traced cost attribution."""
+
+    def __init__(
+        self,
+        sql: str,
+        result: ExecutionResult,
+        trace: TraceContext,
+    ):
+        self.sql = sql
+        self.result = result
+        self.trace = trace
+        self._stamp_wall_seconds()
+
+    def _stamp_wall_seconds(self) -> None:
+        """Copy the stopwatch self-times onto the trace frames.
+
+        Counter attribution accumulates live; wall time is measured by
+        the operators' own stopwatches, so it is folded into the frames
+        once, after the plan drains. Whatever part of the query's
+        elapsed time no operator claims (parsing, planning, result
+        materialization) stays on the root frame, keeping the frame sum
+        equal to the query's wall clock within measurement slack.
+        """
+        plan = self.result.plan
+        attributed = 0.0
+        if plan is not None:
+            for op in plan.walk():
+                stats = self.trace.op_stats_if_traced(op)
+                if stats is not None:
+                    stats.wall_seconds = op.self_seconds
+                    attributed += op.self_seconds
+        self.trace.root.wall_seconds = max(0.0, self.trace.elapsed - attributed)
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.rows
+
+    @property
+    def columns(self) -> list[str]:
+        return self.result.columns
+
+    def totals(self) -> dict:
+        """Whole-query cost roll-up (sum of every trace frame)."""
+        return self.trace.totals()
+
+    # ------------------------------------------------------------------
+    # machine-readable form
+    # ------------------------------------------------------------------
+    @property
+    def data(self) -> dict:
+        plan = self.result.plan
+        return {
+            "qid": self.trace.qid,
+            "sql": self.sql,
+            "rowcount": self.result.rowcount,
+            "elapsed_seconds": self.trace.elapsed,
+            "plan": self._node_data(plan) if plan is not None else None,
+            "unattributed": self.trace.root.as_dict(),
+            "totals": self.totals(),
+        }
+
+    def _node_data(self, op: PhysicalOp) -> dict:
+        stats = self.trace.op_stats_if_traced(op) or _EMPTY
+        node = stats.as_dict()
+        node["label"] = op.describe()
+        node["op"] = type(op).__name__
+        node["rows_out"] = op.rows_out
+        node["batches_out"] = op.batches_out
+        node["self_seconds"] = op.self_seconds
+        node["total_seconds"] = op.total_seconds
+        node["children"] = [self._node_data(child) for child in op.children]
+        return node
+
+    # ------------------------------------------------------------------
+    # human-readable form
+    # ------------------------------------------------------------------
+    @property
+    def text(self) -> str:
+        plan = self.result.plan
+        lines = []
+        if plan is None:
+            lines.append(f"(no plan: rowcount={self.result.rowcount})")
+        else:
+            self._render(plan, 0, lines)
+        root = self.trace.root
+        lines.append(
+            "unattributed: "
+            f"reads={root.verified_reads} "
+            f"cycles={root.simulated_cycles} "
+            f"time={_fmt_seconds(root.wall_seconds)}"
+        )
+        totals = self.totals()
+        lines.append(
+            "totals: "
+            f"reads={totals['verified_reads']} "
+            f"cache={totals['cache_hits']}/{totals['cache_misses']} "
+            f"crossings={totals['ecalls']}+{totals['batched_read_crossings']} "
+            f"cycles={totals['simulated_cycles']} "
+            f"elapsed={_fmt_seconds(self.trace.elapsed)}"
+        )
+        return "\n".join(lines)
+
+    def _render(self, op: PhysicalOp, indent: int, lines: list[str]) -> None:
+        stats = self.trace.op_stats_if_traced(op) or _EMPTY
+        lines.append(
+            "  " * indent
+            + op.describe()
+            + (
+                f"  (rows={op.rows_out} batches={op.batches_out}"
+                f" self={_fmt_seconds(op.self_seconds)}"
+                f" reads={stats.verified_reads}"
+                f" cache={stats.cache_hits}/{stats.cache_misses}"
+                f" crossings={stats.ecalls}+{stats.batched_read_crossings}"
+                f" cycles={stats.simulated_cycles})"
+            )
+        )
+        for child in op.children:
+            self._render(child, indent + 1, lines)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.2f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def explain_analyze(
+    engine,
+    sql: str,
+    join_hint: Optional[str] = None,
+    qid: Optional[str] = None,
+) -> ExplainAnalyzeResult:
+    """Run ``sql`` under a fresh trace context and annotate the plan."""
+    import uuid
+
+    trace = TraceContext(qid=qid or f"explain-{uuid.uuid4().hex[:12]}")
+    with trace:
+        result = engine.execute(sql, join_hint=join_hint)
+    return ExplainAnalyzeResult(sql, result, trace)

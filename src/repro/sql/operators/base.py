@@ -6,6 +6,7 @@ import itertools
 from typing import Iterator
 
 from repro.obs import Stopwatch
+from repro.obs.trace_context import current_trace
 from repro.sql.batch import DEFAULT_BATCH_SIZE, RowBatch
 from repro.sql.expressions import RowSchema
 
@@ -88,6 +89,10 @@ class PhysicalOp:
         # Time the batches() call itself: eager operators (scans, sorts)
         # do their work during construction, and missing it would
         # attribute their cost to an ancestor's self-time.
+        trace = current_trace()
+        if trace is not None:
+            yield from self._traced_batches(trace)
+            return
         watch = Stopwatch()
         watch.resume()
         iterator = self.batches()
@@ -100,6 +105,43 @@ class PhysicalOp:
                 self.total_seconds += watch.pause()
                 return
             self.total_seconds += watch.pause()
+            self.rows_out += len(batch)
+            self.batches_out += 1
+            yield batch
+
+    def _traced_batches(self, trace) -> Iterator[RowBatch]:
+        """Traced twin of :meth:`timed_batches`.
+
+        While this operator is *producing* (the ``batches()`` call and
+        each ``next()``), its :class:`~repro.obs.trace_context.OpStats`
+        frame sits on top of the trace stack, so every verified read,
+        cache probe, and cycle charge issued during that window lands on
+        this operator. A child operator pulled from inside that window
+        pushes its own frame for the duration of its lap, so leaf costs
+        attribute to leaves, not ancestors. The stack is balanced per
+        lap — never held across a ``yield`` — which keeps interleaved
+        consumers (e.g. a merge join draining two inputs) correct.
+        """
+        frame = trace.op_stats(self)
+        watch = Stopwatch()
+        trace.push(frame)
+        watch.resume()
+        try:
+            iterator = self.batches()
+        finally:
+            self.total_seconds += watch.pause()
+            trace.pop()
+        while True:
+            trace.push(frame)
+            watch.resume()
+            try:
+                try:
+                    batch = next(iterator)
+                except StopIteration:
+                    return
+            finally:
+                self.total_seconds += watch.pause()
+                trace.pop()
             self.rows_out += len(batch)
             self.batches_out += 1
             yield batch

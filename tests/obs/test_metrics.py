@@ -218,6 +218,7 @@ def test_layer_breakdown_groups_by_first_segment():
         "sgx",
         "faults",
         "incidents",
+        "obs",
     }
 
 

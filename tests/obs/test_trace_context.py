@@ -1,0 +1,222 @@
+"""Unit tests for per-query trace contexts (repro.obs.trace_context)."""
+
+import threading
+
+from repro.obs import (
+    MetricsRegistry,
+    OpStats,
+    TraceContext,
+    current_trace,
+    default_registry,
+    scoped_registry,
+    trace_active,
+)
+from repro.obs import trace_context as tc_module
+
+
+# ----------------------------------------------------------------------
+# the zero-cost gate
+# ----------------------------------------------------------------------
+def test_no_trace_active_by_default():
+    assert not trace_active()
+    assert current_trace() is None
+
+
+def test_gate_short_circuits_before_contextvar(monkeypatch):
+    """With no trace anywhere, current_trace must not read the ContextVar.
+
+    This is the zero-cost contract the hot paths rely on: one integer
+    compare per instrumented operation, nothing else. A poisoned
+    ContextVar proves the short circuit.
+    """
+
+    class Poisoned:
+        def get(self):
+            raise AssertionError("ContextVar read on the inactive path")
+
+    monkeypatch.setattr(tc_module, "_current", Poisoned())
+    assert current_trace() is None
+
+
+def test_enter_exit_toggles_gate_and_context():
+    trace = TraceContext(qid="q-1")
+    assert current_trace() is None
+    with trace:
+        assert trace_active()
+        assert current_trace() is trace
+    assert not trace_active()
+    assert current_trace() is None
+    assert trace.elapsed >= 0.0
+
+
+def test_nested_contexts_restore_outer():
+    outer = TraceContext(qid="outer")
+    inner = TraceContext(qid="inner")
+    with outer:
+        with inner:
+            assert current_trace() is inner
+        assert current_trace() is outer
+
+
+# ----------------------------------------------------------------------
+# attribution stack
+# ----------------------------------------------------------------------
+def test_costs_land_on_top_frame():
+    class FakeOp:
+        pass
+
+    op = FakeOp()
+    with TraceContext(qid="q") as trace:
+        trace.top.verified_reads += 1  # root
+        frame = trace.op_stats(op)
+        trace.push(frame)
+        trace.top.verified_reads += 5
+        trace.top.simulated_cycles += 8000
+        trace.pop()
+        trace.top.cache_hits += 2  # root again
+    assert trace.root.verified_reads == 1
+    assert trace.root.cache_hits == 2
+    assert frame.verified_reads == 5
+    assert frame.simulated_cycles == 8000
+    assert frame.label == "FakeOp"
+
+
+def test_op_stats_keyed_by_instance():
+    class FakeOp:
+        pass
+
+    a, b = FakeOp(), FakeOp()
+    trace = TraceContext(qid="q")
+    assert trace.op_stats(a) is trace.op_stats(a)
+    assert trace.op_stats(a) is not trace.op_stats(b)
+    assert trace.op_stats_if_traced(a) is trace.op_stats(a)
+    assert trace.op_stats_if_traced(object()) is None
+
+
+def test_totals_sum_all_frames():
+    class FakeOp:
+        pass
+
+    trace = TraceContext(qid="q-totals")
+    trace.root.verified_reads = 3
+    frame = trace.op_stats(FakeOp())
+    frame.verified_reads = 7
+    frame.cache_hits = 2
+    totals = trace.totals()
+    assert totals["verified_reads"] == 10
+    assert totals["cache_hits"] == 2
+    assert totals["label"] == "q-totals"
+
+
+def test_opstats_add_and_as_dict():
+    a = OpStats("a")
+    a.verified_reads = 2
+    a.wall_seconds = 0.5
+    b = OpStats("b")
+    b.verified_reads = 3
+    b.epc_swaps = 1
+    a.add(b)
+    d = a.as_dict()
+    assert d["verified_reads"] == 5
+    assert d["epc_swaps"] == 1
+    assert d["wall_seconds"] == 0.5
+    assert d["label"] == "a"
+
+
+# ----------------------------------------------------------------------
+# thread isolation
+# ----------------------------------------------------------------------
+def test_concurrent_traces_stay_disjoint():
+    """Two threads tracing at once never see each other's context."""
+    barrier = threading.Barrier(2)
+    results = {}
+
+    def worker(name):
+        with TraceContext(qid=name) as trace:
+            barrier.wait()
+            trace.top.verified_reads += 10 if name == "a" else 20
+            barrier.wait()
+            results[name] = (current_trace().qid, trace.root.verified_reads)
+
+    threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert results["a"] == ("a", 10)
+    assert results["b"] == ("b", 20)
+
+
+def test_trace_in_one_thread_invisible_in_another():
+    seen = {}
+
+    def prober():
+        seen["trace"] = current_trace()
+
+    with TraceContext(qid="main-only"):
+        t = threading.Thread(target=prober)
+        t.start()
+        t.join()
+        assert current_trace() is not None
+    assert seen["trace"] is None
+
+
+# ----------------------------------------------------------------------
+# scoped_registry under concurrency (regression: it used to swap a
+# process-global, so parallel scopes could restore each other's registry)
+# ----------------------------------------------------------------------
+def test_scoped_registry_concurrent_scopes_stay_isolated():
+    barrier = threading.Barrier(4)
+    failures = []
+
+    def worker(i):
+        mine = MetricsRegistry()
+        try:
+            with scoped_registry(mine):
+                barrier.wait()
+                default_registry().counter("iso.test").inc(i + 1)
+                barrier.wait()
+                if default_registry() is not mine:
+                    failures.append(f"worker {i} lost its scope")
+                if mine.counter("iso.test").value != i + 1:
+                    failures.append(f"worker {i} counter cross-talk")
+        except Exception as exc:  # barrier breakage etc.
+            failures.append(repr(exc))
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not failures, failures
+
+
+def test_scoped_registry_exit_restores_even_with_other_threads_active():
+    """A scope exiting on one thread cannot clobber another's override."""
+    release = threading.Event()
+    entered = threading.Event()
+    observed = {}
+
+    reg_a = MetricsRegistry()
+    reg_b = MetricsRegistry()
+
+    def holder():
+        with scoped_registry(reg_b):
+            entered.set()
+            release.wait(5)
+            observed["inside"] = default_registry()
+        observed["after"] = default_registry()
+
+    t = threading.Thread(target=holder)
+    t.start()
+    entered.wait(5)
+    # open and close a scope on the main thread while the holder's scope
+    # is still live — under the old global-swap implementation this
+    # restored the *main* thread's previous value into the global,
+    # tearing down the holder's scope from the outside
+    with scoped_registry(reg_a):
+        assert default_registry() is reg_a
+    release.set()
+    t.join()
+    assert observed["inside"] is reg_b
+    assert observed["after"] is not reg_b
