@@ -1,0 +1,79 @@
+"""CI smoke for the query service: boot, fixed-QPS load, prom snapshot.
+
+Usage::
+
+    python benchmarks/service_smoke.py [OUTPUT]
+
+Boots a :class:`~repro.service.QueryService` over a seeded VeriDB
+instance, drives a short fixed-QPS open-loop load through verifying
+clients, asserts the run produced **zero** protocol errors (MAC,
+replay, rollback) and zero unexpected failures, drains the service, and
+renders every ``service.*``/``portal.*``/``client.*`` instrument in
+Prometheus text-exposition format to ``OUTPUT`` (default
+``service_metrics.prom`` at the repo root). CI uploads the file as an
+artifact, so each commit has a scrape-equivalent view of the serving
+layer under load.
+
+Exit status is non-zero on any protocol error — that is the smoke
+test's whole point.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import obs_scope, scaled  # noqa: E402
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.obs import write_prometheus_snapshot
+from repro.service import LoadGenerator, QueryService, ServiceConfig
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+N_CLIENTS = 64
+TARGET_QPS = 300
+ROWS = 32
+
+
+def main(argv: list[str]) -> int:
+    output = argv[0] if argv else os.path.join(REPO_ROOT, "service_metrics.prom")
+    total_ops = scaled(300)
+    with obs_scope() as registry:
+        db = VeriDB(VeriDBConfig(key_seed=53))
+        db.sql("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)")
+        db.load_rows("kv", [(i, i * 3) for i in range(ROWS)])
+        with QueryService(
+            db, ServiceConfig(max_in_flight=128, max_workers=8),
+            registry=registry,
+        ) as service:
+            gen = LoadGenerator(service, n_clients=N_CLIENTS, registry=registry)
+            report = gen.run(
+                lambda op: f"SELECT v FROM kv WHERE k = {op % ROWS}",
+                target_qps=TARGET_QPS,
+                total_ops=total_ops,
+            )
+        path = write_prometheus_snapshot(registry, output)
+
+    print(
+        f"[service-smoke] {N_CLIENTS} clients, {report.offered} ops at "
+        f"{TARGET_QPS} qps: completed={report.completed} "
+        f"rejected={report.rejected} protocol_errors={report.protocol_errors} "
+        f"other_errors={report.other_errors} p99={report.p99_ms:.2f}ms"
+    )
+    print(f"[service-smoke] wrote {path} ({os.path.getsize(path)} bytes)")
+    if report.protocol_errors or report.other_errors or report.lost_responses:
+        for sample in report.error_samples:
+            print(f"[service-smoke] error sample: {sample}", file=sys.stderr)
+        return 1
+    if report.completed + report.rejected != report.offered:
+        print("[service-smoke] accounting mismatch", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

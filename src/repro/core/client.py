@@ -17,7 +17,12 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.mac import MessageAuthenticator
-from repro.errors import AuthenticationError, RollbackDetected
+from repro.errors import (
+    AuthenticationError,
+    QueryReplayError,
+    ResponseLost,
+    RollbackDetected,
+)
 from repro.faults.retry import CLIENT_RETRY, RetryPolicy
 from repro.core.portal import (
     UNVERIFIED_MARKER,
@@ -133,6 +138,7 @@ class VeriDBClient:
         name: str = "client",
         audit_state: bytes | None = None,
         retry_policy: RetryPolicy = CLIENT_RETRY,
+        tenant: str | None = None,
     ):
         """``submit`` is the transport to the portal (an ECall in the
         simulated deployment); ``mac_key`` is the key established during
@@ -142,10 +148,13 @@ class VeriDBClient:
         invisible. ``retry_policy`` governs resubmission after transient
         transport/execution faults; retries reuse the same authenticated
         query (same qid), which the portal accepts because a failed
-        execution leaves the qid unburned."""
+        execution leaves the qid unburned. ``tenant`` stamps every query
+        with the tenant whose MAC key this is (multi-tenant service
+        deployments; see :meth:`QueryPortal.register_tenant_key`)."""
         self._submit = submit
         self._mac = MessageAuthenticator(mac_key)
         self.name = name
+        self.tenant = tenant
         self._qid_counter = itertools.count()
         self._qid_salt = os.urandom(8)
         self._seen_sequence_numbers = (
@@ -155,9 +164,11 @@ class VeriDBClient:
         )
         self._lock = threading.Lock()
         self._retry_policy = retry_policy
+        self._responses_lost = 0
         obs = default_registry()
         self._ctr_retries = obs.counter("client.submit_retries")
         self._ctr_unverified = obs.counter("client.unverified_results")
+        self._ctr_responses_lost = obs.counter("client.responses_lost")
 
     def export_audit_state(self) -> bytes:
         """Serialize the rollback-audit log for persistent storage."""
@@ -166,19 +177,54 @@ class VeriDBClient:
 
     # ------------------------------------------------------------------
     def execute(self, sql: str, join_hint: Optional[str] = None) -> ClientResult:
-        """Run a query end to end with full verification."""
+        """Run a query end to end with full verification.
+
+        Raises :class:`~repro.errors.ResponseLost` when the query
+        executed inside the enclave but its endorsed response was lost
+        in transport — detected as a replay rejection *during the retry
+        loop* of a qid this client owns. That error is safe to recover
+        from by calling :meth:`execute` again (a fresh qid); see the
+        exception's docstring for why the audit state stays sound.
+        """
         qid = self._fresh_qid()
         mac = self._mac.tag(qid, sql.encode("utf-8"))
         query = AuthenticatedQuery(
-            qid=qid, sql=sql, mac=mac, join_hint=join_hint
+            qid=qid, sql=sql, mac=mac, join_hint=join_hint,
+            tenant=self.tenant,
         )
         # Resubmit the *same* authenticated query on transient faults:
         # the portal records a qid only after success, so the retry is
         # accepted as this qid's first execution, never as a replay.
-        endorsed: EndorsedResult = self._retry_policy.call(
-            lambda: self._submit(query),
-            on_retry=lambda _attempt, _err: self._ctr_retries.inc(),
-        )
+        retried = False
+
+        def note_retry(_attempt, _err):
+            nonlocal retried
+            retried = True
+            self._ctr_retries.inc()
+
+        try:
+            endorsed: EndorsedResult = self._retry_policy.call(
+                lambda: self._submit(query), on_retry=note_retry
+            )
+        except QueryReplayError as rejection:
+            if not retried:
+                # First attempt of a fresh qid rejected as a replay:
+                # somebody else burned our qid — a genuine forgery
+                # signal, not a lost response.
+                raise
+            # A replay rejection of our own qid after a transport
+            # failure: the earlier attempt succeeded inside the portal
+            # and only the response was lost. The query ran exactly
+            # once; surface the typed recovery path.
+            self._ctr_responses_lost.inc()
+            with self._lock:
+                self._responses_lost += 1
+            raise ResponseLost(
+                f"query {qid.hex()} executed but its response was lost "
+                f"in transport; resubmit with a fresh execute() call",
+                qid=qid,
+                sql=sql,
+            ) from rejection
         self._check(qid, endorsed)
         if not endorsed.verified:
             self._ctr_unverified.inc()
@@ -234,3 +280,8 @@ class VeriDBClient:
     @property
     def queries_verified(self) -> int:
         return len(self._seen_sequence_numbers)
+
+    @property
+    def responses_lost(self) -> int:
+        """Queries that executed but whose responses never arrived."""
+        return self._responses_lost

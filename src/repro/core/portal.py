@@ -34,7 +34,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.crypto.mac import MessageAuthenticator
-from repro.errors import AuthenticationError
+from repro.errors import AuthenticationError, QueryReplayError
 from repro.faults.retry import PORTAL_RETRY, RetryPolicy
 from repro.obs import default_event_sink, default_registry
 from repro.obs.trace_context import TraceContext
@@ -46,15 +46,28 @@ from repro.storage.record import RecordCodec
 #: salt+counter layout (each structured salt costs O(intervals) instead)
 DEFAULT_REPLAY_WINDOW = 4096
 
+#: degenerate-qid bound: the replay ledger refuses empty qids (every
+#: client would collide on them) and anything longer than this (an
+#: untrusted client could otherwise feed unbounded bytes into the FIFO
+#: window and the endorsement MAC)
+MAX_QID_BYTES = 64
+
 
 @dataclass(frozen=True)
 class AuthenticatedQuery:
-    """What the client sends: SQL, a unique query id, and a MAC."""
+    """What the client sends: SQL, a unique query id, and a MAC.
+
+    ``tenant`` selects which shared MAC key authenticates the query in a
+    multi-tenant deployment (see :meth:`QueryPortal.register_tenant_key`);
+    None means the portal's default key — the single-client layout of
+    Figure 2.
+    """
 
     qid: bytes
     sql: str
     mac: bytes
     join_hint: Optional[str] = None
+    tenant: Optional[str] = None
 
 
 #: appended to the endorsement MAC of results produced while the
@@ -104,6 +117,18 @@ class QidLedger:
     matter how many queries it sends. Non-conforming qids share a
     fixed-capacity FIFO window (oldest entries are forgotten first).
 
+    **Bounded-replay tradeoff.** Forgetting a windowed qid re-opens it
+    for replay — churn of more than ``window`` non-structured qids
+    between a query and its replay defeats the check. That is the price
+    of bounded state; a deployment exposing the portal to *untrusted*
+    clients through the service layer should ensure its clients emit
+    structured qids (the client library always does), for which replay
+    memory is exact and permanent. Window evictions are counted (the
+    portal exports them as ``portal.qid_window_evictions``) so the
+    exposure is observable, and degenerate qids — empty, or longer than
+    :data:`MAX_QID_BYTES` — are rejected outright instead of being
+    allowed to thrash the window.
+
     Not thread-safe; the portal serializes access under its own lock.
     """
 
@@ -114,12 +139,29 @@ class QidLedger:
         self._intervals: dict[bytes, list[list[int]]] = {}
         self._window: OrderedDict[bytes, None] = OrderedDict()
         self._window_capacity = window
+        self.window_evictions = 0
 
     @staticmethod
     def _split(qid: bytes) -> tuple[bytes, int] | None:
         if len(qid) != 16:
             return None
         return qid[:8], int.from_bytes(qid[8:], "little")
+
+    @staticmethod
+    def validate(qid: bytes) -> None:
+        """Reject degenerate qids before they reach the ledger.
+
+        Empty qids are a single global collision point and oversized
+        ones let an untrusted client pump unbounded bytes through the
+        FIFO window; both raise :class:`AuthenticationError`.
+        """
+        if not qid:
+            raise AuthenticationError("degenerate query id: empty")
+        if len(qid) > MAX_QID_BYTES:
+            raise AuthenticationError(
+                f"degenerate query id: {len(qid)} bytes exceeds the "
+                f"{MAX_QID_BYTES}-byte bound"
+            )
 
     def __contains__(self, qid: bytes) -> bool:
         structured = self._split(qid)
@@ -138,6 +180,7 @@ class QidLedger:
         if structured is None:
             if len(self._window) >= self._window_capacity:
                 self._window.popitem(last=False)
+                self.window_evictions += 1
             self._window[qid] = None
             return
         salt, n = structured
@@ -194,6 +237,8 @@ class QueryPortal:
     ):
         self._engine = engine
         self._mac = MessageAuthenticator(mac_key)
+        #: tenant name -> per-tenant authenticator (service deployments)
+        self._tenant_macs: dict[str, MessageAuthenticator] = {}
         self._counter = counter
         self._seen = QidLedger(window=replay_window)
         self._pending: set[bytes] = set()
@@ -214,6 +259,11 @@ class QueryPortal:
         self._ctr_queries = self.obs.counter("portal.queries")
         self._ctr_auth_failures = self.obs.counter("portal.auth_failures")
         self._ctr_replays = self.obs.counter("portal.replays_rejected")
+        self._ctr_degenerate = self.obs.counter("portal.degenerate_qids")
+        self.obs.gauge_fn(
+            "portal.qid_window_evictions",
+            lambda: self._seen.window_evictions,
+        )
         self._ctr_execute_errors = self.obs.counter("portal.execute_errors")
         self._ctr_execute_retries = self.obs.counter("portal.execute_retries")
         self._ctr_unverified = self.obs.counter("portal.unverified_responses")
@@ -226,10 +276,48 @@ class QueryPortal:
             return self._seen.state_size()
 
     # ------------------------------------------------------------------
+    # multi-tenant key management (the service layer's registration path)
+    # ------------------------------------------------------------------
+    def register_tenant_key(self, tenant: str, key: bytes) -> None:
+        """Install ``tenant``'s shared MAC key.
+
+        Queries stamped with that tenant name are then authenticated and
+        endorsed under the tenant's own key instead of the portal
+        default, so one tenant's key never vouches for another's
+        queries. Re-registration is rejected: a key, once established by
+        the attestation handshake, is not silently replaceable.
+        """
+        with self._lock:
+            if tenant in self._tenant_macs:
+                raise AuthenticationError(
+                    f"tenant {tenant!r} already has a registered MAC key"
+                )
+            self._tenant_macs[tenant] = MessageAuthenticator(key)
+
+    def _authenticator(self, tenant: Optional[str]) -> MessageAuthenticator:
+        if tenant is None:
+            return self._mac
+        with self._lock:
+            mac = self._tenant_macs.get(tenant)
+        if mac is None:
+            self._ctr_auth_failures.inc()
+            raise AuthenticationError(
+                f"unknown tenant {tenant!r}: no MAC key registered"
+            )
+        return mac
+
+    # ------------------------------------------------------------------
     def submit(self, query: AuthenticatedQuery) -> EndorsedResult:
         """Authorize, execute and endorse one client query."""
+        try:
+            QidLedger.validate(query.qid)
+        except AuthenticationError:
+            self._ctr_degenerate.inc()
+            self._ctr_auth_failures.inc()
+            raise
+        mac = self._authenticator(query.tenant)
         with self.obs.span("portal.auth_seconds"):
-            authentic = self._mac.verify(
+            authentic = mac.verify(
                 query.mac, query.qid, query.sql.encode("utf-8")
             )
         if not authentic:
@@ -240,8 +328,10 @@ class QueryPortal:
         with self._lock:
             if query.qid in self._seen or query.qid in self._pending:
                 self._ctr_replays.inc()
-                raise AuthenticationError(
-                    f"query id {query.qid.hex()} was already executed (replay)"
+                raise QueryReplayError(
+                    f"query id {query.qid.hex()} was already executed "
+                    f"(replay)",
+                    qid=query.qid,
                 )
             # Reserve, don't record: a failed execution must leave the
             # qid available for an honest retry of the same query.
@@ -285,7 +375,7 @@ class QueryPortal:
                     # it (to pass off an unaudited result as verified)
                     # or adding it both fail endorsement checking.
                     parts.append(UNVERIFIED_MARKER)
-                endorsement = self._mac.tag(*parts)
+                endorsement = mac.tag(*parts)
         except BaseException:
             self._ctr_execute_errors.inc()
             with self._lock:

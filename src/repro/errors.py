@@ -52,6 +52,86 @@ class AuthenticationError(IntegrityError):
     """A MAC did not verify, or a query id was replayed (Section 5.1)."""
 
 
+class QueryReplayError(AuthenticationError):
+    """The portal rejected a query id it has already executed.
+
+    Subclasses :class:`AuthenticationError` because from the *portal's*
+    point of view a burned qid is indistinguishable from a forged
+    replay. The distinction lives client-side: a replay rejection of a
+    qid the client itself just submitted — after a transport failure on
+    an earlier attempt — means the first attempt succeeded inside the
+    enclave and only the *response* was lost (see :class:`ResponseLost`).
+    """
+
+    def __init__(self, message: str, qid: bytes = b""):
+        super().__init__(message)
+        self.qid = qid
+
+
+class ResponseLost(VeriDBError):
+    """A query executed inside the enclave but its response never arrived.
+
+    Raised by :meth:`~repro.core.client.VeriDBClient.execute` when a
+    retry of its own in-flight qid is rejected as a replay: the only way
+    an honest client reaches that state is that an earlier attempt
+    succeeded in the portal (burning the qid) and the endorsed result
+    was lost in transport. This is *not* an integrity violation — the
+    query ran exactly once — but the rows are gone.
+
+    Recovery: resubmit the same SQL through a fresh ``execute`` call (a
+    fresh qid). The client's sequence-number audit state is untouched by
+    the loss, so resubmission cannot produce a rollback false positive;
+    the lost response's sequence number simply remains an unseen gap.
+    ``qid`` is the burned query id and ``sql`` the statement, so callers
+    can log or replay the exact query.
+    """
+
+    def __init__(self, message: str, qid: bytes = b"", sql: str = ""):
+        super().__init__(message)
+        self.qid = qid
+        self.sql = sql
+
+
+class ServiceError(VeriDBError):
+    """Base class for query-service front-end failures (`repro.service`).
+
+    These are *control-plane* outcomes — admission, quota, rate limit,
+    drain — not integrity events: the enclave never saw the query, the
+    qid is unburned, and an identical resubmission later is safe.
+    """
+
+    #: every service rejection is safe to retry (the query was never
+    #: dispatched), mirroring the ``retryable`` convention of faults
+    retryable = True
+
+
+class UnknownTenant(ServiceError):
+    """The API key maps to no registered tenant session."""
+
+    retryable = False
+
+
+class ServiceOverloaded(ServiceError):
+    """Global admission control rejected the query (max in-flight hit).
+
+    The 429-equivalent of the service: back off and resubmit.
+    """
+
+
+class TenantQuotaExceeded(ServiceError):
+    """The tenant's own in-flight quota is exhausted."""
+
+
+class TenantRateLimited(ServiceError):
+    """The tenant's token-bucket rate limit rejected the arrival."""
+
+
+class ServiceDraining(ServiceError):
+    """The service is shutting down and admits no new queries."""
+
+    retryable = False
+
+
 class RollbackDetected(IntegrityError):
     """The client observed a repeated sequence number (Section 5.1).
 

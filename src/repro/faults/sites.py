@@ -53,6 +53,20 @@ site                                      behaviour when fired
                                           Never surfaces to callers —
                                           correctness is unaffected, only
                                           latency.
+``service.dispatch_abort``                the service front-end fails before
+                                          handing the query to the enclave
+                                          (:class:`TransientFault`); the qid
+                                          is unburned, so the client retries
+                                          the same authenticated query.
+``service.response_lost``                 the transport drops an endorsed
+                                          response *after* the portal
+                                          recorded the qid
+                                          (:class:`TransientFault` on the
+                                          return path). A same-qid retry is
+                                          rejected as a replay; the client
+                                          surfaces a typed
+                                          :class:`~repro.errors.ResponseLost`
+                                          and resubmits under a fresh qid.
 ========================================  =====================================
 """
 
@@ -74,6 +88,9 @@ SPLICE_INTERRUPTION = "storage.splice_interruption"
 
 CACHE_EVICT_STORM = "cache.evict_storm"
 
+SERVICE_DISPATCH_ABORT = "service.dispatch_abort"
+SERVICE_RESPONSE_LOST = "service.response_lost"
+
 #: every registered site, for schedules that want blanket coverage
 ALL_SITES = (
     ECALL_ABORT,
@@ -87,6 +104,8 @@ ALL_SITES = (
     COMPACTION_ABORT,
     SPLICE_INTERRUPTION,
     CACHE_EVICT_STORM,
+    SERVICE_DISPATCH_ABORT,
+    SERVICE_RESPONSE_LOST,
 )
 
 #: sites that are safe to fire during write statements: they either fire
@@ -99,6 +118,7 @@ SAFE_ABORT_SITES = (
     COMPACTION_ABORT,
     SPLICE_INTERRUPTION,
     CACHE_EVICT_STORM,
+    SERVICE_DISPATCH_ABORT,
 )
 
 #: sites that model active host corruption; firing one means the *next*

@@ -426,6 +426,7 @@ def scoped_registry(
 # ----------------------------------------------------------------------
 #: layers the benchmark breakdown always lists, in display order
 KNOWN_LAYERS = (
+    "service",
     "portal",
     "verifier",
     "memory",

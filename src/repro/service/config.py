@@ -1,0 +1,62 @@
+"""Configuration for the multi-tenant query service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits.
+
+    ``max_in_flight`` caps the tenant's concurrently executing queries
+    (its share of the service); ``rate_per_second`` plus ``burst`` drive
+    the tenant's token bucket — ``None`` rate means unlimited. A tenant
+    hitting either limit gets a typed 429-style rejection
+    (:class:`~repro.errors.TenantQuotaExceeded` /
+    :class:`~repro.errors.TenantRateLimited`), never silent queueing.
+    """
+
+    max_in_flight: int = 8
+    rate_per_second: float | None = None
+    burst: int = 16
+
+    def __post_init__(self):
+        if self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        if self.rate_per_second is not None and self.rate_per_second <= 0:
+            raise ConfigurationError("rate_per_second must be positive")
+        if self.burst < 1:
+            raise ConfigurationError("burst must be >= 1")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs for the service front-end.
+
+    ``max_in_flight`` is the global admission bound — queries admitted
+    but not yet answered; excess arrivals are rejected with
+    :class:`~repro.errors.ServiceOverloaded` (backpressure, not
+    queueing). ``max_workers`` sizes the dispatch thread pool, i.e. how
+    many queries actually execute concurrently inside the enclave;
+    admitted queries beyond it wait in the pool's queue, which is why
+    ``max_in_flight`` should not wildly exceed ``max_workers``.
+    ``default_quota`` applies to tenants registered without an explicit
+    one. ``drain_timeout`` bounds how long a graceful shutdown waits for
+    in-flight queries before giving up.
+    """
+
+    max_in_flight: int = 64
+    max_workers: int = 8
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    drain_timeout: float = 30.0
+
+    def __post_init__(self):
+        if self.max_in_flight < 1:
+            raise ConfigurationError("max_in_flight must be >= 1")
+        if self.max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        if self.drain_timeout < 0:
+            raise ConfigurationError("drain_timeout must be non-negative")

@@ -1,0 +1,228 @@
+"""Open-loop load generation against a :class:`QueryService`.
+
+*Open loop* means arrivals follow a fixed schedule (one query every
+``1/target_qps`` seconds) regardless of how fast earlier queries finish
+— the model that exposes queueing collapse, unlike closed-loop drivers
+whose clients politely wait and therefore can never over-offer. Each
+arrival is executed by one of ``n_clients`` verifying
+:class:`~repro.core.client.VeriDBClient` connections on a thread pool
+sized to the client count, so hundreds of clients can genuinely be
+in flight at once.
+
+Latencies land in the process registry's sparse log2 histograms
+(``service.client_latency_seconds``), and the report reads its
+percentiles straight from those buckets — the same data path the
+Prometheus exporter scrapes, so the benchmark numbers and the dashboards
+can never disagree.
+
+Outcome taxonomy (the load report counts all four):
+
+* **completed** — endorsed, audited, verified result;
+* **rejected** — typed service backpressure (quota/rate/overload/drain):
+  correct behaviour under over-offering, never an error;
+* **lost responses** — typed :class:`~repro.errors.ResponseLost`
+  recoveries (only under fault injection);
+* **protocol errors** — MAC/replay/rollback failures
+  (:class:`~repro.errors.AuthenticationError`,
+  :class:`~repro.errors.RollbackDetected`). Any non-zero count here is a
+  bug: an honest service under honest load must never produce one.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.errors import (
+    AuthenticationError,
+    ResponseLost,
+    RollbackDetected,
+    ServiceError,
+)
+from repro.obs import default_registry
+from repro.service.service import QueryService
+
+#: histogram the generator observes client-side latency into
+CLIENT_LATENCY_METRIC = "service.client_latency_seconds"
+
+
+@dataclass
+class LoadReport:
+    """What one fixed-rate run produced."""
+
+    target_qps: float
+    n_clients: int
+    offered: int = 0
+    completed: int = 0
+    rejected: int = 0
+    lost_responses: int = 0
+    protocol_errors: int = 0
+    other_errors: int = 0
+    duration_s: float = 0.0
+    p50_ms: float = 0.0
+    p95_ms: float = 0.0
+    p99_ms: float = 0.0
+    mean_ms: float = 0.0
+    error_samples: list = field(default_factory=list)
+
+    @property
+    def achieved_qps(self) -> float:
+        return self.completed / self.duration_s if self.duration_s else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "target_qps": self.target_qps,
+            "n_clients": self.n_clients,
+            "offered": self.offered,
+            "completed": self.completed,
+            "rejected": self.rejected,
+            "lost_responses": self.lost_responses,
+            "protocol_errors": self.protocol_errors,
+            "other_errors": self.other_errors,
+            "duration_s": self.duration_s,
+            "achieved_qps": self.achieved_qps,
+            "latency_ms": {
+                "p50": self.p50_ms,
+                "p95": self.p95_ms,
+                "p99": self.p99_ms,
+                "mean": self.mean_ms,
+            },
+        }
+
+
+class LoadGenerator:
+    """Drives a service with an open-loop arrival process."""
+
+    def __init__(
+        self,
+        service: QueryService,
+        n_clients: int,
+        tenants: int | None = None,
+        registry=None,
+    ):
+        """``n_clients`` verifying connections are opened up front,
+        spread round-robin over ``tenants`` registered tenants (default:
+        one tenant per 50 clients, at least one)."""
+        self.service = service
+        self.obs = registry if registry is not None else default_registry()
+        n_tenants = tenants if tenants is not None else max(1, n_clients // 50)
+        self.credentials = [
+            service.register_tenant(f"load-tenant-{i}")
+            for i in range(n_tenants)
+        ]
+        self.clients = [
+            service.connect(
+                self.credentials[i % n_tenants], name=f"load-client-{i}"
+            )
+            for i in range(n_clients)
+        ]
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        sql_for,
+        target_qps: float,
+        total_ops: int,
+    ) -> LoadReport:
+        """Offer ``total_ops`` arrivals at ``target_qps``; block until done.
+
+        ``sql_for(op_index) -> str`` generates each query (pass a plain
+        string for a constant workload). Arrivals that fall behind
+        schedule are issued immediately — the generator never slows down
+        to match the service (open loop).
+        """
+        if isinstance(sql_for, str):
+            constant = sql_for
+            sql_for = lambda _i: constant
+        report = LoadReport(
+            target_qps=target_qps, n_clients=len(self.clients)
+        )
+        report.offered = total_ops
+        latency = self.obs.histogram(CLIENT_LATENCY_METRIC)
+        lock = threading.Lock()
+        interval = 1.0 / target_qps
+
+        def one(op: int) -> None:
+            client = self.clients[op % len(self.clients)]
+            started = time.perf_counter()
+            try:
+                client.execute(sql_for(op))
+                latency.observe(time.perf_counter() - started)
+                with lock:
+                    report.completed += 1
+            except ServiceError:
+                with lock:
+                    report.rejected += 1
+            except ResponseLost:
+                with lock:
+                    report.lost_responses += 1
+            except (AuthenticationError, RollbackDetected) as exc:
+                with lock:
+                    report.protocol_errors += 1
+                    if len(report.error_samples) < 10:
+                        report.error_samples.append(repr(exc))
+            except Exception as exc:
+                with lock:
+                    report.other_errors += 1
+                    if len(report.error_samples) < 10:
+                        report.error_samples.append(repr(exc))
+
+        started = time.perf_counter()
+        with ThreadPoolExecutor(
+            max_workers=len(self.clients), thread_name_prefix="loadgen"
+        ) as pool:
+            futures = []
+            for op in range(total_ops):
+                due = started + op * interval
+                delay = due - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                futures.append(pool.submit(one, op))
+            wait(futures)
+        report.duration_s = time.perf_counter() - started
+        report.mean_ms = latency.mean * 1e3
+        report.p50_ms = latency.percentile(0.50) * 1e3
+        report.p95_ms = latency.percentile(0.95) * 1e3
+        report.p99_ms = latency.percentile(0.99) * 1e3
+        return report
+
+    def saturation_sweep(
+        self,
+        sql_for,
+        qps_targets,
+        ops_per_target: int,
+    ) -> list[LoadReport]:
+        """One fixed-rate run per target, reusing the same clients.
+
+        The latency histogram is reset between runs so each report's
+        percentiles describe only its own rate point.
+        """
+        reports = []
+        for qps in qps_targets:
+            histogram = self.obs.histogram(CLIENT_LATENCY_METRIC)
+            if hasattr(histogram, "buckets"):
+                histogram.count = 0
+                histogram.total = 0.0
+                histogram.min = math.inf
+                histogram.max = 0.0
+                histogram.buckets = {}
+            reports.append(self.run(sql_for, qps, ops_per_target))
+        return reports
+
+
+def print_sweep_table(reports: list[LoadReport]) -> None:
+    header = (
+        f"{'target qps':>11}{'achieved':>10}{'done':>7}{'rej':>6}"
+        f"{'proto-err':>10}{'p50 ms':>9}{'p95 ms':>9}{'p99 ms':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for r in reports:
+        print(
+            f"{r.target_qps:>11.0f}{r.achieved_qps:>10.1f}{r.completed:>7}"
+            f"{r.rejected:>6}{r.protocol_errors:>10}{r.p50_ms:>9.2f}"
+            f"{r.p95_ms:>9.2f}{r.p99_ms:>9.2f}"
+        )

@@ -51,7 +51,12 @@ from repro.sql.parser import parse_statement
 
 
 class TxnLockRegistry:
-    """Per-engine registry of table transaction locks."""
+    """Per-engine registry of table transaction locks.
+
+    Entries are evicted on ``DROP TABLE`` (see :meth:`evict`); without
+    that, a workload that churns through temporary tables would grow the
+    registry forever — one orphaned lock per dropped table.
+    """
 
     def __init__(self):
         self._locks: dict[str, threading.Lock] = {}
@@ -65,6 +70,20 @@ class TxnLockRegistry:
                 lock = threading.Lock()
                 self._locks[key] = lock
             return lock
+
+    def evict(self, table: str) -> None:
+        """Forget a dropped table's lock.
+
+        Safe while another session still holds the lock object: holders
+        keep their own reference and release it normally; a re-created
+        table of the same name simply gets a fresh lock.
+        """
+        with self._guard:
+            self._locks.pop(table.lower(), None)
+
+    def __len__(self) -> int:
+        with self._guard:
+            return len(self._locks)
 
 
 class Session:
@@ -100,7 +119,12 @@ class Session:
         if isinstance(stmt, Rollback):
             return self._rollback()
         if not self._active:
-            return self.engine.execute(stmt, join_hint=join_hint)
+            result = self.engine.execute(stmt, join_hint=join_hint)
+            if isinstance(stmt, DropTable):
+                # the dropped table's transaction lock would otherwise
+                # live in the registry forever (DDL-churn leak)
+                self._registry.evict(stmt.name)
+            return result
         if isinstance(stmt, (CreateTable, DropTable)):
             raise TransactionError("DDL is not allowed inside a transaction")
         self._lock_tables(tables_touched(stmt))

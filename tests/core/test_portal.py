@@ -84,3 +84,71 @@ def test_seen_query_count(db):
     assert db.portal.seen_query_count() == 0
     db.portal.submit(make_query(db, "SELECT * FROM t"))
     assert db.portal.seen_query_count() == 1
+
+
+# ----------------------------------------------------------------------
+# degenerate qids and the bounded replay window
+# ----------------------------------------------------------------------
+def test_empty_qid_rejected(db):
+    from repro.obs import MetricsRegistry, scoped_registry
+
+    with scoped_registry(MetricsRegistry()) as registry:
+        database = VeriDB(VeriDBConfig(key_seed=1))
+        database.sql("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        with pytest.raises(AuthenticationError, match="degenerate"):
+            database.portal.submit(make_query(database, "SELECT * FROM t", qid=b""))
+        assert registry.counter("portal.degenerate_qids").value == 1
+        assert registry.counter("portal.auth_failures").value == 1
+
+
+def test_oversized_qid_rejected(db):
+    from repro.core.portal import MAX_QID_BYTES
+
+    huge = b"x" * (MAX_QID_BYTES + 1)
+    with pytest.raises(AuthenticationError, match="degenerate"):
+        db.portal.submit(make_query(db, "SELECT * FROM t", qid=huge))
+    # a qid exactly at the bound is fine
+    edge = b"x" * MAX_QID_BYTES
+    assert db.portal.submit(make_query(db, "SELECT * FROM t", qid=edge)).rowcount == 2
+
+
+def test_degenerate_qid_never_reaches_ledger(db):
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(make_query(db, "SELECT * FROM t", qid=b""))
+    assert db.portal.seen_query_count() == 0
+
+
+def test_window_evictions_counted():
+    from repro.core.portal import QidLedger
+
+    ledger = QidLedger(window=4)
+    # non-structured qids (not 16 bytes) share the FIFO window
+    for i in range(10):
+        ledger.add(b"odd-%d" % i)
+    assert ledger.window_evictions == 6
+    # the forgotten qid is replayable again: the documented tradeoff
+    assert b"odd-0" not in ledger
+    assert b"odd-9" in ledger
+
+
+def test_structured_qids_never_evict():
+    from repro.core.portal import QidLedger
+
+    ledger = QidLedger(window=4)
+    salt = b"s" * 8
+    for i in range(1000):
+        ledger.add(salt + i.to_bytes(8, "little"))
+    assert ledger.window_evictions == 0
+    assert salt + (0).to_bytes(8, "little") in ledger
+
+
+def test_replay_rejection_is_typed(db):
+    from repro.errors import QueryReplayError
+
+    query = make_query(db, "SELECT * FROM t")
+    db.portal.submit(query)
+    with pytest.raises(QueryReplayError) as caught:
+        db.portal.submit(query)
+    assert caught.value.qid == query.qid
+    # back-compat: existing except AuthenticationError handlers still fire
+    assert isinstance(caught.value, AuthenticationError)

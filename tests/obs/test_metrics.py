@@ -210,6 +210,7 @@ def test_layer_breakdown_groups_by_first_segment():
     assert "sgx.ecalls" in grouped["sgx"]
     assert "custom.thing" in grouped["custom"]
     assert set(KNOWN_LAYERS) == {
+        "service",
         "portal",
         "verifier",
         "memory",

@@ -1,0 +1,164 @@
+"""The lost-response retry protocol (headline bugfix of this PR).
+
+If a query succeeds inside the portal but its endorsed response dies in
+transport, the client's retry of the same qid is — correctly — rejected
+as a replay. The old behaviour surfaced that rejection as a generic
+:class:`AuthenticationError`, indistinguishable from an attack. The
+client must instead raise a typed :class:`ResponseLost` and remain able
+to resubmit under a fresh qid with no rollback false positive.
+"""
+
+import pytest
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.errors import (
+    AuthenticationError,
+    QueryReplayError,
+    ResponseLost,
+    TransientFault,
+)
+from repro.faults import sites
+from repro.faults.plane import ChaosPlane, scoped_fault_plane
+from repro.faults.schedule import ChaosSchedule
+from repro.obs import MetricsRegistry, scoped_registry
+from repro.service import QueryService, ServiceConfig
+
+
+def build_db(seed=23):
+    db = VeriDB(VeriDBConfig(key_seed=seed))
+    db.sql("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    db.sql("INSERT INTO t VALUES (1, 100)")
+    db.sql("INSERT INTO t VALUES (2, 200)")
+    return db
+
+
+# ----------------------------------------------------------------------
+# client-level: a transport that eats the first response
+# ----------------------------------------------------------------------
+def test_lost_response_is_typed_not_generic_auth_error():
+    db = build_db()
+    direct = lambda query: db.enclave.ecall("submit_query", query)
+    dropped = []
+
+    def lossy(query):
+        result = direct(query)
+        if not dropped:
+            # the portal has executed and burned the qid; the endorsed
+            # result dies on the way back
+            dropped.append(query.qid)
+            raise TransientFault("transport dropped the response")
+        return result
+
+    client_db = db.connect(name="direct")  # handshake sanity
+    assert client_db.execute("SELECT v FROM t WHERE k = 1").rows == ((100,),)
+
+    from repro.core.client import VeriDBClient
+
+    client = VeriDBClient(lossy, db.enclave.keychain.mac_key, name="lossy")
+    with pytest.raises(ResponseLost) as caught:
+        client.execute("SELECT v FROM t WHERE k = 2")
+    assert caught.value.qid == dropped[0]
+    assert caught.value.sql == "SELECT v FROM t WHERE k = 2"
+    assert client.responses_lost == 1
+
+    # recovery: the same SQL under a fresh qid, audited, no rollback
+    # false positive — this is the acceptance criterion
+    result = client.execute("SELECT v FROM t WHERE k = 2")
+    assert result.rows == ((200,),)
+    assert client.queries_verified == 1
+
+
+def test_first_attempt_replay_rejection_stays_an_attack_signal():
+    """A replay rejection with no preceding transport failure is a forgery."""
+    db = build_db()
+    client = db.connect(name="honest")
+    client.execute("SELECT v FROM t WHERE k = 1")
+
+    # an adversary pre-burns the client's next qid by replaying traffic
+    # it observed: the client's fresh submission is rejected on its very
+    # first attempt, which must NOT be softened into ResponseLost
+    from repro.core.client import VeriDBClient
+
+    victim = VeriDBClient(
+        lambda query: (_ for _ in ()).throw(
+            QueryReplayError("already executed", qid=query.qid)
+        ),
+        db.enclave.keychain.mac_key,
+    )
+    with pytest.raises(QueryReplayError):
+        victim.execute("SELECT 1")
+    assert victim.responses_lost == 0
+
+
+# ----------------------------------------------------------------------
+# end to end through the service, driven by the fault plane
+# ----------------------------------------------------------------------
+def test_service_response_lost_end_to_end():
+    schedule = ChaosSchedule(
+        seed=5, rates={sites.SERVICE_RESPONSE_LOST: 1.0}, limit_per_site=1
+    )
+    with scoped_registry(MetricsRegistry()) as registry, scoped_fault_plane(
+        ChaosPlane(schedule, registry=registry)
+    ):
+        db = build_db()
+        service = QueryService(db, ServiceConfig(max_workers=2), registry=registry)
+        client = service.connect(service.register_tenant("acme"))
+        with pytest.raises(ResponseLost):
+            client.execute("SELECT v FROM t WHERE k = 1")
+        # typed, counted, on both sides of the wire
+        assert registry.counter("client.responses_lost").value == 1
+        assert registry.counter("service.responses_lost").value == 1
+        assert registry.counter("portal.replays_rejected").value == 1
+        # exactly-once: the query executed once despite the retry
+        assert db.portal.seen_query_count() == 1
+        # recovery under a fresh qid; audit state is sound
+        result = client.execute("SELECT v FROM t WHERE k = 1")
+        assert result.rows == ((100,),)
+        assert client.queries_verified == 1
+        assert service.close()
+
+
+def test_service_dispatch_abort_retries_same_qid_safely():
+    """A pre-dispatch front-end failure leaves the qid unburned."""
+    schedule = ChaosSchedule(
+        seed=5, rates={sites.SERVICE_DISPATCH_ABORT: 1.0}, limit_per_site=1
+    )
+    with scoped_registry(MetricsRegistry()) as registry, scoped_fault_plane(
+        ChaosPlane(schedule, registry=registry)
+    ):
+        db = build_db()
+        service = QueryService(db, ServiceConfig(max_workers=2), registry=registry)
+        client = service.connect(service.register_tenant("acme"))
+        # the client's retry policy resubmits the same authenticated
+        # query; the portal accepts it as the qid's first execution
+        result = client.execute("SELECT v FROM t WHERE k = 2")
+        assert result.rows == ((200,),)
+        assert registry.counter("client.submit_retries").value == 1
+        assert registry.counter("portal.replays_rejected").value == 0
+        assert registry.counter("client.responses_lost").value == 0
+        assert service.close()
+
+
+def test_lost_response_not_raised_when_retry_succeeds():
+    """An ordinary transient fault before the portal stays recoverable."""
+    db = build_db()
+    direct = lambda query: db.enclave.ecall("submit_query", query)
+    failures = [TransientFault("flaky network")]
+
+    def flaky(query):
+        if failures:
+            raise failures.pop()
+        return direct(query)
+
+    from repro.core.client import VeriDBClient
+
+    client = VeriDBClient(flaky, db.enclave.keychain.mac_key)
+    assert client.execute("SELECT v FROM t WHERE k = 1").rows == ((100,),)
+    assert client.responses_lost == 0
+
+
+def test_response_lost_is_not_an_authentication_error():
+    # the typed recovery path must be distinguishable by exception class
+    assert not issubclass(ResponseLost, AuthenticationError)
+    assert issubclass(QueryReplayError, AuthenticationError)

@@ -1,0 +1,119 @@
+"""Token bucket, tenant sessions and the API-key directory."""
+
+import pytest
+
+from repro.errors import ConfigurationError, UnknownTenant
+from repro.service.config import ServiceConfig, TenantQuota
+from repro.service.tenants import (
+    TenantCredentials,
+    TenantDirectory,
+    TenantSession,
+    TokenBucket,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+# ----------------------------------------------------------------------
+# token bucket
+# ----------------------------------------------------------------------
+def test_bucket_starts_full_and_drains():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_second=10, burst=3, clock=clock)
+    assert [bucket.try_acquire() for _ in range(4)] == [
+        True, True, True, False,
+    ]
+
+
+def test_bucket_refills_at_rate():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_second=10, burst=2, clock=clock)
+    bucket.try_acquire(), bucket.try_acquire()
+    assert not bucket.try_acquire()
+    clock.advance(0.1)  # exactly one token at 10/s
+    assert bucket.try_acquire()
+    assert not bucket.try_acquire()
+
+
+def test_bucket_never_exceeds_burst():
+    clock = FakeClock()
+    bucket = TokenBucket(rate_per_second=10, burst=2, clock=clock)
+    clock.advance(100.0)  # a long idle period must not bank 1000 tokens
+    grants = sum(bucket.try_acquire() for _ in range(10))
+    assert grants == 2
+
+
+def test_unlimited_bucket_always_grants():
+    bucket = TokenBucket(rate_per_second=None, burst=1)
+    assert all(bucket.try_acquire() for _ in range(100))
+
+
+# ----------------------------------------------------------------------
+# quotas and sessions
+# ----------------------------------------------------------------------
+def _session(quota=None, clock=None):
+    return TenantSession(
+        TenantCredentials("acme", "key-acme", b"k" * 32),
+        quota or TenantQuota(),
+        clock=clock or FakeClock(),
+    )
+
+
+def test_tenant_in_flight_quota():
+    session = _session(TenantQuota(max_in_flight=2))
+    assert session.try_admit() and session.try_admit()
+    assert not session.try_admit()
+    session.release()
+    assert session.try_admit()
+
+
+def test_quota_validation():
+    with pytest.raises(ConfigurationError):
+        TenantQuota(max_in_flight=0)
+    with pytest.raises(ConfigurationError):
+        TenantQuota(rate_per_second=0)
+    with pytest.raises(ConfigurationError):
+        TenantQuota(burst=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_in_flight=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(max_workers=0)
+    with pytest.raises(ConfigurationError):
+        ServiceConfig(drain_timeout=-1)
+
+
+# ----------------------------------------------------------------------
+# directory
+# ----------------------------------------------------------------------
+def test_directory_lookup_by_api_key():
+    directory = TenantDirectory()
+    session = _session()
+    directory.register(session)
+    assert directory.lookup("key-acme") is session
+    assert directory.by_id("acme") is session
+    assert len(directory) == 1
+    assert directory.tenant_ids() == ["acme"]
+
+
+def test_directory_unknown_key_raises_typed():
+    directory = TenantDirectory()
+    with pytest.raises(UnknownTenant):
+        directory.lookup("nope")
+    with pytest.raises(UnknownTenant):
+        directory.by_id("nope")
+
+
+def test_directory_rejects_duplicate_registration():
+    directory = TenantDirectory()
+    directory.register(_session())
+    with pytest.raises(ValueError):
+        directory.register(_session())

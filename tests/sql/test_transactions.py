@@ -185,3 +185,63 @@ def test_insert_select_transactional(db):
     session.execute("INSERT INTO archive SELECT id, balance FROM acct")
     session.execute("ROLLBACK")
     assert db.sql("SELECT COUNT(*) FROM archive").rows == [(0,)]
+
+
+# ----------------------------------------------------------------------
+# lock-registry hygiene (DDL-churn leak regression)
+# ----------------------------------------------------------------------
+def test_drop_table_evicts_txn_lock(db):
+    from repro.sql.session import _registry_for
+
+    registry = _registry_for(db.engine)
+    session = db.session()
+    session.execute("BEGIN")
+    session.execute("SELECT COUNT(*) FROM acct")
+    session.execute("COMMIT")
+    assert "acct" in registry._locks
+    session.execute("DROP TABLE acct")
+    assert "acct" not in registry._locks
+
+
+def test_ddl_churn_does_not_leak_locks(db):
+    """A temp-table churn workload must not grow the registry forever."""
+    from repro.sql.session import _registry_for
+
+    registry = _registry_for(db.engine)
+    session = db.session()
+    baseline = len(registry)
+    for i in range(50):
+        session.execute(f"CREATE TABLE tmp_{i} (id INTEGER PRIMARY KEY)")
+        session.execute("BEGIN")
+        session.execute(f"INSERT INTO tmp_{i} VALUES (1)")
+        session.execute("COMMIT")
+        session.execute(f"DROP TABLE tmp_{i}")
+    # every tmp_i lock was evicted with its table
+    assert len(registry) == baseline
+    assert not any(k.startswith("tmp_") for k in registry._locks)
+
+
+def test_recreated_table_gets_fresh_lock(db):
+    from repro.sql.session import _registry_for
+
+    registry = _registry_for(db.engine)
+    session = db.session()
+    session.execute("CREATE TABLE ephemeral (id INTEGER PRIMARY KEY)")
+    old = registry.lock_for("ephemeral")
+    session.execute("DROP TABLE ephemeral")
+    session.execute("CREATE TABLE ephemeral (id INTEGER PRIMARY KEY)")
+    assert registry.lock_for("ephemeral") is not old
+
+
+def test_eviction_safe_while_lock_held(db):
+    """A holder keeps its reference; eviction never corrupts release."""
+    from repro.sql.session import _registry_for
+
+    registry = _registry_for(db.engine)
+    session = db.session()
+    session.execute("BEGIN")
+    session.execute("UPDATE acct SET balance = 1 WHERE id = 1")
+    # another admin path drops knowledge of the lock mid-transaction
+    registry.evict("acct")
+    session.execute("COMMIT")  # releases the held reference cleanly
+    assert db.sql("SELECT balance FROM acct WHERE id = 1").rows == [(1,)]
