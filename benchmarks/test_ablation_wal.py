@@ -1,0 +1,217 @@
+"""Write-ahead-log ablation — what durability costs, and what group
+commit buys back.
+
+Three configurations bracket the WAL's cost model on an insert stream:
+
+* ``wal off``    — the seed's purely in-memory behaviour (no log);
+* ``gc=1``       — sync-per-record: every append pays a full durability
+  boundary (batch write + sealed-anchor rewrite);
+* ``gc=64``      — group commit: one boundary per 64 records.
+
+Measured here (pure-Python engine, best-of-3): sync-per-record costs
+~15x over no log — the sealed-anchor reseal per record dominates —
+while group commit recovers most of it, landing ~2x over no log with
+64x fewer durability boundaries. Reads never touch the log, so the
+verified sequential scan must show no WAL overhead at all; that scan
+number is what the CI perf-trend gate watches.
+
+Run ``python benchmarks/test_ablation_wal.py`` for the table; the run
+also writes ``BENCH_ablation_wal.json`` at the repo root, including a
+recovery-replay throughput figure.
+"""
+
+import tempfile
+import time
+
+from _harness import scaled, timed, write_bench_json
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.core.recovery import recover_from_wal
+from repro.obs import MetricsRegistry
+
+N_INSERTS = scaled(1500)
+N_SCAN_ROWS = scaled(1500)
+GROUP_COMMIT = 64
+
+CONFIG_LABELS = ("wal off", "gc=1", f"gc={GROUP_COMMIT}")
+
+
+def build_db(group_commit=None, registry=None, seed=3):
+    """``group_commit=None`` builds the no-WAL configuration."""
+    wal_dir = None
+    if group_commit is not None:
+        wal_dir = tempfile.mkdtemp(prefix="veridb-wal-bench-") + "/wal"
+    cfg = VeriDBConfig(
+        key_seed=seed,
+        wal_dir=wal_dir,
+        wal_group_commit=group_commit if group_commit is not None else 64,
+    )
+    db = VeriDB(cfg, registry=registry)
+    db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, s VARCHAR(40))")
+    return db, cfg
+
+
+def time_inserts(db, n=N_INSERTS):
+    """Wall seconds for n inserts through the verified write path plus
+    the final commit (the acknowledged-durable boundary)."""
+    store = db.table("t")
+
+    def run():
+        for i in range(n):
+            store.insert((i, i * 3, f"value-{i:08d}"))
+        if db.wal is not None:
+            db.wal.commit()
+
+    _, elapsed = timed(run)
+    return elapsed
+
+
+def best_of(build, repeats=3):
+    best = None
+    for _ in range(repeats):
+        db, _cfg = build()
+        elapsed = time_inserts(db)
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def time_scan(group_commit=None, n=N_SCAN_ROWS, repeats=3):
+    db, _cfg = build_db(group_commit)
+    store = db.table("t")
+    for i in range(n):
+        store.insert((i, i, "x" * 16))
+    if db.wal is not None:
+        db.wal.commit()
+    best = None
+    for _ in range(repeats):
+        rows, elapsed = timed(lambda: list(store.seq_scan()))
+        assert len(rows) == n
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+# ----------------------------------------------------------------------
+# pytest surface
+# ----------------------------------------------------------------------
+def test_group_commit_amortizes_durability_boundaries():
+    """The accounting claim: 64-record batches mean ~64x fewer syncs."""
+    registry = MetricsRegistry()
+    db, _ = build_db(GROUP_COMMIT, registry=registry)
+    base_syncs = registry.counter("wal.syncs").value
+    time_inserts(db, n=256)
+    syncs = registry.counter("wal.syncs").value - base_syncs
+    appends = registry.counter("wal.appends").value
+    assert appends >= 256
+    assert syncs <= 256 // GROUP_COMMIT + 1, (
+        f"{syncs} syncs for 256 appends at group_commit={GROUP_COMMIT} — "
+        "group commit is not batching"
+    )
+
+
+def test_group_commit_beats_sync_per_record():
+    """The latency claim behind the knob's default."""
+    per_record = best_of(lambda: build_db(1))
+    batched = best_of(lambda: build_db(GROUP_COMMIT))
+    assert per_record > batched * 3.0, (
+        f"insert stream: gc=1 took {per_record * 1e3:.1f}ms vs "
+        f"{batched * 1e3:.1f}ms at gc={GROUP_COMMIT} "
+        f"({per_record / batched:.2f}x) — group commit stopped paying"
+    )
+
+
+def test_batched_wal_insert_overhead_bounded():
+    """Durability must not swamp the write path: batched WAL inserts
+    stay within 4x of the no-log configuration (measured ~2x)."""
+    off = best_of(lambda: build_db(None))
+    on = best_of(lambda: build_db(GROUP_COMMIT))
+    assert on < off * 4.0, (
+        f"insert stream: {on * 1e3:.1f}ms with gc={GROUP_COMMIT} vs "
+        f"{off * 1e3:.1f}ms without a wal ({on / off:.2f}x)"
+    )
+
+
+def test_wal_scan_overhead_is_zero():
+    """Reads never touch the log: the verified seq scan — the number the
+    perf-trend gate watches — must not regress with the WAL enabled."""
+    off = time_scan(None)
+    on = time_scan(GROUP_COMMIT)
+    assert on < off * 1.15, (
+        f"verified seq scan: {on * 1e3:.1f}ms with the wal enabled vs "
+        f"{off * 1e3:.1f}ms without — the read path is paying for "
+        "durability it never asked for"
+    )
+
+
+def test_recovery_replay_round_trip():
+    """Recovery replays the whole stream and answers identically."""
+    db, cfg = build_db(GROUP_COMMIT)
+    store = db.table("t")
+    for i in range(200):
+        store.insert((i, i * 3, f"value-{i:08d}"))
+    db.checkpoint()
+    expected = db.sql("SELECT COUNT(*), SUM(v) FROM t").rows
+    recovered = recover_from_wal(db.wal.directory, cfg)
+    assert recovered.sql("SELECT COUNT(*), SUM(v) FROM t").rows == expected
+
+
+# ----------------------------------------------------------------------
+# direct run: the table + BENCH json
+# ----------------------------------------------------------------------
+def main():
+    results = {}
+    for label in CONFIG_LABELS:
+        gc = None if label == "wal off" else int(label.split("=")[1])
+        results[label] = best_of(lambda: build_db(gc))
+    scan_off = time_scan(None)
+    scan_on = time_scan(GROUP_COMMIT)
+
+    # recovery throughput: one timed replay of a freshly written log
+    db, cfg = build_db(GROUP_COMMIT)
+    store = db.table("t")
+    for i in range(N_INSERTS):
+        store.insert((i, i * 3, f"value-{i:08d}"))
+    db.checkpoint()
+    start = time.perf_counter()
+    recover_from_wal(db.wal.directory, cfg)
+    recovery_s = time.perf_counter() - start
+
+    base = results["wal off"]
+    print(f"\nWAL ablation: {N_INSERTS} verified inserts (best-of-3)")
+    header = f"{'configuration':<14}{'wall ms':>12}{'vs wal off':>12}"
+    print(header)
+    print("-" * len(header))
+    for label in CONFIG_LABELS:
+        print(
+            f"{label:<14}{results[label] * 1e3:>12.1f}"
+            f"{results[label] / base:>11.2f}x"
+        )
+    print(
+        f"\nverified seq scan ({N_SCAN_ROWS} rows): "
+        f"{scan_off * 1e3:.1f}ms wal off, {scan_on * 1e3:.1f}ms wal on "
+        f"({scan_on / scan_off:.2f}x)"
+    )
+    print(
+        f"recovery: replayed {N_INSERTS} records in {recovery_s * 1e3:.1f}ms "
+        f"({N_INSERTS / recovery_s:.0f} records/s)"
+    )
+
+    write_bench_json(
+        "ablation_wal",
+        {
+            "insert_wal_off_s": results["wal off"],
+            "insert_gc1_s": results["gc=1"],
+            "insert_gc64_s": results[f"gc={GROUP_COMMIT}"],
+            "scan_wal_off_s": scan_off,
+            "scan_wal_on_s": scan_on,
+            "recovery_replay_s": recovery_s,
+            "recovery_records_per_s": N_INSERTS / recovery_s,
+            "group_commit": GROUP_COMMIT,
+            "n_inserts": N_INSERTS,
+        },
+    )
+
+
+if __name__ == "__main__":
+    main()

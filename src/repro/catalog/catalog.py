@@ -25,11 +25,21 @@ class TableInfo:
 
 
 class Catalog:
-    """Thread-safe registry of tables."""
+    """Thread-safe registry of tables.
+
+    When a write-ahead log is attached (``self.wal``, wired by
+    :class:`~repro.core.database.VeriDB`), registration and drop are the
+    DDL logging points, and registration hands the log to the table's
+    store so its DML is logged too. Gating DML logging on catalog
+    registration is deliberate: unregistered tables — the executor's
+    spill/temporary tables — are ephemeral by construction and must not
+    reach the durable log.
+    """
 
     def __init__(self):
         self._tables: dict[str, TableInfo] = {}
         self._lock = threading.Lock()
+        self.wal = None
 
     def register(self, info: TableInfo) -> None:
         with self._lock:
@@ -37,10 +47,16 @@ class Catalog:
             if key in self._tables:
                 raise CatalogError(f"table {info.name!r} already exists")
             self._tables[key] = info
+            if self.wal is not None:
+                self.wal.append_ddl_create(info.name, info.schema)
+                info.store.wal = self.wal
 
     def drop(self, name: str) -> TableInfo:
         with self._lock:
             info = self._tables.pop(name.lower(), None)
+            if info is not None and self.wal is not None:
+                self.wal.append_ddl_drop(info.name)
+                info.store.wal = None
         if info is None:
             raise CatalogError(f"unknown table {name!r}")
         return info

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from repro.catalog.types import ColumnType
+from repro.catalog.types import ColumnType, DecimalType, type_from_name
 from repro.errors import CatalogError
 
 
@@ -129,3 +129,40 @@ class Schema:
 
     def __len__(self) -> int:
         return len(self.columns)
+
+
+# ----------------------------------------------------------------------
+# serialization (shared by snapshot persistence and the write-ahead log)
+# ----------------------------------------------------------------------
+def schema_to_dict(schema: Schema) -> dict:
+    """JSON-safe encoding of a schema (inverse of :func:`schema_from_dict`)."""
+    return {
+        "columns": [
+            {
+                "name": column.name,
+                "type": column.type.name,
+                "scale": getattr(column.type, "scale", None),
+                "nullable": column.nullable,
+            }
+            for column in schema.columns
+        ],
+        "primary_key": schema.primary_key,
+        # chains[0] is the implicit primary key; persist only the extras
+        "chain_columns": list(schema.chains[1:]),
+    }
+
+
+def schema_from_dict(payload: dict) -> Schema:
+    """Rebuild a schema encoded by :func:`schema_to_dict`."""
+    columns = []
+    for entry in payload["columns"]:
+        if entry["type"] == "DECIMAL" and entry.get("scale") is not None:
+            column_type = DecimalType(scale=entry["scale"])
+        else:
+            column_type = type_from_name(entry["type"])
+        columns.append(Column(entry["name"], column_type, entry["nullable"]))
+    return Schema(
+        columns=columns,
+        primary_key=payload["primary_key"],
+        chain_columns=tuple(payload["chain_columns"]),
+    )

@@ -27,6 +27,17 @@ class VeriDBConfig:
     is deterministic in the query sequence number, so a rate of 0.25
     traces exactly every fourth query. ``VeriDB.explain_analyze``
     always traces, regardless of this rate.
+    ``wal_dir`` enables the enclave-sealed write-ahead log
+    (:mod:`repro.wal`): every committed DDL/DML statement is appended
+    to a MAC-chained log under that directory and crash recovery
+    (:func:`repro.core.recovery.recover_from_wal`) can rebuild a
+    proven-consistent instance from it. None (the default) keeps the
+    seed's purely in-memory behaviour. ``wal_group_commit`` is the
+    group-commit batch size: appends buffer in memory and one
+    sync (fsync-equivalent) covers up to that many records; 1 syncs
+    every record. ``wal_fsync`` asks for a real ``os.fsync`` per sync
+    instead of a flush-only durability boundary (slow; off by default
+    so tests and benchmarks model the batching without paying disk).
     """
 
     storage: StorageConfig = field(default_factory=StorageConfig)
@@ -34,6 +45,9 @@ class VeriDBConfig:
     key_seed: int | None = None  # deterministic keys for tests/benchmarks
     verifier_workers: int = 1
     trace_sample_rate: float = 0.0
+    wal_dir: str | None = None
+    wal_group_commit: int = 64
+    wal_fsync: bool = False
 
     def __post_init__(self):
         if self.verifier_workers < 1:
@@ -42,6 +56,8 @@ class VeriDBConfig:
             raise ConfigurationError(
                 "trace_sample_rate must be within [0.0, 1.0]"
             )
+        if self.wal_group_commit < 1:
+            raise ConfigurationError("wal_group_commit must be >= 1")
 
     @classmethod
     def baseline(cls) -> "VeriDBConfig":

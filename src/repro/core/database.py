@@ -20,6 +20,7 @@ from repro.core.config import VeriDBConfig
 from repro.core.incident import IncidentLog
 from repro.core.portal import QueryPortal
 from repro.crypto.keys import KeyChain, generate_key
+from repro.crypto.sethash import SetHash
 from repro.errors import VerificationFailure
 from repro.obs import default_registry
 from repro.sgx.attestation import PlatformQuotingKey, verify_quote
@@ -89,6 +90,22 @@ class VeriDB:
             "verification-synopsis", self.storage.vmem.enclave_state_bytes()
         )
         self._expected_measurement = self.enclave.measurement
+        self.wal = None
+        if self.config.wal_dir is not None:
+            from repro.wal import WriteAheadLog
+
+            self.attach_wal(
+                WriteAheadLog(
+                    self.config.wal_dir,
+                    key=keychain.key_for("wal"),
+                    seal=self.enclave.seal,
+                    unseal=self.enclave.unseal,
+                    counter_read=self.enclave.counter.read,
+                    group_commit=self.config.wal_group_commit,
+                    fsync=self.config.wal_fsync,
+                    registry=self.obs,
+                )
+            )
 
     # ------------------------------------------------------------------
     # client connections
@@ -193,6 +210,67 @@ class VeriDB:
         except VerificationFailure as alarm:
             self.incidents.open("verification-alarm", str(alarm))
             raise
+
+    # ------------------------------------------------------------------
+    # durability (write-ahead log)
+    # ------------------------------------------------------------------
+    def attach_wal(self, wal) -> None:
+        """Thread a write-ahead log through every write path.
+
+        Called at construction when ``config.wal_dir`` is set, and by
+        crash recovery after it has verified, replayed and resumed an
+        existing log. The catalog logs DDL and hands the log to each
+        registered table's store (DML); the portal flushes it before
+        endorsing; the epoch verifier checkpoints it after every clean
+        pass.
+        """
+        self.wal = wal
+        self.catalog.wal = wal
+        for name in self.catalog.table_names():
+            self.catalog.lookup(name).store.wal = wal
+        self.portal.attach_wal(wal)
+        if self.storage.verifier is not None:
+            self.storage.verifier.on_pass_complete = self._wal_checkpoint
+
+    def checkpoint(self) -> None:
+        """Flush the log and write a sealed checkpoint record."""
+        if self.wal is not None:
+            self.wal.commit()
+            self._wal_checkpoint()
+
+    def _wal_checkpoint(self) -> None:
+        wal = self.wal
+        if wal is None:
+            return
+        # the RSWS summary is computed first, releasing every partition
+        # lock before the wal lock is taken (writers take table→wal, the
+        # summary takes partition-only, so no lock-order cycle exists)
+        summary = self._rsws_summary()
+        wal.checkpoint(
+            epoch=self.storage.vmem.epoch,
+            counter=self.enclave.counter.read(),
+            rsws_hex=summary,
+        )
+
+    def _rsws_summary(self) -> str:
+        """Fold every partition's live RS/WS digests into one hex digest.
+
+        A point-in-time fingerprint of the enclave synopsis at epoch
+        close; sealed into the checkpoint so the log carries evidence of
+        *which* verified state it extends. It is advisory (recovery
+        re-derives fresh digests by replaying — timestamps make the raw
+        digests non-reproducible) but ties each checkpoint to a concrete
+        verification epoch for audit.
+        """
+        summary = SetHash()
+        for partition in self.storage.vmem.rsws.partitions:
+            partition.acquire()
+            try:
+                for generation in (*partition.rs, *partition.ws):
+                    summary.merge(generation)
+            finally:
+                partition.release()
+        return summary.hex()
 
     def start_background_verification(self, pause_seconds: float = 0.0) -> None:
         if self.storage.verifier is not None:

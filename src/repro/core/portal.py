@@ -254,6 +254,8 @@ class QueryPortal:
         #: callable returning True while background verification is down
         self._verifier_degraded = verifier_degraded
         self._incidents = incidents
+        #: write-ahead log flushed before endorsement (see attach_wal)
+        self._wal = None
 
         self.obs = registry if registry is not None else default_registry()
         self._ctr_queries = self.obs.counter("portal.queries")
@@ -274,6 +276,17 @@ class QueryPortal:
     def _ledger_size(self) -> int:
         with self._lock:
             return self._seen.state_size()
+
+    def attach_wal(self, wal) -> None:
+        """Flush ``wal`` (group commit) before endorsing each query.
+
+        Endorsement is the enclave's durable promise to the client, so
+        the log records backing a statement must hit the durability
+        boundary *before* the endorsement MAC leaves the enclave — the
+        classic WAL rule, with the endorsement playing the part of the
+        commit acknowledgement.
+        """
+        self._wal = wal
 
     # ------------------------------------------------------------------
     # multi-tenant key management (the service layer's registration path)
@@ -357,6 +370,12 @@ class QueryPortal:
                         result = run()
                 else:
                     result = run()
+            if self._wal is not None:
+                # durability before endorsement: whatever this statement
+                # appended must survive a crash once the client holds
+                # the endorsed result
+                with self.obs.span("portal.wal_commit_seconds"):
+                    self._wal.commit()
             verified = not (
                 self._verifier_degraded is not None
                 and self._verifier_degraded()

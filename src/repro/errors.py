@@ -132,6 +132,30 @@ class ServiceDraining(ServiceError):
     retryable = False
 
 
+class RecoveryIntegrityError(IntegrityError):
+    """Crash recovery refused to rebuild state from an untrustworthy log.
+
+    Raised by :func:`repro.core.recovery.recover_from_wal` (and the WAL
+    reader beneath it) when the on-disk log fails any integrity check:
+    a broken MAC chain (bit flip, splice, reorder), a truncated tail
+    that the sealed anchor proves was once synced, an unsealable or
+    stale checkpoint, or a replayed state whose content digest does not
+    match the digest the log binds. Recovery *never* proceeds on a
+    partially trustworthy log — refusing loudly is the product, since a
+    silent "best effort" recovery is exactly the rollback/splice attack
+    surface the paper's §5.1 defends against.
+
+    ``reason`` is a short machine-checkable category, one of:
+    ``no-log``, ``anchor-missing``, ``unsealable``, ``truncated``,
+    ``mac-chain``, ``sequence``, ``frame``, ``version``,
+    ``checkpoint-binding``, ``stale-checkpoint``, ``content-digest``.
+    """
+
+    def __init__(self, message: str, reason: str | None = None):
+        super().__init__(message)
+        self.reason = reason
+
+
 class RollbackDetected(IntegrityError):
     """The client observed a repeated sequence number (Section 5.1).
 

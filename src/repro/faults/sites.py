@@ -67,6 +67,29 @@ site                                      behaviour when fired
                                           surfaces a typed
                                           :class:`~repro.errors.ResponseLost`
                                           and resubmits under a fresh qid.
+``wal.append_torn``                       the host crashes mid-way through a
+                                          group-commit sync: only a prefix of
+                                          the batch's bytes reaches the log
+                                          file and the sealed anchor is *not*
+                                          advanced (:class:`TransientFault`).
+                                          Recovery discards the torn tail —
+                                          none of the torn records were ever
+                                          acknowledged as durable.
+``wal.fsync_lost``                        the host silently drops the batch's
+                                          bytes while *acknowledging* the
+                                          sync: the sealed anchor advances but
+                                          the log file does not. No error
+                                          surfaces at commit time; recovery
+                                          detects the anchor pointing past the
+                                          end of the log and refuses with
+                                          :class:`~repro.errors.RecoveryIntegrityError`.
+``wal.replay_abort``                      log replay aborts mid-way through
+                                          rebuilding state
+                                          (:class:`TransientFault`). Nothing
+                                          durable was mutated — the log is
+                                          read-only during replay — so a
+                                          fresh recovery attempt is safe and
+                                          succeeds.
 ========================================  =====================================
 """
 
@@ -91,6 +114,10 @@ CACHE_EVICT_STORM = "cache.evict_storm"
 SERVICE_DISPATCH_ABORT = "service.dispatch_abort"
 SERVICE_RESPONSE_LOST = "service.response_lost"
 
+WAL_APPEND_TORN = "wal.append_torn"
+WAL_FSYNC_LOST = "wal.fsync_lost"
+WAL_REPLAY_ABORT = "wal.replay_abort"
+
 #: every registered site, for schedules that want blanket coverage
 ALL_SITES = (
     ECALL_ABORT,
@@ -106,6 +133,9 @@ ALL_SITES = (
     CACHE_EVICT_STORM,
     SERVICE_DISPATCH_ABORT,
     SERVICE_RESPONSE_LOST,
+    WAL_APPEND_TORN,
+    WAL_FSYNC_LOST,
+    WAL_REPLAY_ABORT,
 )
 
 #: sites that are safe to fire during write statements: they either fire

@@ -101,6 +101,10 @@ class Verifier:
         self._bg_thread: threading.Thread | None = None
         self._bg_stop = threading.Event()
         self._bg_error: BaseException | None = None
+        #: called after every *cleanly* completed pass (full or stepped);
+        #: the durable database hangs its WAL checkpoint here, so an
+        #: epoch close is what seals the log's progress
+        self.on_pass_complete = None
 
     # ------------------------------------------------------------------
     # synchronous full pass
@@ -165,6 +169,8 @@ class Verifier:
                         raise
                     else:
                         self._close_epoch()
+                        if self.on_pass_complete is not None:
+                            self.on_pass_complete()
             finally:
                 self._in_step.active = False
                 self._hist_pass.observe(perf_counter() - start)
@@ -260,6 +266,8 @@ class Verifier:
                         break
                 self._pending_pages = None
                 self._close_epoch()
+                if self.on_pass_complete is not None:
+                    self.on_pass_complete()
                 return True
             finally:
                 self._in_step.active = False

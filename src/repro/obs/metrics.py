@@ -435,6 +435,8 @@ KNOWN_LAYERS = (
     "sgx",
     "faults",
     "incidents",
+    "wal",
+    "recovery",
     "obs",
 )
 

@@ -311,6 +311,11 @@ class QueryService:
             drained = self._idle.wait_for(
                 lambda: self._in_flight == 0, timeout=budget
             )
+        if drained and self.db.wal is not None:
+            # the quiesced log is flushed so a clean shutdown loses
+            # nothing — every endorsed statement is already durable
+            # (commit-before-endorse), this covers admin-path writes
+            self.db.wal.commit()
         if sink.enabled:
             sink.emit({"type": "service_drained", "clean": drained})
         return drained

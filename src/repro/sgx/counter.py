@@ -29,6 +29,19 @@ class MonotonicCounter:
         with self._lock:
             return self._value
 
+    def restore(self, value: int) -> None:
+        """Move-forward-only restore used by crash recovery.
+
+        Recovery cannot know the exact pre-crash value (reads advance
+        the counter without leaving log traffic), so it restores the
+        highest value the log vouches for plus a skip-ahead margin; a
+        restore can only ever advance the counter, never rewind it —
+        rewinding is exactly the rollback the counter exists to expose.
+        """
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
     def _simulate_power_loss(self, restored_value: int = 0) -> None:
         """Adversary hook: model losing enclave state to a power failure.
 

@@ -65,6 +65,10 @@ class VerifiableTable:
         self.stats = TableStats()
         self.obs = engine.obs
         self.faults = default_fault_plane()
+        #: write-ahead log, attached by Catalog.register when the
+        #: database is durable; None (the default) for standalone and
+        #: spill/temporary tables, whose writes must stay off the log
+        self.wal = None
         self._ctr_point_retries = self.obs.counter("storage.point_read_retries")
         self._ctr_moves = self.obs.counter("storage.records_moved")
         self._hist_splice = self.obs.histogram("storage.chain_splice_seconds")
@@ -133,6 +137,10 @@ class VerifiableTable:
                 self.indexes[chain_id].insert(ckey, rid)
             self._row_count += 1
             self.stats.inserts += 1
+            # logged inside the table lock, after the splice committed:
+            # log order equals apply order, so replay reproduces state
+            if self.wal is not None:
+                self.wal.append_insert(self.name, row)
             return rid
 
     def delete(self, pk: Any) -> bool:
@@ -162,6 +170,12 @@ class VerifiableTable:
                 self.indexes[chain_id].delete(stored.key(chain_id))
             self._row_count -= 1
             self.stats.deletes += 1
+            # the full old row rides in the record: replay and the log's
+            # content digest both need the removed element, not just pk
+            if self.wal is not None:
+                self.wal.append_delete(
+                    self.name, self.layout.row_from_stored(stored)
+                )
             return True
 
     def update(self, pk: Any, updates: dict) -> bool:
@@ -191,6 +205,8 @@ class VerifiableTable:
                 for col in self.layout.chains
             )
             if chains_changed:
+                # delegates to delete+insert, which log themselves — an
+                # UPDATE record here would double-count the row
                 self.delete(pk)
                 self.insert(new_row)
             else:
@@ -201,6 +217,8 @@ class VerifiableTable:
                     tuple(new_row[i] for i in self.layout.data_column_indexes),
                 )
                 self._write_stored(rid, new_stored)
+                if self.wal is not None:
+                    self.wal.append_update(self.name, row, new_row)
             self.stats.updates += 1
             return True
 

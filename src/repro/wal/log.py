@@ -1,0 +1,478 @@
+"""The write-ahead log writer: group commit, segments, sealed anchor.
+
+Durability model
+----------------
+
+Appends buffer in memory; one *sync* — triggered when the buffer
+reaches ``group_commit`` records, by an explicit :meth:`commit`, or by a
+checkpoint — writes the whole batch with one fsync-equivalent, so the
+hot write path pays the durability boundary per batch, not per record
+(classic group commit: whichever thread syncs first carries every
+buffered record with it, and :meth:`commit` returns fast when another
+committer already drained the buffer).
+
+Every sync finishes by atomically rewriting the sealed **anchor**
+(``ANCHOR`` in the log directory): the last synced sequence number and
+chain MAC, the latest checkpoint's sequence number, the monotonic
+counter, and the checkpoint ordinal ``nv``. The anchor stands in for
+SGX's replay-protected non-volatile state — it is what lets recovery
+tell an honest torn tail (records *beyond* the anchor are discarded,
+they were never acknowledged) from malicious truncation (the anchor
+proves a record was synced; a log that lacks it is refused).
+
+``NVCOUNTER`` simulates the platform's hardware monotonic counter: it
+only ever advances, one tick per checkpoint, and the adversary in our
+threat model (and in the tamper tests) cannot roll it back — exactly
+the guarantee SGX's replay-protected counters provide. An anchor whose
+``nv`` has fallen behind the hardware counter is a restored backup, and
+recovery refuses it. The counter is bumped *after* the checkpoint's
+anchor reaches disk, so a crash between the two leaves the anchor one
+ahead of the hardware — recovery accepts ``nv`` or ``nv + 1``, never
+less.
+
+Segments roll after every checkpoint (``wal-000000.log``,
+``wal-000001.log``, …), so each segment spans at most one epoch and old
+epochs could be archived or shipped to replicas wholesale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from time import perf_counter
+from typing import Any, Callable, Iterable
+
+import threading
+
+from repro.catalog.schema import Schema, schema_to_dict
+from repro.crypto.mac import MessageAuthenticator
+from repro.crypto.sethash import SetHash
+from repro.errors import StorageError, TransientFault
+from repro.faults import default_fault_plane, sites as fault_sites
+from repro.obs import default_event_sink, default_registry
+from repro.storage.record import RecordCodec
+from repro.wal.records import (
+    CHECKPOINT,
+    DDL_CREATE,
+    DDL_DROP,
+    DELETE,
+    GENESIS_MAC,
+    HEADER,
+    INSERT,
+    UPDATE,
+    WAL_VERSION,
+    chain_mac,
+    content_sethash,
+    encode_body,
+    encode_frame,
+    row_element,
+)
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".log"
+SEGMENT_GLOB = f"{SEGMENT_PREFIX}*{SEGMENT_SUFFIX}"
+ANCHOR_FILE = "ANCHOR"
+NVCOUNTER_FILE = "NVCOUNTER"
+
+
+def segment_name(index: int) -> str:
+    return f"{SEGMENT_PREFIX}{index:06d}{SEGMENT_SUFFIX}"
+
+
+def segment_index(path: Path) -> int:
+    return int(path.name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)])
+
+
+class WriteAheadLog:
+    """MAC-chained, epoch-segmented write-ahead log for one database.
+
+    Args:
+        directory: untrusted log directory (created if missing). A fresh
+            log refuses a directory that already holds segments — boot
+            from an existing log only through
+            :func:`repro.core.recovery.recover_from_wal`, which verifies
+            it first.
+        key: the enclave's wal sub-key (``keychain.key_for("wal")``) —
+            MAC chain and content-digest elements are keyed under it.
+        seal/unseal: the enclave's sealed-storage primitives, used for
+            the anchor, the hardware-counter file and checkpoint bodies.
+        counter_read: callable returning the trusted monotonic counter,
+            snapshotted into every anchor.
+        group_commit: records per sync (1 = sync every append).
+        fsync: issue a real ``os.fsync`` per sync instead of a flush.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        key: bytes,
+        seal: Callable[[bytes], bytes],
+        unseal: Callable[[bytes], bytes],
+        counter_read: Callable[[], int] | None = None,
+        group_commit: int = 64,
+        fsync: bool = False,
+        registry=None,
+        faults=None,
+        _resume_state=None,
+    ):
+        if group_commit < 1:
+            raise StorageError("wal group_commit must be >= 1")
+        self._dir = Path(directory)
+        self._auth = MessageAuthenticator(key)
+        self._seal = seal
+        self._unseal = unseal
+        self._counter_read = counter_read
+        self._group_commit = group_commit
+        self._fsync = fsync
+        self._codec = RecordCodec()
+        self.faults = faults if faults is not None else default_fault_plane()
+        self.obs = registry if registry is not None else default_registry()
+        self._ctr_appends = self.obs.counter("wal.appends")
+        self._ctr_syncs = self.obs.counter("wal.syncs")
+        self._ctr_bytes = self.obs.counter("wal.bytes_written")
+        self._ctr_checkpoints = self.obs.counter("wal.checkpoints")
+        self._hist_sync = self.obs.histogram("wal.sync_seconds")
+        self._hist_batch = self.obs.histogram("wal.records_per_sync")
+        self._gauge_segments = self.obs.gauge("wal.segments")
+
+        self._lock = threading.RLock()
+        self._buffer: list[bytes] = []
+        self._poisoned = False
+        #: per-table keyed content digests + row counts; what checkpoints
+        #: bind and recovery cross-checks against the replayed tables
+        self._digests: dict[str, SetHash] = {}
+        self._row_counts: dict[str, int] = {}
+
+        self._dir.mkdir(parents=True, exist_ok=True)
+        if _resume_state is None:
+            self._open_fresh()
+        else:
+            self._open_resumed(_resume_state)
+
+    # ------------------------------------------------------------------
+    # construction paths
+    # ------------------------------------------------------------------
+    def _open_fresh(self) -> None:
+        existing = sorted(self._dir.glob(SEGMENT_GLOB))
+        if existing or (self._dir / ANCHOR_FILE).exists():
+            raise StorageError(
+                f"wal directory {self._dir} already holds a log; a fresh "
+                f"instance must not overwrite it — recover it with "
+                f"repro.core.recovery.recover_from_wal instead"
+            )
+        self._seq = 0
+        self._chain = GENESIS_MAC
+        self._checkpoint_seq = 0
+        self._nv = 0
+        self._segment_index = 0
+        self._file = open(self._dir / segment_name(0), "ab")
+        self._gauge_segments.set(1)
+        with self._lock:
+            # per-run nonce: two logs under the same (seeded) key still
+            # have disjoint MAC chains, so records cannot be cross-spliced
+            self._append_locked(
+                HEADER,
+                {"version": WAL_VERSION, "nonce": os.urandom(16).hex()},
+            )
+            self._sync_locked()
+
+    def _open_resumed(self, state) -> None:
+        """Continue the chain of a verified log (crash recovery path).
+
+        ``state`` is the :class:`~repro.wal.reader.WalState` the reader
+        produced: recovery has already replayed and cross-checked it.
+        A torn tail, if any, is truncated off (those bytes were never
+        acknowledged), and writing continues in a fresh segment from the
+        last accepted record's MAC.
+        """
+        if state.truncate is not None:
+            path, offset = state.truncate
+            with open(path, "ab") as fh:
+                fh.truncate(offset)
+        self._seq = state.last_seq
+        self._chain = state.last_mac
+        self._checkpoint_seq = state.checkpoint_seq
+        self._nv = state.nv
+        for name, digest in state.digests.items():
+            self._digests[name] = digest.copy()
+        self._row_counts.update(state.row_counts)
+        self._segment_index = segment_index(state.segments[-1]) + 1
+        self._file = open(self._dir / segment_name(self._segment_index), "ab")
+        self._gauge_segments.set(self._segment_index + 1)
+        with self._lock:
+            # converge the hardware counter (it may trail the anchor by
+            # one if the crash hit between anchor write and counter bump)
+            self._write_nv_locked()
+            self._write_anchor_locked()
+
+    @classmethod
+    def resume(
+        cls,
+        directory: str | Path,
+        key: bytes,
+        seal: Callable[[bytes], bytes],
+        unseal: Callable[[bytes], bytes],
+        state,
+        counter_read: Callable[[], int] | None = None,
+        group_commit: int = 64,
+        fsync: bool = False,
+        registry=None,
+        faults=None,
+    ) -> "WriteAheadLog":
+        """Reopen a verified log for appending (see :meth:`_open_resumed`)."""
+        return cls(
+            directory,
+            key,
+            seal,
+            unseal,
+            counter_read=counter_read,
+            group_commit=group_commit,
+            fsync=fsync,
+            registry=registry,
+            faults=faults,
+            _resume_state=state,
+        )
+
+    # ------------------------------------------------------------------
+    # append interface (called by catalog/table under their own locks)
+    # ------------------------------------------------------------------
+    def append_ddl_create(self, table: str, schema: Schema) -> None:
+        with self._lock:
+            name = table.lower()
+            self._digests[name] = content_sethash()
+            self._row_counts[name] = 0
+            self._append_locked(
+                DDL_CREATE, {"table": table, "schema": schema_to_dict(schema)}
+            )
+            self._maybe_sync_locked()
+
+    def append_ddl_drop(self, table: str) -> None:
+        with self._lock:
+            name = table.lower()
+            self._digests.pop(name, None)
+            self._row_counts.pop(name, None)
+            self._append_locked(DDL_DROP, {"table": table})
+            self._maybe_sync_locked()
+
+    def append_insert(self, table: str, row: Iterable[Any]) -> None:
+        with self._lock:
+            row_bytes = self._codec.encode(tuple(row))
+            name = table.lower()
+            self._digests[name].add(row_element(self._auth, name, row_bytes))
+            self._row_counts[name] += 1
+            self._append_locked(INSERT, {"table": table, "row": row_bytes.hex()})
+            self._maybe_sync_locked()
+
+    def append_delete(self, table: str, row: Iterable[Any]) -> None:
+        """Log a delete; carries the *full* old row so replay and the
+        content digest both have the removed element."""
+        with self._lock:
+            row_bytes = self._codec.encode(tuple(row))
+            name = table.lower()
+            self._digests[name].remove(row_element(self._auth, name, row_bytes))
+            self._row_counts[name] -= 1
+            self._append_locked(DELETE, {"table": table, "row": row_bytes.hex()})
+            self._maybe_sync_locked()
+
+    def append_update(
+        self, table: str, old_row: Iterable[Any], new_row: Iterable[Any]
+    ) -> None:
+        with self._lock:
+            old_bytes = self._codec.encode(tuple(old_row))
+            new_bytes = self._codec.encode(tuple(new_row))
+            name = table.lower()
+            digest = self._digests[name]
+            digest.remove(row_element(self._auth, name, old_bytes))
+            digest.add(row_element(self._auth, name, new_bytes))
+            self._append_locked(
+                UPDATE,
+                {"table": table, "old": old_bytes.hex(), "new": new_bytes.hex()},
+            )
+            self._maybe_sync_locked()
+
+    # ------------------------------------------------------------------
+    # durability boundaries
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        """Make everything appended so far durable (group commit).
+
+        The caller's own records were appended earlier on its thread, so
+        an empty buffer means another committer already carried them —
+        the unlocked emptiness probe keeps that fast path one attribute
+        read.
+        """
+        if not self._buffer:
+            return
+        with self._lock:
+            self._sync_locked()
+
+    def checkpoint(self, epoch: int, counter: int, rsws_hex: str) -> int:
+        """Write a sealed checkpoint record and roll the segment.
+
+        The sealed body binds the epoch, the trusted monotonic counter,
+        the hardware-counter ordinal, the merged keyed content digest
+        with per-table row counts, and the RSWS summary digest at epoch
+        close. Returns the checkpoint's sequence number.
+        """
+        with self._lock:
+            self._nv += 1
+            sealed = self._seal(
+                encode_body(
+                    {
+                        "epoch": epoch,
+                        "counter": counter,
+                        "nv": self._nv,
+                        "digest": self.content_digest_hex(),
+                        "rsws": rsws_hex,
+                        "tables": dict(sorted(self._row_counts.items())),
+                    }
+                )
+            )
+            self._append_locked(CHECKPOINT, {"sealed": sealed.hex()})
+            self._checkpoint_seq = self._seq
+            self._sync_locked()
+            self._write_nv_locked()
+            self._roll_segment_locked()
+            seq = self._seq
+            nv = self._nv
+            segment = self._segment_index
+        self._ctr_checkpoints.inc()
+        sink = default_event_sink()
+        if sink.enabled:
+            sink.emit(
+                {
+                    "type": "wal_checkpoint",
+                    "seq": seq,
+                    "epoch": epoch,
+                    "counter": counter,
+                    "nv": nv,
+                    "segment": segment,
+                }
+            )
+        return seq
+
+    def close(self) -> None:
+        """Flush and release the segment file handle."""
+        with self._lock:
+            if not self._poisoned:
+                self._sync_locked()
+            self._file.close()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def directory(self) -> Path:
+        return self._dir
+
+    @property
+    def last_seq(self) -> int:
+        return self._seq
+
+    @property
+    def pending_records(self) -> int:
+        return len(self._buffer)
+
+    def content_digest_hex(self) -> str:
+        """Merged (XOR) keyed content digest over every table's rows."""
+        merged = content_sethash()
+        for digest in self._digests.values():
+            merged.merge(digest)
+        return merged.hex()
+
+    def row_counts(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._row_counts)
+
+    # ------------------------------------------------------------------
+    # internals (all called with the lock held)
+    # ------------------------------------------------------------------
+    def _append_locked(self, rtype: int, payload: dict) -> None:
+        if self._poisoned:
+            raise StorageError(
+                "write-ahead log is unusable after a torn sync; restart "
+                "and recover from the log"
+            )
+        self._seq += 1
+        body = encode_body(payload)
+        mac = chain_mac(self._auth, self._chain, self._seq, rtype, body)
+        self._buffer.append(encode_frame(self._seq, rtype, body, mac))
+        self._chain = mac
+        self._ctr_appends.inc()
+
+    def _maybe_sync_locked(self) -> None:
+        if len(self._buffer) >= self._group_commit:
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        if not self._buffer or self._poisoned:
+            return
+        payload = b"".join(self._buffer)
+        records = len(self._buffer)
+        start = perf_counter()
+        # Injection site: the host crashes part-way through writing the
+        # batch — a prefix of the bytes lands, the anchor is NOT
+        # advanced, and the log object is dead (the process is modeled
+        # as gone). Recovery discards the torn tail: none of these
+        # records were ever acknowledged as durable.
+        try:
+            self.faults.check(fault_sites.WAL_APPEND_TORN)
+        except TransientFault:
+            self._file.write(payload[: max(1, len(payload) // 2)])
+            self._file.flush()
+            self._poisoned = True
+            raise
+        # Injection site: the host *acknowledges* the sync but silently
+        # drops the bytes. Nothing surfaces here — that is the attack —
+        # so the anchor advances past the end of the real log, which is
+        # exactly what recovery refuses.
+        try:
+            self.faults.check(fault_sites.WAL_FSYNC_LOST)
+        except TransientFault:
+            pass
+        else:
+            self._file.write(payload)
+            self._file.flush()
+            if self._fsync:
+                os.fsync(self._file.fileno())
+            self._ctr_bytes.inc(len(payload))
+        self._buffer.clear()
+        self._write_anchor_locked()
+        self._ctr_syncs.inc()
+        self._hist_batch.observe(records)
+        self._hist_sync.observe(perf_counter() - start)
+
+    def _write_anchor_locked(self) -> None:
+        counter = self._counter_read() if self._counter_read is not None else 0
+        blob = self._seal(
+            encode_body(
+                {
+                    "version": WAL_VERSION,
+                    "last_seq": self._seq,
+                    "last_mac": self._chain.hex(),
+                    "checkpoint_seq": self._checkpoint_seq,
+                    "counter": counter,
+                    "nv": self._nv,
+                }
+            )
+        )
+        self._replace_file(ANCHOR_FILE, blob)
+
+    def _write_nv_locked(self) -> None:
+        self._replace_file(NVCOUNTER_FILE, self._seal(encode_body({"nv": self._nv})))
+
+    def _replace_file(self, name: str, blob: bytes) -> None:
+        """Atomic write: the file holds either the old or the new value."""
+        tmp = self._dir / f".{name}.tmp"
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            if self._fsync:
+                os.fsync(fh.fileno())
+        os.replace(tmp, self._dir / name)
+
+    def _roll_segment_locked(self) -> None:
+        self._file.close()
+        self._segment_index += 1
+        self._file = open(self._dir / segment_name(self._segment_index), "ab")
+        self._gauge_segments.set(self._segment_index + 1)

@@ -219,6 +219,8 @@ def test_layer_breakdown_groups_by_first_segment():
         "sgx",
         "faults",
         "incidents",
+        "wal",
+        "recovery",
         "obs",
     }
 

@@ -162,3 +162,84 @@ def test_response_lost_is_not_an_authentication_error():
     # the typed recovery path must be distinguishable by exception class
     assert not issubclass(ResponseLost, AuthenticationError)
     assert issubclass(QueryReplayError, AuthenticationError)
+
+
+# ----------------------------------------------------------------------
+# service restart: kill mid-flight, recover from the log, serve again
+# ----------------------------------------------------------------------
+def test_service_restart_recovers_durable_state_from_wal(tmp_path):
+    """The full outage story. A WAL-backed service loses a response
+    mid-flight (the qid is burned, the client holds ResponseLost), then
+    the whole process dies without draining. Recovery rebuilds the
+    instance from the log: every endorsed write — including the one
+    whose response was lost, because the portal commits the log *before*
+    endorsing — is served by the restarted service, and the client's
+    exported audit state carries over with no rollback false positive.
+    """
+    from repro.core.recovery import recover_from_wal
+
+    cfg = VeriDBConfig(
+        key_seed=23, wal_dir=str(tmp_path / "wal"), wal_group_commit=1
+    )
+    schedule = ChaosSchedule(
+        seed=9, rates={sites.SERVICE_RESPONSE_LOST: 1.0}, limit_per_site=1
+    )
+    with scoped_fault_plane(ChaosPlane(schedule)):
+        db = VeriDB(cfg)
+        db.sql("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+        db.sql("INSERT INTO t VALUES (1, 100)")
+        service = QueryService(db, ServiceConfig(max_workers=2))
+        creds = service.register_tenant("acme", api_key="k-acme")
+        client = service.connect(creds)
+        # mid-flight: the write executes and commits to the log, the
+        # endorsed response dies on the way back, the qid stays burned
+        with pytest.raises(ResponseLost) as lost:
+            client.execute("INSERT INTO t VALUES (2, 200)")
+        assert lost.value.sql == "INSERT INTO t VALUES (2, 200)"
+        # traffic continues until the crash
+        client.execute("INSERT INTO t VALUES (3, 300)")
+        audit = client.export_audit_state()
+        # the process dies here: no drain, no close, no flush beyond
+        # what group commit already made durable
+
+    recovered = recover_from_wal(str(tmp_path / "wal"), cfg)
+    restarted = QueryService(recovered, ServiceConfig(max_workers=2))
+    # same tenant id + seeded keychain → the same tenant MAC key, so the
+    # client's persisted credentials and audit log remain valid
+    creds2 = restarted.register_tenant("acme", api_key="k-acme")
+    assert creds2.mac_key == creds.mac_key
+    client2 = restarted.connect(creds2, audit_state=audit)
+
+    # the lost-response write survived the crash: commit-before-endorse
+    result = client2.execute("SELECT k, v FROM t ORDER BY k")
+    assert result.rows == ((1, 100), (2, 200), (3, 300))
+    # fresh qids, sequence numbers past the recovery counter leap — the
+    # restored audit state raises no rollback alarm
+    assert client2.execute("SELECT v FROM t WHERE k = 3").rows == ((300,),)
+    # 2 post-restart queries + the pre-crash response the audit state
+    # carried over: the restored log is one continuous history
+    assert client2.queries_verified == 3
+    assert client2.responses_lost == 0
+    # and new writes keep flowing through the recovered log
+    client2.execute("INSERT INTO t VALUES (4, 400)")
+    assert restarted.close()
+
+
+def test_drain_flushes_the_wal(tmp_path):
+    """A clean shutdown leaves nothing buffered: drain commits the log
+    after the last in-flight query finishes."""
+    cfg = VeriDBConfig(
+        key_seed=23, wal_dir=str(tmp_path / "wal"), wal_group_commit=64
+    )
+    db = VeriDB(cfg)
+    db.sql("CREATE TABLE t (k INTEGER PRIMARY KEY, v INTEGER)")
+    db.sql("INSERT INTO t VALUES (1, 100)")  # buffered (batch of 64)
+    service = QueryService(db, ServiceConfig(max_workers=2))
+    assert db.wal.pending_records > 0
+    assert service.close()
+    assert db.wal.pending_records == 0
+
+    from repro.core.recovery import recover_from_wal
+
+    recovered = recover_from_wal(str(tmp_path / "wal"), cfg)
+    assert recovered.sql("SELECT v FROM t").rows == [(100,)]

@@ -1,0 +1,195 @@
+"""Adversarial log mutations: every one refused, none recovered silently.
+
+The adversary owns the disk: it can truncate segments, splice in frames
+from another run, reorder records, flip bits, or restore a whole backup
+of the log state. What it cannot do is forge MACs under the enclave's
+wal key, unseal/reseal the anchor, or roll back the hardware monotonic
+counter (``NVCOUNTER`` stands in for SGX's replay-protected counter, so
+the tamper helpers deliberately leave it alone).
+
+Each test builds an honest log, applies exactly one mutation, and
+asserts recovery refuses with a typed
+:class:`~repro.errors.RecoveryIntegrityError` — the control test proves
+the untampered twin of the same log recovers fine, so the refusals are
+the mutation's doing, not the harness's.
+"""
+
+import shutil
+
+import pytest
+
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.core.recovery import recover_from_wal
+from repro.errors import RecoveryIntegrityError
+from repro.wal import INSERT, parse_segment
+from repro.wal.log import ANCHOR_FILE
+from repro.wal.records import encode_body
+
+SEED = 47
+
+
+def build_log(tmp_path, name="wal"):
+    """An honest run: base load, checkpoint, more writes, commit, die."""
+    cfg = VeriDBConfig(
+        key_seed=SEED, wal_dir=str(tmp_path / name), wal_group_commit=1
+    )
+    db = VeriDB(cfg)
+    db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    for i in range(8):
+        db.sql(f"INSERT INTO t VALUES ({i}, {i * 10})")
+    db.checkpoint()
+    db.sql("INSERT INTO t VALUES (100, 1)")
+    db.sql("INSERT INTO t VALUES (101, 2)")
+    db.wal.commit()
+    db.wal.close()
+    return cfg, tmp_path / name
+
+
+def frames_of(path):
+    """(record, start, end) byte boundaries of every frame in a segment."""
+    data = path.read_bytes()
+    records, stop = parse_segment(data)
+    assert stop == len(data), "tamper helpers need a clean segment"
+    out = []
+    for i, record in enumerate(records):
+        end = records[i + 1].offset if i + 1 < len(records) else stop
+        out.append((record, record.offset, end))
+    return out
+
+
+def refuse(wal_dir, cfg):
+    with pytest.raises(RecoveryIntegrityError) as caught:
+        recover_from_wal(str(wal_dir), cfg)
+    return caught.value
+
+
+def test_untampered_control(tmp_path):
+    cfg, wal_dir = build_log(tmp_path)
+    recovered = recover_from_wal(str(wal_dir), cfg)
+    assert recovered.sql("SELECT COUNT(*) FROM t").rows == [(10,)]
+
+
+def test_truncate_tail_below_anchor_is_refused(tmp_path):
+    """Chopping acknowledged records off the end: the sealed anchor
+    proves how far the log had synced, so this is not a torn tail."""
+    cfg, wal_dir = build_log(tmp_path)
+    last = sorted(wal_dir.glob("wal-*.log"))[-1]
+    data = last.read_bytes()
+    last.write_bytes(data[: len(data) - 7])
+    assert refuse(wal_dir, cfg).reason == "truncated"
+
+
+def test_splice_from_another_run_is_refused(tmp_path):
+    """A frame from a second log under the *same seeded key*: the
+    per-run HEADER nonce makes the chains disjoint, so the transplant
+    breaks the MAC chain even though the key matches."""
+    cfg, wal_dir = build_log(tmp_path, "wal_a")
+    _, other_dir = build_log(tmp_path, "wal_b")
+    seg = sorted(wal_dir.glob("wal-*.log"))[0]
+    other_seg = sorted(other_dir.glob("wal-*.log"))[0]
+    ours, theirs = frames_of(seg), frames_of(other_seg)
+    # transplant the frame at the same position (an INSERT, seq 3)
+    (rec, start, end) = ours[2]
+    (orec, ostart, oend) = theirs[2]
+    assert rec.seq == orec.seq and rec.body == orec.body
+    data = seg.read_bytes()
+    seg.write_bytes(
+        data[:start] + other_seg.read_bytes()[ostart:oend] + data[end:]
+    )
+    assert refuse(wal_dir, cfg).reason == "mac-chain"
+
+
+def test_reordered_records_are_refused(tmp_path):
+    cfg, wal_dir = build_log(tmp_path)
+    seg = sorted(wal_dir.glob("wal-*.log"))[0]
+    frames = frames_of(seg)
+    (_, s3, e3), (_, s4, e4) = frames[3], frames[4]
+    data = seg.read_bytes()
+    seg.write_bytes(data[:s3] + data[s4:e4] + data[s3:e3] + data[e4:])
+    assert refuse(wal_dir, cfg).reason in ("sequence", "mac-chain")
+
+
+def test_single_bit_flip_is_refused(tmp_path):
+    """One hex digit of one logged row changes — still perfectly valid
+    JSON, still a well-formed frame, still refused."""
+    cfg, wal_dir = build_log(tmp_path)
+    seg = sorted(wal_dir.glob("wal-*.log"))[0]
+    target = next(
+        (r, s, e) for (r, s, e) in frames_of(seg) if r.rtype == INSERT
+    )
+    record, start, end = target
+    body = dict(record.body)
+    row = body["row"]
+    flipped = ("0" if row[0] != "0" else "1") + row[1:]
+    body["row"] = flipped
+    new_body = encode_body(body)
+    old_body = encode_body(record.body)
+    assert len(new_body) == len(old_body)
+    data = seg.read_bytes()
+    body_start = start + 13  # [len u32][seq u64][type u8]
+    seg.write_bytes(
+        data[:body_start] + new_body + data[body_start + len(old_body):]
+    )
+    assert refuse(wal_dir, cfg).reason == "mac-chain"
+
+
+def test_stale_checkpoint_swap_is_refused(tmp_path):
+    """Restore a full self-consistent backup (segments + anchor) from
+    before the last checkpoint. Chain and anchor all verify — only the
+    hardware counter, which the adversary cannot roll back, gives the
+    rollback away."""
+    cfg = VeriDBConfig(
+        key_seed=SEED, wal_dir=str(tmp_path / "wal"), wal_group_commit=1
+    )
+    wal_dir = tmp_path / "wal"
+    db = VeriDB(cfg)
+    db.sql("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    db.sql("INSERT INTO t VALUES (1, 10)")
+    db.checkpoint()  # checkpoint 1 — the adversary's backup point
+    backup = tmp_path / "backup"
+    backup.mkdir()
+    for path in list(wal_dir.glob("wal-*.log")) + [wal_dir / ANCHOR_FILE]:
+        shutil.copy2(path, backup / path.name)
+    db.sql("INSERT INTO t VALUES (2, 20)")
+    db.sql("UPDATE t SET v = 999 WHERE id = 1")
+    db.checkpoint()  # checkpoint 2 bumps the hardware counter
+    db.wal.close()
+    # the rollback: replace log + anchor with the backup, leave NVCOUNTER
+    for path in wal_dir.glob("wal-*.log"):
+        path.unlink()
+    for path in backup.iterdir():
+        shutil.copy2(path, wal_dir / path.name)
+    refusal = refuse(wal_dir, cfg)
+    assert refusal.reason == "stale-checkpoint"
+    assert "rolled back" in str(refusal)
+
+
+def test_tampered_anchor_is_refused(tmp_path):
+    cfg, wal_dir = build_log(tmp_path)
+    anchor = wal_dir / ANCHOR_FILE
+    blob = bytearray(anchor.read_bytes())
+    blob[len(blob) // 2] ^= 0x01
+    anchor.write_bytes(bytes(blob))
+    assert refuse(wal_dir, cfg).reason == "unsealable"
+
+
+def test_deleted_anchor_is_refused(tmp_path):
+    """Deleting the anchor does not soften recovery into best-effort."""
+    cfg, wal_dir = build_log(tmp_path)
+    (wal_dir / ANCHOR_FILE).unlink()
+    assert refuse(wal_dir, cfg).reason == "anchor-missing"
+
+
+def test_refusal_is_typed_and_never_partial(tmp_path):
+    """A refused recovery yields no database object at all, and the
+    evidence on disk is untouched for audit."""
+    cfg, wal_dir = build_log(tmp_path)
+    last = sorted(wal_dir.glob("wal-*.log"))[-1]
+    before = last.read_bytes()
+    last.write_bytes(before[:-5])
+    snapshot = {p.name: p.read_bytes() for p in sorted(wal_dir.iterdir())}
+    with pytest.raises(RecoveryIntegrityError):
+        recover_from_wal(str(wal_dir), cfg)
+    after = {p.name: p.read_bytes() for p in sorted(wal_dir.iterdir())}
+    assert after == snapshot
