@@ -40,6 +40,11 @@ class Catalog:
         self._tables: dict[str, TableInfo] = {}
         self._lock = threading.Lock()
         self.wal = None
+        #: monotonic DDL counter. Every register/drop bumps it; the plan
+        #: cache stamps each entry with the version it was planned under
+        #: and discards entries whose version no longer matches, so a
+        #: cached plan can never run against a changed schema.
+        self.schema_version = 0
 
     def register(self, info: TableInfo) -> None:
         with self._lock:
@@ -47,6 +52,7 @@ class Catalog:
             if key in self._tables:
                 raise CatalogError(f"table {info.name!r} already exists")
             self._tables[key] = info
+            self.schema_version += 1
             if self.wal is not None:
                 self.wal.append_ddl_create(info.name, info.schema)
                 info.store.wal = self.wal
@@ -54,6 +60,8 @@ class Catalog:
     def drop(self, name: str) -> TableInfo:
         with self._lock:
             info = self._tables.pop(name.lower(), None)
+            if info is not None:
+                self.schema_version += 1
             if info is not None and self.wal is not None:
                 self.wal.append_ddl_drop(info.name)
                 info.store.wal = None

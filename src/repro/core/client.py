@@ -176,8 +176,17 @@ class VeriDBClient:
             return self._seen_sequence_numbers.to_bytes()
 
     # ------------------------------------------------------------------
-    def execute(self, sql: str, join_hint: Optional[str] = None) -> ClientResult:
+    def execute(
+        self,
+        sql: str,
+        join_hint: Optional[str] = None,
+        params: Optional[tuple] = None,
+    ) -> ClientResult:
         """Run a query end to end with full verification.
+
+        ``params`` binds the statement's ``?`` placeholders in order;
+        the values are authenticated inside the query MAC together with
+        the SQL text, so the host can substitute neither.
 
         Raises :class:`~repro.errors.ResponseLost` when the query
         executed inside the enclave but its endorsed response was lost
@@ -186,11 +195,17 @@ class VeriDBClient:
         from by calling :meth:`execute` again (a fresh qid); see the
         exception's docstring for why the audit state stays sound.
         """
+        from repro.storage.record import RecordCodec
+
         qid = self._fresh_qid()
-        mac = self._mac.tag(qid, sql.encode("utf-8"))
+        mac_parts = [qid, sql.encode("utf-8")]
+        if params is not None:
+            params = tuple(params)
+            mac_parts.append(RecordCodec().encode(params))
+        mac = self._mac.tag(*mac_parts)
         query = AuthenticatedQuery(
             qid=qid, sql=sql, mac=mac, join_hint=join_hint,
-            tenant=self.tenant,
+            tenant=self.tenant, params=params,
         )
         # Resubmit the *same* authenticated query on transient faults:
         # the portal records a qid only after success, so the retry is

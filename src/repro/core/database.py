@@ -143,9 +143,29 @@ class VeriDB:
     # ------------------------------------------------------------------
     # server-side conveniences (trusted administration path)
     # ------------------------------------------------------------------
-    def sql(self, statement: str, join_hint: Optional[str] = None) -> ExecutionResult:
-        """Execute SQL directly (admin/benchmark path, skips the portal)."""
-        return self.engine.execute(statement, join_hint=join_hint)
+    def sql(
+        self,
+        statement: str,
+        join_hint: Optional[str] = None,
+        params: Optional[tuple] = None,
+    ) -> ExecutionResult:
+        """Execute SQL directly (admin/benchmark path, skips the portal).
+
+        ``params`` binds the statement's ``?`` placeholders in order.
+        """
+        return self.engine.execute(
+            statement, join_hint=join_hint, params=params
+        )
+
+    def prepare(self, statement: str, join_hint: Optional[str] = None):
+        """Parse and plan a statement once; execute it many times.
+
+        Returns a :class:`~repro.sql.executor.PreparedStatement`;
+        repeated executions (and repeated ``prepare`` calls for the
+        same statement shape) are served from the engine's
+        schema-versioned plan cache.
+        """
+        return self.engine.prepare(statement, join_hint)
 
     def explain_analyze(self, statement: str, join_hint: Optional[str] = None):
         """Execute ``statement`` under a trace and annotate its plan.

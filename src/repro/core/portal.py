@@ -61,6 +61,11 @@ class AuthenticatedQuery:
     multi-tenant deployment (see :meth:`QueryPortal.register_tenant_key`);
     None means the portal's default key — the single-client layout of
     Figure 2.
+
+    ``params`` binds the statement's ``?`` placeholders in order. When
+    present, the values are covered by the query MAC (canonically
+    encoded with the storage record codec), so a compromised host can
+    no more substitute a parameter than it can rewrite the SQL text.
     """
 
     qid: bytes
@@ -68,6 +73,7 @@ class AuthenticatedQuery:
     mac: bytes
     join_hint: Optional[str] = None
     tenant: Optional[str] = None
+    params: Optional[tuple] = None
 
 
 #: appended to the endorsement MAC of results produced while the
@@ -330,9 +336,13 @@ class QueryPortal:
             raise
         mac = self._authenticator(query.tenant)
         with self.obs.span("portal.auth_seconds"):
-            authentic = mac.verify(
-                query.mac, query.qid, query.sql.encode("utf-8")
-            )
+            auth_parts = [query.qid, query.sql.encode("utf-8")]
+            if query.params is not None:
+                # parameter values are authenticated alongside the SQL;
+                # param-less queries keep the original two-part MAC so
+                # existing clients stay compatible
+                auth_parts.append(RecordCodec().encode(tuple(query.params)))
+            authentic = mac.verify(query.mac, *auth_parts)
         if not authentic:
             self._ctr_auth_failures.inc()
             raise AuthenticationError(
@@ -357,10 +367,13 @@ class QueryPortal:
                 # errors, ECall aborts) are retried within this submit;
                 # each attempt starts before any table mutation, so a
                 # retried execution is a clean re-run, not a partial one.
+                # params is passed only when bound, so engine doubles
+                # (test fakes, wrappers) without the kwarg keep working
+                execute_kwargs = {"join_hint": query.join_hint}
+                if query.params is not None:
+                    execute_kwargs["params"] = query.params
                 run = lambda: self._retry_policy.call(
-                    lambda: self._engine.execute(
-                        query.sql, join_hint=query.join_hint
-                    ),
+                    lambda: self._engine.execute(query.sql, **execute_kwargs),
                     on_retry=lambda _attempt, _err: (
                         self._ctr_execute_retries.inc()
                     ),

@@ -22,6 +22,16 @@ class Literal(Expr):
 
 
 @dataclass(frozen=True)
+class Parameter(Expr):
+    """A ``?`` placeholder, bound positionally at execution time."""
+
+    index: int  # 0-based ordinal of the ? in the statement
+
+    def __repr__(self):
+        return f"?{self.index + 1}"
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expr):
     name: str
     qualifier: Optional[str] = None  # table name or alias

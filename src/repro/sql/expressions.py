@@ -15,6 +15,7 @@ import re
 from typing import Any, Callable, Optional
 
 from repro.errors import PlanningError
+from repro.sql import params as _params
 from repro.sql.ast_nodes import (
     Aggregate,
     Between,
@@ -28,6 +29,7 @@ from repro.sql.ast_nodes import (
     IsNull,
     Like,
     Literal,
+    Parameter,
     ScalarSubquery,
     UnaryOp,
 )
@@ -148,6 +150,9 @@ def compile_expr(expr: Expr, schema: RowSchema) -> RowFn:
     if isinstance(expr, Literal):
         value = expr.value
         return lambda row: value
+    if isinstance(expr, Parameter):
+        index = expr.index
+        return lambda row: _params.resolve(index)
     if isinstance(expr, ColumnRef):
         position = schema.resolve(expr)
         return lambda row: row[position]
@@ -255,75 +260,112 @@ def compile_predicate(expr: Expr, schema: RowSchema) -> Callable[[tuple], bool]:
 
 
 # ----------------------------------------------------------------------
-# vectorized compilation (batch execution)
+# vectorized compilation (columnar batch execution)
 # ----------------------------------------------------------------------
-BatchFn = Callable[[list], list]
+#: a batch evaluator: ColumnBatch → list of one value per row
+BatchFn = Callable[[Any], list]
 
 
 def compile_expr_batch(expr: Expr, schema: RowSchema) -> BatchFn:
-    """Compile an expression to a rows → values closure over a batch.
+    """Compile an expression to a batch → values closure.
 
-    The batch evaluators apply the *same* scalar three-valued helpers
-    element-wise, so NULL semantics are bit-identical to
-    :func:`compile_expr`; the win is one closure dispatch per batch per
+    Evaluators are *column-at-a-time*: a column reference returns the
+    batch's column list without copying (derived lazily for row-backed
+    batches, so only referenced columns are ever materialized), and
+    every combinator maps the scalar three-valued helpers over whole
+    column lists — NULL semantics are bit-identical to
+    :func:`compile_expr`, the win is one closure dispatch per batch per
     node instead of one per row per node. Anything without a vectorized
-    form falls back to mapping the scalar closure over the batch.
+    form falls back to mapping the scalar closure over the batch's rows.
     """
     if isinstance(expr, Literal):
         value = expr.value
-        return lambda rows: [value] * len(rows)
+        return lambda batch: [value] * batch.length
+    if isinstance(expr, Parameter):
+        index = expr.index
+        return lambda batch: [_params.resolve(index)] * batch.length
     if isinstance(expr, ColumnRef):
         position = schema.resolve(expr)
-        return lambda rows: [row[position] for row in rows]
+        return lambda batch: batch.column(position)
     if isinstance(expr, BinaryOp):
         lf = compile_expr_batch(expr.left, schema)
         rf = compile_expr_batch(expr.right, schema)
         if expr.op == "AND":
-            return lambda rows: [_and3(a, b) for a, b in zip(lf(rows), rf(rows))]
+            return lambda batch: [
+                _and3(a, b) for a, b in zip(lf(batch), rf(batch))
+            ]
         if expr.op == "OR":
-            return lambda rows: [_or3(a, b) for a, b in zip(lf(rows), rf(rows))]
+            return lambda batch: [
+                _or3(a, b) for a, b in zip(lf(batch), rf(batch))
+            ]
         if expr.op == "/":
-            return lambda rows: [_divide(a, b) for a, b in zip(lf(rows), rf(rows))]
+            return lambda batch: [
+                _divide(a, b) for a, b in zip(lf(batch), rf(batch))
+            ]
         fn = _ARITH.get(expr.op) or _COMPARE.get(expr.op)
         if fn is None:
             raise PlanningError(f"unsupported operator {expr.op!r}")
-        return lambda rows: [fn(a, b) for a, b in zip(lf(rows), rf(rows))]
+        return lambda batch: [fn(a, b) for a, b in zip(lf(batch), rf(batch))]
     if isinstance(expr, UnaryOp):
         inner = compile_expr_batch(expr.operand, schema)
         if expr.op == "NOT":
-            return lambda rows: [_not3(v) for v in inner(rows)]
+            return lambda batch: [_not3(v) for v in inner(batch)]
         if expr.op == "NEG":
-            return lambda rows: [None if v is None else -v for v in inner(rows)]
+            return lambda batch: [None if v is None else -v for v in inner(batch)]
         raise PlanningError(f"unsupported unary operator {expr.op!r}")
     if isinstance(expr, IsNull):
+        if isinstance(expr.operand, ColumnRef):
+            # read the column's validity bitmap instead of testing cells
+            position = schema.resolve(expr.operand)
+            if expr.negated:
+                return lambda batch: _validity_mask(batch, position, True)
+            return lambda batch: _validity_mask(batch, position, False)
         inner = compile_expr_batch(expr.operand, schema)
         if expr.negated:
-            return lambda rows: [v is not None for v in inner(rows)]
-        return lambda rows: [v is None for v in inner(rows)]
+            return lambda batch: [v is not None for v in inner(batch)]
+        return lambda batch: [v is None for v in inner(batch)]
     if isinstance(expr, Between):
         inner = compile_expr_batch(expr.operand, schema)
         low = compile_expr_batch(expr.low, schema)
         high = compile_expr_batch(expr.high, schema)
         negated = expr.negated
 
-        def evaluate_between_batch(rows):
+        def evaluate_between_batch(batch):
             return [
                 None
                 if value is None or lo is None or hi is None
                 else ((not (lo <= value <= hi)) if negated else lo <= value <= hi)
-                for value, lo, hi in zip(inner(rows), low(rows), high(rows))
+                for value, lo, hi in zip(inner(batch), low(batch), high(batch))
             ]
 
         return evaluate_between_batch
+    if isinstance(expr, Like):
+        inner = compile_expr_batch(expr.operand, schema)
+        regex_match = like_to_regex(expr.pattern).match
+        negated = expr.negated
+
+        def evaluate_like_batch(batch):
+            return [
+                None
+                if value is None
+                else (
+                    (regex_match(value) is None)
+                    if negated
+                    else (regex_match(value) is not None)
+                )
+                for value in inner(batch)
+            ]
+
+        return evaluate_like_batch
     if isinstance(expr, InSet):
         inner = compile_expr_batch(expr.operand, schema)
         values = expr.values
         had_null = expr.had_null
         negated = expr.negated
 
-        def evaluate_in_set_batch(rows):
+        def evaluate_in_set_batch(batch):
             out = []
-            for value in inner(rows):
+            for value in inner(batch):
                 if value is None:
                     out.append(None)
                     continue
@@ -335,17 +377,23 @@ def compile_expr_batch(expr: Expr, schema: RowSchema) -> BatchFn:
             return out
 
         return evaluate_in_set_batch
-    # InList/Like/anything else: scalar closure mapped over the batch
+    # InList/anything else: scalar closure mapped over the batch's rows
     row_fn = compile_expr(expr, schema)
-    return lambda rows: [row_fn(row) for row in rows]
+    return lambda batch: [row_fn(row) for row in batch.rows]
 
 
-def compile_predicate_batch(
-    expr: Expr, schema: RowSchema
-) -> Callable[[list], list]:
+def _validity_mask(batch, position: int, negated: bool) -> list:
+    """IS [NOT] NULL of one column, decoded from its validity bitmap."""
+    bits = batch.validity(position)
+    if negated:  # IS NOT NULL: bit set ⇒ non-NULL ⇒ True
+        return [bool(bits >> j & 1) for j in range(batch.length)]
+    return [not (bits >> j & 1) for j in range(batch.length)]
+
+
+def compile_predicate_batch(expr: Expr, schema: RowSchema) -> BatchFn:
     """Batch predicate: a keep-mask where NULL counts as not-satisfied."""
     fn = compile_expr_batch(expr, schema)
-    return lambda rows: [value is True for value in fn(rows)]
+    return lambda batch: [value is True for value in fn(batch)]
 
 
 # ----------------------------------------------------------------------

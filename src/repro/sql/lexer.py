@@ -18,7 +18,7 @@ KEYWORDS = {
 
 _PUNCT = {
     "<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+", "-",
-    "/", "%", ".", ";",
+    "/", "%", ".", ";", "?",
 }
 
 

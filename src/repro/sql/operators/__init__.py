@@ -12,6 +12,7 @@ from repro.sql.operators.aggregate import HashAggregateOp
 from repro.sql.operators.base import PhysicalOp
 from repro.sql.operators.distinct import DistinctOp
 from repro.sql.operators.filter import FilterOp
+from repro.sql.operators.fused import FusedScanFilterProjectOp
 from repro.sql.operators.join import (
     HashJoinOp,
     IndexNestedLoopJoinOp,
@@ -26,6 +27,7 @@ from repro.sql.operators.sort import SortOp, TopNOp
 __all__ = [
     "DistinctOp",
     "FilterOp",
+    "FusedScanFilterProjectOp",
     "HashAggregateOp",
     "HashJoinOp",
     "IndexNestedLoopJoinOp",

@@ -105,12 +105,13 @@ class HashAggregateOp(PhysicalOp):
         groups: dict[tuple, list[_AggState]] = {}
         order: list[tuple] = []
         for batch in self.children[0].timed_batches():
-            rows = batch.rows
-            key_columns = [fn(rows) for fn in self._group_batch_fns]
+            # column-at-a-time: group keys and aggregate arguments are
+            # evaluated as whole columns, then accumulated row-wise
+            key_columns = [fn(batch) for fn in self._group_batch_fns]
             arg_columns = [
-                None if fn is None else fn(rows) for fn in self._arg_batch_fns
+                None if fn is None else fn(batch) for fn in self._arg_batch_fns
             ]
-            for i in range(len(rows)):
+            for i in range(len(batch)):
                 key = tuple(column[i] for column in key_columns)
                 states = groups.get(key)
                 if states is None:

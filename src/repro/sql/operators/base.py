@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import itertools
 from typing import Iterator
 
@@ -151,6 +152,24 @@ class PhysicalOp:
             yield from batch.rows
 
     # ------------------------------------------------------------------
+    def fresh(self) -> "PhysicalOp":
+        """A pristine executable clone of this plan subtree.
+
+        Plan-cache templates are shared across executions and threads;
+        each execution runs a fresh clone so per-run statistics
+        (``total_seconds``, ``rows_out``…) never race and the template
+        stays untouched for EXPLAIN. Compiled expression closures and
+        table handles are immutable at execution time and are shared,
+        so cloning is a shallow copy per node plus a stats reset.
+        """
+        clone = copy.copy(self)
+        clone.children = [child.fresh() for child in self.children]
+        clone.total_seconds = 0.0
+        clone.rows_out = 0
+        clone.batches_out = 0
+        clone.internal_scan_seconds = 0.0
+        return clone
+
     @property
     def self_seconds(self) -> float:
         children_total = sum(c.total_seconds for c in self.children)

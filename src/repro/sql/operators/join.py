@@ -79,13 +79,16 @@ class NestedLoopJoinOp(_JoinBase):
         buffer = None
         if self.spill is not None:
             buffer = self.spill.buffer("nl-inner")
-            buffer.extend(self.children[1].timed_rows())
+            # the spill boundary is row-major: each columnar batch
+            # materializes its row tuples exactly once, here
+            for inner_batch in self.children[1].timed_batches():
+                buffer.extend(inner_batch.to_rows())
             inner = buffer
         else:
             inner = [
                 row
                 for batch in self.children[1].timed_batches()
-                for row in batch.rows
+                for row in batch.to_rows()
             ]
         try:
             out: list[tuple] = []

@@ -20,14 +20,14 @@ class LimitOp(PhysicalOp):
         if self.limit <= 0:
             return
         remaining = self.limit
-        ordering = tuple(self.ordering)
         for batch in self.children[0].timed_batches():
-            rows = batch.rows
-            if len(rows) >= remaining:
-                yield RowBatch(rows[:remaining], ordering)
+            if len(batch) >= remaining:
+                # slice in the batch's authoritative representation — a
+                # column-backed prefix never transposes to rows here
+                yield batch.slice(remaining)
                 return
-            remaining -= len(rows)
-            yield RowBatch(rows, ordering)
+            remaining -= len(batch)
+            yield batch
 
     def describe(self) -> str:
         return f"Limit({self.limit})"

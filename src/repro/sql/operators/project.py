@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Iterator, Optional
 
 from repro.sql.ast_nodes import Expr
-from repro.sql.batch import RowBatch
+from repro.sql.batch import ColumnBatch
 from repro.sql.expressions import RowSchema, compile_expr, compile_expr_batch
 from repro.sql.operators.base import PhysicalOp
 
@@ -13,9 +13,11 @@ from repro.sql.operators.base import PhysicalOp
 class ProjectOp(PhysicalOp):
     """Compute output columns from each input row.
 
-    Vectorized: each output expression is evaluated over the whole
-    input batch, producing one column list; the columns are then zipped
-    back into row tuples (the engine's batches stay row-major).
+    Columnar: each output expression is evaluated over the whole input
+    batch, producing one column list; the columns *stay* columnar — the
+    emitted batch is column-backed, and row tuples are materialized only
+    once at a row-major boundary (executor result assembly, spill, a
+    row-wise consumer such as a join build side).
     """
 
     def __init__(
@@ -35,14 +37,13 @@ class ProjectOp(PhysicalOp):
         self._fns = [compile_expr(e, child.output) for e in exprs]
         self._batch_fns = [compile_expr_batch(e, child.output) for e in exprs]
 
-    def batches(self) -> Iterator[RowBatch]:
+    def batches(self) -> Iterator[ColumnBatch]:
         fns = self._batch_fns
         for batch in self.children[0].timed_batches():
             if not fns:
-                yield RowBatch([()] * len(batch))
+                yield ColumnBatch([], len(batch))
                 continue
-            columns = [fn(batch.rows) for fn in fns]
-            yield RowBatch(list(zip(*columns)))
+            yield ColumnBatch([fn(batch) for fn in fns], len(batch))
 
     def describe(self) -> str:
         return f"Project({', '.join(self.output.names)})"

@@ -13,6 +13,7 @@ from typing import Any, Iterator
 from repro.sql.batch import RowBatch, batched
 from repro.sql.expressions import RowSchema
 from repro.sql.operators.base import PhysicalOp
+from repro.sql.params import ParamMarker, resolve_maybe
 
 
 def table_schema(table, binding: str) -> RowSchema:
@@ -69,10 +70,18 @@ class RangeScanOp(PhysicalOp):
             self.ordering.append((binding, table.schema.primary_key, True))
 
     def batches(self) -> Iterator[RowBatch]:
+        # parameterized bounds resolve inside the execution's binding
+        # scope; a NULL parameter can match nothing (SQL comparison
+        # semantics), so the scan short-circuits to empty
+        lo, hi = resolve_maybe(self.lo), resolve_maybe(self.hi)
+        if (lo is None and isinstance(self.lo, ParamMarker)) or (
+            hi is None and isinstance(self.hi, ParamMarker)
+        ):
+            return iter(())
         rows = self.table.scan(
             self.column,
-            self.lo,
-            self.hi,
+            lo,
+            hi,
             self.include_lo,
             self.include_hi,
             batch_size=self.batch_size,
@@ -100,7 +109,13 @@ class PointLookupOp(PhysicalOp):
         self.key = key
 
     def batches(self) -> Iterator[RowBatch]:
-        row, _proof = self.table.get(self.key)
+        key = resolve_maybe(self.key)
+        if key is None:
+            # either a NULL-bound parameter or a literal NULL key:
+            # `pk = NULL` matches no row, and the verified get() path
+            # must never be asked to prove a NULL key
+            return
+        row, _proof = self.table.get(key)
         if row is not None:
             yield RowBatch([row])
 

@@ -27,6 +27,7 @@ from repro.sql.ast_nodes import (
     Like,
     Literal,
     OrderItem,
+    Parameter,
     Rollback,
     ScalarSubquery,
     Select,
@@ -44,17 +45,24 @@ _COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
 
 def parse_statement(sql: str) -> Statement:
     """Parse one SQL statement (a trailing semicolon is allowed)."""
+    return parse_statement_with_params(sql)[0]
+
+
+def parse_statement_with_params(sql: str) -> tuple[Statement, int]:
+    """Parse one statement and report how many ``?`` placeholders it has."""
     parser = _Parser(tokenize(sql))
     stmt = parser.statement()
     parser.accept_punct(";")
     parser.expect_eof()
-    return stmt
+    return stmt, parser.param_count
 
 
 class _Parser:
     def __init__(self, tokens: list[Token]):
         self._tokens = tokens
         self._pos = 0
+        #: ``?`` placeholders seen so far; doubles as the next ordinal
+        self.param_count = 0
 
     # ------------------------------------------------------------------
     # token helpers
@@ -454,6 +462,10 @@ class _Parser:
         if token.kind == "STRING":
             self._advance()
             return Literal(token.value)
+        if self.accept_punct("?"):
+            index = self.param_count
+            self.param_count += 1
+            return Parameter(index)
         if self.accept_keyword("NULL"):
             return Literal(None)
         if self.accept_keyword("TRUE"):

@@ -38,6 +38,7 @@ from repro.sql.ast_nodes import (
     Like,
     Literal,
     OrderItem,
+    Parameter,
     ScalarSubquery,
     Select,
     UnaryOp,
@@ -51,6 +52,7 @@ from repro.sql.expressions import (
 from repro.sql.operators import (
     DistinctOp,
     FilterOp,
+    FusedScanFilterProjectOp,
     HashAggregateOp,
     HashJoinOp,
     IndexNestedLoopJoinOp,
@@ -65,6 +67,7 @@ from repro.sql.operators import (
     SortOp,
     TopNOp,
 )
+from repro.sql.params import ParamMarker
 
 JOIN_HINTS = ("merge", "nested_loop", "hash", "index_nl")
 
@@ -82,6 +85,10 @@ class _Constraint:
     column: str
     op: str  # = < <= > >=
     value: Any
+    #: ordinal of the ``?`` placeholder when the comparison value is a
+    #: statement parameter (value is then a ParamMarker resolved by the
+    #: scan at execution time); None for literal constraints
+    param: Optional[int] = None
 
 
 class Planner:
@@ -206,7 +213,48 @@ class Planner:
 
         plan, agg_output_map = self._plan_aggregation(plan, stmt)
         plan = self._plan_projection_order_limit(plan, stmt, agg_output_map)
+        plan = self._fuse_pipelines(plan)
         return self._stamp(plan)
+
+    # ------------------------------------------------------------------
+    # pipeline fusion (single-pass columnar scan→filter→project)
+    # ------------------------------------------------------------------
+    def _fuse_pipelines(self, plan: PhysicalOp) -> PhysicalOp:
+        """Collapse Project/Filter chains over a base-table scan.
+
+        ``Project(Filter*(scan))``, ``Filter+(scan)`` and
+        ``Project(scan)`` — where the scan is a SeqScan or RangeScan —
+        become one :class:`FusedScanFilterProjectOp` that filters and
+        projects each scan batch in a single columnar pass. The scan
+        itself stays a child node (verified reads and Figure-12 scan
+        attribution are unchanged); point lookups return at most one
+        row, so fusing over them buys nothing and they are left alone.
+        The rewrite runs after all order/limit decisions, so the
+        interesting-order bookkeeping those decisions used is already
+        settled.
+        """
+        exprs = names = qualifiers = None
+        node = plan
+        if isinstance(plan, ProjectOp):
+            exprs = plan.exprs
+            qualifiers = [q for q, _ in plan.output.bindings]
+            names = [n for _, n in plan.output.bindings]
+            node = plan.children[0]
+        predicates: list[Expr] = []
+        while isinstance(node, FilterOp):
+            predicates.append(node.predicate)
+            node = node.children[0]
+        if isinstance(node, (SeqScanOp, RangeScanOp)) and (
+            predicates or exprs is not None
+        ):
+            predicates.reverse()
+            return FusedScanFilterProjectOp(
+                node, predicates, exprs, names, qualifiers
+            )
+        plan.children = [
+            self._fuse_pipelines(child) for child in plan.children
+        ]
+        return plan
 
     # ------------------------------------------------------------------
     # uncorrelated subqueries (resolved at plan time)
@@ -392,11 +440,18 @@ class Planner:
                         table, binding.name, column, equality, equality
                     )
             else:
-                # bounds combine exactly: the tightest of each side wins
+                # bounds combine exactly: the tightest of each side wins.
+                # Parameter bounds have no plan-time value to compare
+                # against, so they are never merged — they stay residual
+                # filters (rebuilt with their ``?`` below), keeping one
+                # cached template correct for every binding.
                 lo, hi = None, None
                 include_lo = include_hi = True
+                used = set()
                 for i in indexes:
                     con = constraints[i]
+                    if con.param is not None:
+                        continue
                     if con.op in (">", ">="):
                         candidate = (con.value, con.op == ">=")
                         if lo is None or (candidate[0], not candidate[1]) > (
@@ -404,6 +459,7 @@ class Planner:
                             not include_lo,
                         ):
                             lo, include_lo = candidate
+                        used.add(i)
                     elif con.op in ("<", "<="):
                         candidate = (con.value, con.op == "<=")
                         if hi is None or (candidate[0], candidate[1]) < (
@@ -411,19 +467,24 @@ class Planner:
                             include_hi,
                         ):
                             hi, include_hi = candidate
+                        used.add(i)
                 plan = RangeScanOp(
                     table, binding.name, column, lo, hi, include_lo, include_hi
                 )
-                used = set(indexes)
         # constraints on other columns stay as ordinary filters
         for i, constraint in enumerate(constraints):
             if i in used:
                 continue
+            value_expr: Expr = (
+                Parameter(constraint.param)
+                if constraint.param is not None
+                else Literal(constraint.value)
+            )
             residual.append(
                 BinaryOp(
                     constraint.op,
                     ColumnRef(constraint.column, binding.name),
-                    Literal(constraint.value),
+                    value_expr,
                 )
             )
         for conjunct in residual:
@@ -432,21 +493,28 @@ class Planner:
 
     @staticmethod
     def _sargable(expr: Expr, schema) -> list[_Constraint]:
-        """Extract index-usable constraints from one conjunct, if any."""
+        """Extract index-usable constraints from one conjunct, if any.
 
-        def as_col_lit(e: Expr):
-            if (
-                isinstance(e, BinaryOp)
-                and isinstance(e.left, ColumnRef)
-                and isinstance(e.right, Literal)
-            ):
-                return e.op, e.left, e.right.value
-            if (
-                isinstance(e, BinaryOp)
-                and isinstance(e.right, ColumnRef)
-                and isinstance(e.left, Literal)
-            ):
-                return _FLIP.get(e.op), e.right, e.left.value
+        Comparison values may be literals or ``?`` parameters: a
+        parameter constraint carries a :class:`ParamMarker` that the
+        scan operator resolves against the bound values at execution
+        time, so one cached plan template serves every binding.
+        """
+
+        def as_col_val(e: Expr):
+            """(op, column, value, param_index) for col-vs-value, else None."""
+            if isinstance(e, BinaryOp) and isinstance(e.left, ColumnRef):
+                if isinstance(e.right, Literal):
+                    return e.op, e.left, e.right.value, None
+                if isinstance(e.right, Parameter):
+                    index = e.right.index
+                    return e.op, e.left, ParamMarker(index), index
+            if isinstance(e, BinaryOp) and isinstance(e.right, ColumnRef):
+                if isinstance(e.left, Literal):
+                    return _FLIP.get(e.op), e.right, e.left.value, None
+                if isinstance(e.left, Parameter):
+                    index = e.left.index
+                    return _FLIP.get(e.op), e.right, ParamMarker(index), index
             return None
 
         if isinstance(expr, Between) and not expr.negated:
@@ -461,13 +529,16 @@ class Planner:
                     _Constraint(expr.operand.name, "<=", expr.high.value),
                 ]
             return []
-        simple = as_col_lit(expr)
+        simple = as_col_val(expr)
         if simple is None:
             return []
-        op, col, value = simple
-        if op in ("=", "<", "<=", ">", ">=") and value is not None:
-            if schema.chain_id(col.name) is not None:
-                return [_Constraint(col.name, op, value)]
+        op, col, value, param = simple
+        if op not in ("=", "<", "<=", ">", ">="):
+            return []
+        if param is None and value is None:
+            return []  # literal NULL comparisons never match
+        if schema.chain_id(col.name) is not None:
+            return [_Constraint(col.name, op, value, param)]
         return []
 
     @staticmethod
@@ -780,7 +851,8 @@ class Planner:
         conjuncts = split_conjuncts(where)
         for conjunct in conjuncts:
             self._bindings_of(conjunct, [binding])  # validates columns
-        return self._stamp(self._access_path(binding, conjuncts))
+        plan = self._fuse_pipelines(self._access_path(binding, conjuncts))
+        return self._stamp(plan)
 
 
 def _and_all(conjuncts: list[Expr]) -> Optional[Expr]:

@@ -46,8 +46,8 @@ from repro.sql.ast_nodes import (
     Statement,
     Update,
 )
-from repro.sql.executor import ExecutionResult, QueryEngine
-from repro.sql.parser import parse_statement
+from repro.sql.executor import ExecutionResult, PreparedStatement, QueryEngine
+from repro.sql.plan_cache import CacheEntry
 
 
 class TxnLockRegistry:
@@ -109,9 +109,47 @@ class Session:
         return self._active
 
     def execute(
-        self, sql: str | Statement, join_hint: Optional[str] = None
+        self,
+        sql: str | Statement,
+        join_hint: Optional[str] = None,
+        params: Optional[tuple] = None,
     ) -> ExecutionResult:
-        stmt = parse_statement(sql) if isinstance(sql, str) else sql
+        # statement text resolves through the engine's plan cache — the
+        # session reads the statement type for transaction control /
+        # locking off the cached entry, so repeated shapes skip parsing
+        entry: Optional[CacheEntry] = None
+        if isinstance(sql, str):
+            entry = self.engine.statement_entry(sql, join_hint)
+            stmt = entry.stmt
+        else:
+            stmt = sql
+        return self._run(entry, stmt, join_hint, params)
+
+    def prepare(
+        self, sql: str, join_hint: Optional[str] = None
+    ) -> PreparedStatement:
+        """Prepare a statement whose executions run through this session.
+
+        Executions take the session's transaction locks exactly like
+        :meth:`execute`, so a prepared DML inside a BEGIN participates
+        in the undo log.
+        """
+        return PreparedStatement(
+            self.engine,
+            sql,
+            join_hint,
+            executor=lambda entry, values: self._run(
+                entry, entry.stmt, join_hint, values
+            ),
+        )
+
+    def _run(
+        self,
+        entry: Optional[CacheEntry],
+        stmt: Statement,
+        join_hint: Optional[str],
+        params: Optional[tuple],
+    ) -> ExecutionResult:
         if isinstance(stmt, Begin):
             return self._begin()
         if isinstance(stmt, Commit):
@@ -119,7 +157,7 @@ class Session:
         if isinstance(stmt, Rollback):
             return self._rollback()
         if not self._active:
-            result = self.engine.execute(stmt, join_hint=join_hint)
+            result = self._execute(entry, stmt, join_hint, None, params)
             if isinstance(stmt, DropTable):
                 # the dropped table's transaction lock would otherwise
                 # live in the registry forever (DDL-churn leak)
@@ -129,9 +167,7 @@ class Session:
             raise TransactionError("DDL is not allowed inside a transaction")
         self._lock_tables(tables_touched(stmt))
         try:
-            return self.engine.execute(
-                stmt, join_hint=join_hint, undo=self._undo
-            )
+            return self._execute(entry, stmt, join_hint, self._undo, params)
         except Exception as exc:
             # a failed statement may have applied part of its rows;
             # abort the whole transaction so the state stays clean
@@ -139,6 +175,25 @@ class Session:
             raise TransactionAborted(
                 f"transaction aborted by statement failure: {exc}"
             ) from exc
+
+    def _execute(
+        self,
+        entry: Optional[CacheEntry],
+        stmt: Statement,
+        join_hint: Optional[str],
+        undo: Optional[list],
+        params: Optional[tuple],
+    ) -> ExecutionResult:
+        if entry is not None:
+            return self.engine.execute_prepared(
+                entry,
+                () if params is None else tuple(params),
+                join_hint=join_hint,
+                undo=undo,
+            )
+        return self.engine.execute(
+            stmt, join_hint=join_hint, undo=undo, params=params
+        )
 
     # ------------------------------------------------------------------
     def _begin(self) -> ExecutionResult:

@@ -20,6 +20,16 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 
+#: the single source of truth for the engine's batch size. Both
+#: ``StorageConfig.batch_size`` (planner-stamped plans) and
+#: ``repro.sql.batch.DEFAULT_BATCH_SIZE`` (directly-constructed
+#: operators) derive from this constant, so the two can never drift.
+DEFAULT_BATCH_SIZE = 256
+
+#: default capacity of the engine's plan cache (distinct statement
+#: shapes retained); see ``StorageConfig.plan_cache_size``
+DEFAULT_PLAN_CACHE_SIZE = 128
+
 
 @dataclass
 class StorageConfig:
@@ -42,7 +52,12 @@ class StorageConfig:
     #: operator tree, and cells per batched verified read beneath it.
     #: 1 degenerates to the original row-at-a-time execution; the
     #: default is the winner of ``benchmarks/test_ablation_batch_size``
-    batch_size: int = 256
+    batch_size: int = DEFAULT_BATCH_SIZE
+    #: statement shapes kept in the engine's bounded LRU plan cache
+    #: (normalized SQL + join hint → parsed statement and, for cacheable
+    #: statements, a physical plan template validated against the
+    #: catalog's schema version). 0 disables plan caching entirely.
+    plan_cache_size: int = DEFAULT_PLAN_CACHE_SIZE
     #: bytes of trusted in-enclave record cache
     #: (:class:`~repro.memory.cache.RecordCache`); 0 disables caching.
     #: Residency is accounted against the EPC, so budgets beyond the
@@ -70,6 +85,8 @@ class StorageConfig:
             raise ConfigurationError("spill_threshold_rows must be >= 1")
         if self.batch_size < 1:
             raise ConfigurationError("batch_size must be >= 1")
+        if self.plan_cache_size < 0:
+            raise ConfigurationError("plan_cache_size must be >= 0")
         if self.cache_bytes < 0:
             raise ConfigurationError("cache_bytes must be >= 0")
         if self.cache_policy not in ("lru", "clock", "2q"):

@@ -135,6 +135,63 @@ def test_explain_analyze_rows_match_plain_execution():
 
 
 # ----------------------------------------------------------------------
+# fused columnar pipelines keep the attribution exact
+# ----------------------------------------------------------------------
+def test_fused_pipeline_stats_sum_to_registry_deltas():
+    """Scan→filter→project fusion must not lose or double-count costs.
+
+    The fused node does the filter+project work (and owns that lap);
+    the scan stays its child and owns every verified read. The sum
+    property over the whole tree must still hold exactly.
+    """
+    reg = MetricsRegistry()
+    with scoped_registry(reg):
+        db = build_db(reg)
+        db.sql("CREATE TABLE t (id INT PRIMARY KEY, v INT, w INT)")
+        db.load_rows("t", [(i, i * 3 % 40, i % 6) for i in range(90)])
+        before = reg.snapshot()
+        result = db.explain_analyze(
+            "SELECT id, v + w FROM t WHERE v > 5 AND w <> 2"
+        )
+        after = reg.snapshot()
+
+    totals = result.totals()
+    for counter_name, field in COUNTED:
+        delta = counter_value(after, counter_name) - counter_value(
+            before, counter_name
+        )
+        assert totals[field] == delta, (
+            f"{field}: trace total {totals[field]} != "
+            f"registry delta {delta} ({counter_name})"
+        )
+
+    nodes = []
+
+    def walk(node):
+        nodes.append(node)
+        for child in node["children"]:
+            walk(child)
+
+    walk(result.data["plan"])
+    fused = next(n for n in nodes if n["op"] == "FusedScanFilterProjectOp")
+    scan = next(n for n in nodes if n["op"] == "SeqScanOp")
+    # the scan is the fused node's child and owns all storage reads
+    assert scan in fused["children"]
+    assert scan["verified_reads"] > 0
+    assert fused["verified_reads"] == 0
+    # the fused node did the filtering: fewer rows out than the scan fed
+    assert scan["rows_out"] == 90
+    assert 0 < fused["rows_out"] < 90
+    # both stages show up in the rendered plan
+    assert "FusedScanFilterProject" in result.text
+    assert "SeqScan" in result.text
+    # the fused-batch counter attributes the pipeline's work
+    assert counter_value(after, "sql.fused_pipeline_batches") > counter_value(
+        before, "sql.fused_pipeline_batches"
+    )
+
+
+# ----------------------------------------------------------------------
 # interleaved queries attribute disjointly
 # ----------------------------------------------------------------------
 def test_interleaved_queries_report_disjoint_stats():

@@ -1,0 +1,327 @@
+"""The schema-versioned plan cache: hits, invalidation, races, bounds.
+
+Pins the prepared-statement contract: N same-shape statements cost one
+parse and one plan (``sql.plan_cache_hits == N - 1``, parse/plan
+counters flat after the first), any DDL invalidates every cached plan
+through the catalog's schema version, and the bounded LRU never serves
+a stale template — even with two sessions racing prepare/execute
+against concurrent DDL.
+"""
+
+import threading
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.errors import ExecutionError
+from repro.obs import MetricsRegistry
+from repro.sql.executor import QueryEngine
+from repro.sql.parser import parse_statement
+from repro.sql.plan_cache import (
+    CacheEntry,
+    PlanCache,
+    normalize_sql,
+    statement_has_subqueries,
+)
+from repro.sql.session import Session
+from repro.storage.config import StorageConfig
+from repro.storage.engine import StorageEngine
+
+
+def counter(reg, name):
+    return reg.snapshot().get(name, {}).get("value", 0)
+
+
+def make_engine(reg=None, **config_kwargs):
+    reg = reg if reg is not None else MetricsRegistry()
+    storage = StorageEngine(StorageConfig(**config_kwargs), registry=reg)
+    engine = QueryEngine(Catalog(), storage)
+    engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    for i in range(20):
+        engine.execute(f"INSERT INTO t VALUES ({i}, {i * 3})")
+    return engine, reg
+
+
+# ----------------------------------------------------------------------
+# the headline contract: N same-shape queries, one parse, one plan
+# ----------------------------------------------------------------------
+def test_repeated_shape_hits_cache_and_skips_parse_and_plan():
+    engine, reg = make_engine()
+    sql = "SELECT id, v FROM t WHERE v > 12"
+    n = 9
+    first = engine.execute(sql).rows
+    parsed_after_first = counter(reg, "sql.statements_parsed")
+    planned_after_first = counter(reg, "sql.statements_planned")
+    for _ in range(n - 1):
+        assert engine.execute(sql).rows == first
+    assert counter(reg, "sql.plan_cache_hits") == n - 1
+    # the cached template really did skip the front end: no new parses,
+    # no new plans after the first execution
+    assert counter(reg, "sql.statements_parsed") == parsed_after_first
+    assert counter(reg, "sql.statements_planned") == planned_after_first
+
+
+def test_prepared_statement_executes_from_one_plan():
+    engine, reg = make_engine()
+    stmt = engine.prepare("SELECT v FROM t WHERE id = ?")
+    assert stmt.param_count == 1
+    misses_after_prepare = counter(reg, "sql.plan_cache_misses")
+    parsed_after_prepare = counter(reg, "sql.statements_parsed")
+    for i in range(5):
+        assert stmt.execute((i,)).rows == [(i * 3,)]
+    assert counter(reg, "sql.plan_cache_hits") == 5
+    assert counter(reg, "sql.plan_cache_misses") == misses_after_prepare
+    assert counter(reg, "sql.statements_parsed") == parsed_after_prepare
+
+
+def test_differently_spaced_sql_shares_one_entry():
+    engine, reg = make_engine()
+    engine.execute("SELECT id FROM t WHERE v > 6")
+    engine.execute("SELECT   id  FROM t\n  WHERE v > 6")
+    assert counter(reg, "sql.plan_cache_hits") == 1
+
+
+def test_join_hint_is_part_of_the_key():
+    engine, reg = make_engine()
+    engine.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, v INTEGER)")
+    engine.execute("INSERT INTO u VALUES (1, 3)")
+    sql = "SELECT t.id FROM t, u WHERE t.v = u.v"
+    hash_rows = engine.execute(sql, join_hint="hash").rows
+    nested = engine.execute(sql, join_hint="nested_loop").rows
+    assert sorted(hash_rows) == sorted(nested)
+    assert counter(reg, "sql.plan_cache_hits") == 0
+    assert engine.execute(sql, join_hint="hash").rows == hash_rows
+    assert counter(reg, "sql.plan_cache_hits") == 1
+
+
+# ----------------------------------------------------------------------
+# DDL invalidation through the catalog schema version
+# ----------------------------------------------------------------------
+def test_ddl_between_executions_invalidates_cached_plan():
+    engine, reg = make_engine()
+    sql = "SELECT id, v FROM t WHERE id = 3"
+    assert engine.execute(sql).rows == [(3, 9)]
+    # drop and re-create the table with different content: the cached
+    # plan's table handle is stale and must not be reused
+    engine.execute("DROP TABLE t")
+    engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    engine.execute("INSERT INTO t VALUES (3, 777)")
+    assert engine.execute(sql).rows == [(3, 777)]
+    assert counter(reg, "sql.plan_cache_invalidations") >= 1
+
+
+def test_ddl_between_prepare_and_execute_revalidates():
+    engine, reg = make_engine()
+    stmt = engine.prepare("SELECT v FROM t WHERE id = ?")
+    engine.execute("DROP TABLE t")
+    engine.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)")
+    engine.execute("INSERT INTO t VALUES (7, -1)")
+    # the prepared handle survives the DDL: it re-resolves the entry
+    assert stmt.execute((7,)).rows == [(-1,)]
+    assert counter(reg, "sql.plan_cache_invalidations") >= 1
+
+
+def test_recreated_schema_shape_change_replans():
+    engine, _reg = make_engine()
+    sql = "SELECT * FROM t WHERE id = 1"
+    assert engine.execute(sql).rows == [(1, 3)]
+    engine.execute("DROP TABLE t")
+    engine.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, w TEXT)"
+    )
+    engine.execute("INSERT INTO t VALUES (1, 3, 'x')")
+    # SELECT * picks up the new third column — proof the plan re-bound
+    assert engine.execute(sql).rows == [(1, 3, "x")]
+
+
+def test_programmatic_ddl_bumps_schema_version():
+    from repro.catalog.catalog import TableInfo
+    from repro.catalog.schema import Column, Schema
+    from repro.catalog.types import IntegerType
+    from repro.storage.table_store import VerifiableTable
+
+    engine, _reg = make_engine()
+    before = engine.catalog.schema_version
+    schema = Schema(
+        columns=[Column("id", IntegerType())], primary_key="id"
+    )
+    engine.catalog.register(
+        TableInfo("p", schema, VerifiableTable("p", schema, engine.storage))
+    )
+    assert engine.catalog.schema_version == before + 1
+    engine.catalog.drop("p")
+    assert engine.catalog.schema_version == before + 2
+
+
+# ----------------------------------------------------------------------
+# bounds and the off switch
+# ----------------------------------------------------------------------
+def test_lru_capacity_evicts_oldest_shape():
+    engine, reg = make_engine(plan_cache_size=2)
+    shapes = [
+        "SELECT id FROM t WHERE v > 1",
+        "SELECT id FROM t WHERE v > 2",
+        "SELECT id FROM t WHERE v > 3",
+    ]
+    for sql in shapes:
+        engine.execute(sql)
+    assert len(engine.plan_cache) == 2
+    # the first shape was evicted: running it again is a miss
+    misses = counter(reg, "sql.plan_cache_misses")
+    engine.execute(shapes[0])
+    assert counter(reg, "sql.plan_cache_misses") == misses + 1
+    # the most-recently-used shape is still cached
+    hits = counter(reg, "sql.plan_cache_hits")
+    engine.execute(shapes[2])
+    assert counter(reg, "sql.plan_cache_hits") == hits + 1
+
+
+def test_plan_cache_size_zero_disables_caching():
+    engine, reg = make_engine(plan_cache_size=0)
+    sql = "SELECT id FROM t WHERE v > 6"
+    parsed_before = counter(reg, "sql.statements_parsed")
+    for _ in range(4):
+        engine.execute(sql)
+    assert counter(reg, "sql.plan_cache_hits") == 0
+    assert len(engine.plan_cache) == 0
+    # every execution parses afresh
+    assert counter(reg, "sql.statements_parsed") == parsed_before + 4
+
+
+# ----------------------------------------------------------------------
+# statements that must never be served from a template
+# ----------------------------------------------------------------------
+def test_subquery_statements_stay_fresh():
+    engine, reg = make_engine()
+    sql = "SELECT id FROM t WHERE v = (SELECT MAX(v) FROM t)"
+    assert engine.execute(sql).rows == [(19,)]
+    engine.execute("INSERT INTO t VALUES (100, 999)")
+    # plan-time subquery folding froze the old maximum; a cached plan
+    # would return the stale row
+    assert engine.execute(sql).rows == [(100,)]
+    assert counter(reg, "sql.plan_cache_hits") == 0
+
+
+def test_statement_has_subqueries_detector():
+    assert statement_has_subqueries(
+        parse_statement("SELECT 1 FROM t WHERE v IN (SELECT v FROM t)")
+    )
+    assert statement_has_subqueries(
+        parse_statement("SELECT (SELECT MAX(v) FROM t) FROM t")
+    )
+    assert not statement_has_subqueries(
+        parse_statement("SELECT id FROM t WHERE v > 1 AND id < 5")
+    )
+
+
+def test_control_statements_count_neither_hit_nor_miss():
+    engine, reg = make_engine()
+    hits = counter(reg, "sql.plan_cache_hits")
+    misses = counter(reg, "sql.plan_cache_misses")
+    engine.execute("CREATE TABLE c (id INTEGER PRIMARY KEY)")
+    engine.execute("DROP TABLE c")
+    assert counter(reg, "sql.plan_cache_hits") == hits
+    assert counter(reg, "sql.plan_cache_misses") == misses
+
+
+# ----------------------------------------------------------------------
+# parameter arity
+# ----------------------------------------------------------------------
+def test_param_count_mismatch_is_an_execution_error():
+    engine, _reg = make_engine()
+    stmt = engine.prepare("SELECT v FROM t WHERE id = ? OR v = ?")
+    assert stmt.param_count == 2
+    with pytest.raises(ExecutionError):
+        stmt.execute((1,))
+    with pytest.raises(ExecutionError):
+        stmt.execute((1, 2, 3))
+    with pytest.raises(ExecutionError):
+        engine.execute("SELECT v FROM t WHERE id = ?", params=())
+
+
+# ----------------------------------------------------------------------
+# sessions racing prepare/execute against concurrent DDL
+# ----------------------------------------------------------------------
+def test_two_sessions_share_cache_under_concurrent_ddl():
+    """Sessions on two threads never see a stale plan while DDL churns.
+
+    Both workers hammer prepared statements over table ``t`` while the
+    main thread repeatedly drops and re-creates an unrelated table —
+    every DDL bumps the global schema version, forcing revalidation of
+    the workers' cached templates mid-flight. Correctness of every
+    result is the assertion; the counters prove invalidation happened.
+    """
+    engine, reg = make_engine()
+    expected = {i: i * 3 for i in range(20)}
+    errors = []
+    start = threading.Barrier(3)
+
+    def worker(name):
+        session = Session(engine, name=name)
+        stmt = session.prepare("SELECT v FROM t WHERE id = ?")
+        start.wait()
+        try:
+            for round_ in range(30):
+                i = round_ % 20
+                rows = stmt.execute((i,)).rows
+                if rows != [(expected[i],)]:
+                    errors.append((name, i, rows))
+                direct = session.execute(
+                    "SELECT v FROM t WHERE id = ?", params=(i,)
+                ).rows
+                if direct != [(expected[i],)]:
+                    errors.append((name, i, direct))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append((name, exc))
+
+    threads = [
+        threading.Thread(target=worker, args=(f"s{i}",)) for i in range(2)
+    ]
+    for t in threads:
+        t.start()
+    start.wait()
+    for _ in range(10):
+        engine.execute("CREATE TABLE churn (id INTEGER PRIMARY KEY)")
+        engine.execute("DROP TABLE churn")
+    for t in threads:
+        t.join()
+    assert errors == []
+    assert counter(reg, "sql.plan_cache_invalidations") >= 1
+
+
+def test_session_transaction_with_prepared_statement():
+    engine, _reg = make_engine()
+    session = Session(engine, name="tx")
+    update = session.prepare("UPDATE t SET v = ? WHERE id = ?")
+    session.execute("BEGIN")
+    update.execute((1000, 5))
+    assert session.execute(
+        "SELECT v FROM t WHERE id = ?", params=(5,)
+    ).rows == [(1000,)]
+    session.execute("ROLLBACK")
+    assert engine.execute("SELECT v FROM t WHERE id = 5").rows == [(15,)]
+
+
+# ----------------------------------------------------------------------
+# unit coverage of the cache structure itself
+# ----------------------------------------------------------------------
+def test_normalize_sql_collapses_whitespace_outside_strings():
+    assert normalize_sql("SELECT  1\n FROM   t") == "SELECT 1 FROM t"
+    # statements containing string literals are only stripped: a
+    # collapse could corrupt the literal's spacing
+    assert normalize_sql("  SELECT 'a  b' FROM t ") == "SELECT 'a  b' FROM t"
+
+
+def test_plan_cache_rejects_uncacheable_entries():
+    cache = PlanCache(4)
+    stmt = parse_statement("SELECT 1 FROM t")
+    entry = CacheEntry(
+        sql="SELECT 1 FROM t",
+        stmt=stmt,
+        param_count=0,
+        join_hint=None,
+        schema_version=0,
+        cacheable=False,
+    )
+    cache.put(("SELECT 1 FROM t", None), entry)
+    assert len(cache) == 0

@@ -8,6 +8,7 @@ from repro.catalog.types import IntegerType, TextType
 from repro.errors import PlanningError
 from repro.sql.operators import (
     FilterOp,
+    FusedScanFilterProjectOp,
     HashAggregateOp,
     HashJoinOp,
     IndexNestedLoopJoinOp,
@@ -96,7 +97,9 @@ def test_reversed_literal_comparison_is_sargable(planner):
 def test_unchained_predicate_residual_filter(planner):
     root = plan(planner, "SELECT * FROM orders WHERE o_total > 100")
     assert ops_of(root, SeqScanOp)
-    assert ops_of(root, FilterOp)
+    # the residual predicate lands in the fused scan→filter pipeline
+    (fused,) = ops_of(root, FusedScanFilterProjectOp)
+    assert fused.predicates
 
 
 def test_pk_equality_beats_secondary_equality(planner):
@@ -180,7 +183,9 @@ def test_aggregation_rewrite(planner):
 
 def test_group_by_constant_condition_stays_top(planner):
     root = plan(planner, "SELECT o_id FROM orders WHERE 1 = 1")
-    assert ops_of(root, FilterOp)
+    # the constant predicate fuses with the projection over the scan
+    (fused,) = ops_of(root, FusedScanFilterProjectOp)
+    assert fused.predicates and fused.exprs is not None
 
 
 def test_explain_mentions_access_path(planner):

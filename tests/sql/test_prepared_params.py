@@ -1,0 +1,242 @@
+"""``?`` placeholders end to end: parser, binding, auth, service.
+
+Parameters flow from the lexer (ordinal ``?`` markers) through the
+planner (sargable equality params are absorbed into point lookups and
+range scans; range-bound params stay residual) to execution-time
+binding, and across the trust boundary: the client MACs the bound
+values together with the SQL text, so a host can substitute neither.
+"""
+
+import pytest
+
+from repro.catalog.catalog import Catalog
+from repro.core.config import VeriDBConfig
+from repro.core.database import VeriDB
+from repro.core.portal import AuthenticatedQuery
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import AuthenticationError, ExecutionError
+from repro.obs import MetricsRegistry
+from repro.sql.ast_nodes import Parameter
+from repro.sql.executor import QueryEngine
+from repro.sql.operators import PointLookupOp, RangeScanOp, SeqScanOp
+from repro.sql.parser import parse_statement_with_params
+from repro.sql.planner import Planner
+from repro.storage.engine import StorageEngine
+from repro.storage.record import RecordCodec
+
+
+def make_engine():
+    engine = QueryEngine(Catalog(), StorageEngine(registry=MetricsRegistry()))
+    engine.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, w TEXT)"
+    )
+    for i in range(20):
+        engine.execute(f"INSERT INTO t VALUES ({i}, {i * 5}, 'w{i % 3}')")
+    return engine
+
+
+# ----------------------------------------------------------------------
+# parser: ordinal placeholder counting
+# ----------------------------------------------------------------------
+def test_parser_counts_placeholders_in_order():
+    stmt, count = parse_statement_with_params(
+        "SELECT id FROM t WHERE v > ? AND w = ? OR id = ?"
+    )
+    assert count == 3
+
+    markers = []
+
+    def collect(expr):
+        if isinstance(expr, Parameter):
+            markers.append(expr.index)
+        for attr in ("left", "right", "operand"):
+            child = getattr(expr, attr, None)
+            if child is not None:
+                collect(child)
+
+    collect(stmt.where)
+    assert markers == [0, 1, 2]
+
+
+def test_parser_zero_placeholders():
+    stmt, count = parse_statement_with_params("SELECT id FROM t")
+    assert count == 0
+
+
+# ----------------------------------------------------------------------
+# planner: params and access paths
+# ----------------------------------------------------------------------
+def test_pk_equality_param_plans_point_lookup():
+    engine = make_engine()
+    stmt, _ = parse_statement_with_params("SELECT * FROM t WHERE id = ?")
+    plan = Planner(engine.catalog).plan_select(stmt, None)
+    ops = list(plan.walk())
+    assert any(isinstance(op, PointLookupOp) for op in ops)
+    assert not any(isinstance(op, SeqScanOp) for op in ops)
+
+
+def test_range_bound_param_stays_residual():
+    # a `>` bound can't be merged at plan time (no value to compare);
+    # it must remain a residual predicate, never a scan bound
+    engine = make_engine()
+    stmt, _ = parse_statement_with_params("SELECT * FROM t WHERE id > ?")
+    plan = Planner(engine.catalog).plan_select(stmt, None)
+    scans = [
+        op for op in plan.walk() if isinstance(op, (SeqScanOp, RangeScanOp))
+    ]
+    for scan in scans:
+        assert getattr(scan, "lo", None) is None
+        assert getattr(scan, "hi", None) is None
+    # the parameter comparison survives as a filter predicate
+    assert "?0" in plan.explain() or "?1" in plan.explain()
+    # and it evaluates correctly once bound
+    rows = engine.execute("SELECT id FROM t WHERE id > ?", params=(16,)).rows
+    assert [r[0] for r in rows] == [17, 18, 19]
+
+
+# ----------------------------------------------------------------------
+# execution: binding in every statement position
+# ----------------------------------------------------------------------
+def test_params_in_where_positions():
+    engine = make_engine()
+    assert engine.execute(
+        "SELECT v FROM t WHERE id = ?", params=(4,)
+    ).rows == [(20,)]
+    assert engine.execute(
+        "SELECT id FROM t WHERE v > ? AND w = ?", params=(80, "w2")
+    ).rows == [(17,)]
+    rows = engine.execute(
+        "SELECT id FROM t WHERE id BETWEEN ? AND ?", params=(3, 6)
+    ).rows
+    assert [r[0] for r in rows] == [3, 4, 5, 6]
+
+
+def test_params_in_insert_update_delete():
+    engine = make_engine()
+    engine.execute(
+        "INSERT INTO t VALUES (?, ?, ?)", params=(50, 123, "new")
+    )
+    assert engine.execute(
+        "SELECT v, w FROM t WHERE id = 50"
+    ).rows == [(123, "new")]
+    engine.execute(
+        "UPDATE t SET v = ?, w = ? WHERE id = ?", params=(7, "upd", 50)
+    )
+    assert engine.execute(
+        "SELECT v, w FROM t WHERE id = 50"
+    ).rows == [(7, "upd")]
+    engine.execute("DELETE FROM t WHERE id = ?", params=(50,))
+    assert engine.execute("SELECT v FROM t WHERE id = 50").rows == []
+
+
+def test_params_in_select_expressions():
+    engine = make_engine()
+    assert engine.execute(
+        "SELECT id, v + ? FROM t WHERE id = ?", params=(1000, 2)
+    ).rows == [(2, 1010)]
+
+
+def test_null_param_comparisons_match_nothing():
+    engine = make_engine()
+    # SQL three-valued logic: `= NULL` is never true, including for a
+    # parameter bound to None — and including on the point-lookup path
+    assert engine.execute(
+        "SELECT id FROM t WHERE v = ?", params=(None,)
+    ).rows == []
+    assert engine.execute(
+        "SELECT id FROM t WHERE id = ?", params=(None,)
+    ).rows == []
+
+
+def test_null_param_inserts_null():
+    engine = make_engine()
+    engine.execute("INSERT INTO t VALUES (?, ?, ?)", params=(60, None, None))
+    assert engine.execute(
+        "SELECT id FROM t WHERE v IS NULL"
+    ).rows == [(60,)]
+
+
+def test_same_shape_different_values_share_one_plan():
+    engine = make_engine()
+    results = [
+        engine.execute("SELECT v FROM t WHERE id = ?", params=(i,)).rows
+        for i in range(8)
+    ]
+    assert results == [[(i * 5,)] for i in range(8)]
+    hits = engine.obs.counter("sql.plan_cache_hits").value
+    assert hits == 7
+
+
+def test_unbound_statement_with_placeholders_rejected():
+    engine = make_engine()
+    with pytest.raises(ExecutionError):
+        engine.execute("SELECT v FROM t WHERE id = ?")
+
+
+# ----------------------------------------------------------------------
+# the trust boundary: params ride inside the query MAC
+# ----------------------------------------------------------------------
+def build_db():
+    db = VeriDB(VeriDBConfig(key_seed=11))
+    db.sql("CREATE TABLE kv (k INTEGER PRIMARY KEY, v INTEGER)")
+    for i in range(10):
+        db.sql(f"INSERT INTO kv VALUES ({i}, {i * 10})")
+    return db
+
+
+def test_client_round_trip_with_params():
+    db = build_db()
+    client = db.connect("alice")
+    result = client.execute("SELECT v FROM kv WHERE k = ?", params=(3,))
+    assert result.rows == ((30,),)
+    assert result.verified
+    # a second binding of the same shape is a fresh qid, fresh result
+    assert client.execute(
+        "SELECT v FROM kv WHERE k = ?", params=(7,)
+    ).rows == ((70,),)
+
+
+def test_host_cannot_substitute_params():
+    """Swapping the bound values after MACing must fail authentication."""
+    db = build_db()
+    mac = MessageAuthenticator(db.enclave.keychain.mac_key)
+    qid = bytes(16)
+    sql = "SELECT v FROM kv WHERE k = ?"
+    tag = mac.tag(qid, sql.encode("utf-8"), RecordCodec().encode((3,)))
+    tampered = AuthenticatedQuery(
+        qid=qid, sql=sql, mac=tag, params=(9,)
+    )
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(tampered)
+
+
+def test_host_cannot_strip_params():
+    """Dropping the bound values entirely must also fail: the MAC
+    domain-separates a parameterless query from a parameterized one."""
+    db = build_db()
+    mac = MessageAuthenticator(db.enclave.keychain.mac_key)
+    qid = bytes(16)
+    sql = "SELECT v FROM kv WHERE k = 3"
+    tag = mac.tag(qid, sql.encode("utf-8"), RecordCodec().encode((3,)))
+    stripped = AuthenticatedQuery(qid=qid, sql=sql, mac=tag, params=None)
+    with pytest.raises(AuthenticationError):
+        db.portal.submit(stripped)
+
+
+def test_service_layer_passes_params_through():
+    from repro.obs import scoped_registry
+    from repro.service import QueryService, ServiceConfig
+
+    with scoped_registry(MetricsRegistry()) as reg:
+        service = QueryService(
+            build_db(), ServiceConfig(max_workers=2), registry=reg
+        )
+        try:
+            client = service.connect(service.register_tenant("acme"))
+            result = client.execute(
+                "SELECT v FROM kv WHERE k = ?", params=(5,)
+            )
+            assert result.rows == ((50,),)
+            assert result.verified
+        finally:
+            service.close()

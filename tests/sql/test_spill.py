@@ -212,3 +212,59 @@ def test_spill_and_verification_coexist(spilling_engine):
     assert len(result.rows) == 60
     spilling_engine.storage.disable_continuous_verification()
     spilling_engine.storage.verify_now()
+
+
+# ----------------------------------------------------------------------
+# spilled results are byte-identical to in-memory results at every
+# batch size: the columnar→row boundary at the spill buffer hands the
+# same row tuples to storage that in-enclave execution would keep
+# ----------------------------------------------------------------------
+def _build_engine(batch_size, spill_threshold_rows):
+    storage = StorageEngine(
+        StorageConfig(
+            batch_size=batch_size,
+            spill_threshold_rows=spill_threshold_rows,
+        )
+    )
+    qe = QueryEngine(Catalog(), storage)
+    qe.execute(
+        "CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, w TEXT)"
+    )
+    qe.execute("CREATE TABLE u (id INTEGER PRIMARY KEY, v INTEGER)")
+    for i in range(60):
+        qe.execute(
+            f"INSERT INTO t VALUES ({i}, {i * 37 % 50}, "
+            f"{'NULL' if i % 7 == 0 else repr(f's{i % 5}')})"
+        )
+    for i in range(20):
+        qe.execute(f"INSERT INTO u VALUES ({i}, {i})")
+    return qe
+
+SPILL_QUERIES = [
+    ("SELECT v, w FROM t ORDER BY v", None),
+    ("SELECT w, v FROM t WHERE v > 10 ORDER BY v DESC, id ASC", None),
+    ("SELECT t.id, u.v FROM t, u WHERE t.v = u.v", "nested_loop"),
+    ("SELECT t.id FROM t, u WHERE t.v = u.v ORDER BY t.id", "merge"),
+]
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 256])
+def test_spilled_results_byte_identical_to_in_memory(batch_size):
+    """Spilling is invisible: same bytes row for row, every batch size."""
+    from repro.storage.record import RecordCodec
+
+    codec = RecordCodec()
+    in_memory = _build_engine(batch_size, spill_threshold_rows=None)
+    spilling = _build_engine(batch_size, spill_threshold_rows=4)
+    for sql, hint in SPILL_QUERIES:
+        expected = in_memory.execute(sql, join_hint=hint).rows
+        got = spilling.execute(sql, join_hint=hint).rows
+        expected_bytes = [codec.encode(row) for row in expected]
+        got_bytes = [codec.encode(row) for row in got]
+        if "ORDER BY" not in sql:
+            expected_bytes.sort()
+            got_bytes.sort()
+        assert got_bytes == expected_bytes, f"{sql} (batch={batch_size})"
+    assert spilling.spill.stats.rows_spilled > 0
+    spilling.storage.verify_now()
+    in_memory.storage.verify_now()

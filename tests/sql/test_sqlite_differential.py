@@ -70,7 +70,7 @@ _predicate = st.recursive(
 )
 
 
-def _run_both(rows, sql):
+def _run_both(rows, sql, params=None):
     storage = StorageEngine()
     engine = QueryEngine(Catalog(), storage)
     engine.execute(
@@ -85,8 +85,15 @@ def _run_both(rows, sql):
     for i, (a, b, s) in enumerate(rows):
         engine.catalog.lookup("t").store.insert((i, a, b, s))
         connection.execute("INSERT INTO t VALUES (?, ?, ?, ?)", (i, a, b, s))
-    ours = engine.execute(sql).rows
-    theirs = [tuple(r) for r in connection.execute(sql).fetchall()]
+    # run every query twice: the first execution populates the plan
+    # cache, the second is served from it — both must agree with SQLite
+    ours = engine.execute(sql, params=params).rows
+    cached = engine.execute(sql, params=params).rows
+    assert _canon(cached) == _canon(ours), "plan-cache hit changed rows"
+    theirs = [
+        tuple(r)
+        for r in connection.execute(sql, params or ()).fetchall()
+    ]
     storage.verify_now()
     return ours, theirs
 
@@ -167,6 +174,27 @@ def test_scalar_subquery_matches_sqlite(rows):
         # AVG over empty input is NULL; the comparison is never true
         assert ours == [] and theirs == []
         return
+    _approx_equal(ours, theirs)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    rows=_rows,
+    col=st.sampled_from(["a", "b", "id"]),
+    op=st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+    value=st.one_of(st.none(), st.integers(-5, 50)),
+    other=st.integers(-5, 5),
+)
+def test_parameterized_select_matches_sqlite(rows, col, op, value, other):
+    """Bound ``?`` parameters behave exactly like inlined literals.
+
+    Both engines take the same placeholder syntax; the same shape is
+    executed twice per example (second run is a plan-cache hit with the
+    same binding), and NULL bindings exercise the scans'
+    parameter-resolution short-circuit.
+    """
+    sql = f"SELECT id, a, b FROM t WHERE ({col} {op} ?) OR (b = ?)"
+    ours, theirs = _run_both(rows, sql, params=(value, other))
     _approx_equal(ours, theirs)
 
 
@@ -304,7 +332,12 @@ def _fuzz_setup(rng, storage_config=None):
 
 
 def _fuzz_corpus(seed, queries, reseed_data_every=25, storage_config=None):
-    """Run ``queries`` random queries; divergence fails with a repro tag."""
+    """Run ``queries`` random queries; divergence fails with a repro tag.
+
+    Every query runs twice: the second execution is served from the
+    plan cache and must return the same rows, so the whole corpus
+    doubles as a cache-coherence sweep.
+    """
     rng = random.Random(seed)
     fuzzer = QueryFuzzer(rng)
     storage = engine = connection = None
@@ -314,18 +347,38 @@ def _fuzz_corpus(seed, queries, reseed_data_every=25, storage_config=None):
         sql, exact_order = fuzzer.next_query()
         tag = f"seed={seed} index={index} sql={sql!r}"
         ours = engine.execute(sql).rows
+        cached = engine.execute(sql).rows
         theirs = [tuple(r) for r in connection.execute(sql).fetchall()]
         if exact_order:
             assert list(ours) == theirs, tag
+            assert list(cached) == theirs, tag
         else:
             assert len(ours) == len(theirs), tag
             assert _canon(ours) == _canon(theirs), tag
+            assert _canon(cached) == _canon(theirs), tag
     storage.verify_now()
 
 
 @pytest.mark.parametrize("seed", [11, 29, 47])
 def test_fuzzer_ci_corpus(seed):
     _fuzz_corpus(seed, queries=60)
+
+
+@pytest.mark.parametrize("batch_size", [1, 7, 256])
+@pytest.mark.parametrize("plan_cache_size", [0, 128])
+def test_fuzzer_batch_and_cache_matrix(batch_size, plan_cache_size):
+    """Batch granularity × cache-on/off never changes results.
+
+    batch_size=1 degenerates the columnar pipeline to row-at-a-time;
+    plan_cache_size=0 disables plan reuse entirely — every combination
+    must agree with SQLite on the same corpus.
+    """
+    from repro.storage.config import StorageConfig
+
+    config = StorageConfig(
+        batch_size=batch_size, plan_cache_size=plan_cache_size
+    )
+    _fuzz_corpus(5, queries=30, storage_config=config)
 
 
 @pytest.mark.slow
