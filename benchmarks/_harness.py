@@ -344,8 +344,22 @@ def timed(fn, *args, **kwargs):
 # ----------------------------------------------------------------------
 # machine-readable results
 # ----------------------------------------------------------------------
+def bench_dir() -> str:
+    """The run-artifact directory: ``REPRO_BENCH_DIR`` or ``.bench/``.
+
+    Benchmark JSON documents and event traces land here instead of
+    littering the repo root; the directory is created on demand and is
+    gitignored (committed reference numbers live in
+    ``benchmarks/baselines/``, a separate, tracked directory).
+    """
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    path = os.environ.get("REPRO_BENCH_DIR") or os.path.join(root, ".bench")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
 def write_bench_json(name: str, payload: dict) -> str:
-    """Write a benchmark's results to ``BENCH_<name>.json`` at repo root.
+    """Write a benchmark's results to ``BENCH_<name>.json`` in bench_dir.
 
     Every ``__main__`` benchmark run emits its numbers this way (in
     addition to the printed tables) so CI can upload them as artifacts
@@ -353,8 +367,7 @@ def write_bench_json(name: str, payload: dict) -> str:
     the benchmark name and the scale the run used; values must already
     be JSON-serializable (plain dicts/lists/numbers/strings).
     """
-    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-    path = os.path.join(root, f"BENCH_{name}.json")
+    path = os.path.join(bench_dir(), f"BENCH_{name}.json")
     doc = {"benchmark": name, "scale": SCALE, "results": payload}
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=2, sort_keys=True)

@@ -4,7 +4,8 @@ Usage::
 
     python benchmarks/perf_trend.py [BENCH_*.json ...]
 
-With no arguments, every ``BENCH_*.json`` at the repo root (the output
+With no arguments, every ``BENCH_*.json`` in the bench-artifact
+directory (``REPRO_BENCH_DIR``, default ``.bench/`` — the output
 of a fresh benchmark run) is checked against its committed counterpart
 in ``benchmarks/baselines/``. A latency-like metric (``*_s``, ``*_us``,
 ``*_seconds``, or a per-kind mean from a :class:`LatencyRecorder`) that
@@ -33,7 +34,7 @@ import sys
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _harness import compare_with_baseline, load_baseline  # noqa: E402
+from _harness import bench_dir, compare_with_baseline, load_baseline  # noqa: E402
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 DEFAULT_THRESHOLD = 0.25
@@ -72,7 +73,11 @@ def check_document(path: str, threshold: float) -> tuple[str, list[dict]]:
 
 def main(argv: list[str]) -> int:
     threshold = float(os.environ.get("REPRO_PERF_THRESHOLD", DEFAULT_THRESHOLD))
-    paths = argv or sorted(glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json")))
+    paths = argv or sorted(
+        glob.glob(os.path.join(bench_dir(), "BENCH_*.json"))
+        # pre-.bench layouts dropped documents at the repo root
+        + glob.glob(os.path.join(REPO_ROOT, "BENCH_*.json"))
+    )
     if not paths:
         print("perf-trend: no BENCH_*.json documents to check")
         return 0

@@ -15,7 +15,8 @@ works.
 
 Every ``wal_checkpoint`` / ``recovery_complete`` / ``recovery_refused``
 event emitted along the way is captured to ``OUTPUT`` (default
-``recovery_events.jsonl`` at the repo root); CI uploads it as an
+``recovery_events.jsonl`` in the bench-artifact directory —
+``REPRO_BENCH_DIR``, default ``.bench/``); CI uploads it as an
 artifact, so each commit has a machine-readable recovery trace.
 
 Exit status is non-zero on any deviation — silent recovery of the
@@ -31,7 +32,7 @@ import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-from _harness import scaled  # noqa: E402
+from _harness import bench_dir, scaled  # noqa: E402
 
 from repro.core.config import VeriDBConfig
 from repro.core.database import VeriDB
@@ -55,10 +56,13 @@ def run_workload(db):
 
 
 def main() -> int:
-    output = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
-        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-        "recovery_events.jsonl",
+    output = (
+        sys.argv[1]
+        if len(sys.argv) > 1
+        else os.path.join(bench_dir(), "recovery_events.jsonl")
     )
+    if os.path.dirname(output):
+        os.makedirs(os.path.dirname(output), exist_ok=True)
     if os.path.exists(output):
         os.unlink(output)
     workdir = tempfile.mkdtemp(prefix="veridb-recovery-smoke-")

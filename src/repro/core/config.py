@@ -70,3 +70,79 @@ class VeriDBConfig:
         return cls(
             storage=StorageConfig(verify_metadata=verify_metadata, **kwargs)
         )
+
+
+#: transports a sharded fleet can run its coordinator↔worker link over
+SHARD_TRANSPORTS = ("inproc", "process")
+
+
+@dataclass
+class ShardConfig:
+    """Knobs for a multi-enclave sharded fleet (:mod:`repro.shard`).
+
+    ``shard_count`` is the number of enclave worker instances; each one
+    is a full :class:`~repro.core.database.VeriDB` built from ``base``
+    (with a per-shard derived ``key_seed`` when the base seed is set, so
+    every worker enclave owns distinct keys).
+
+    ``shard_keys`` maps table name → partitioning column; tables not
+    listed shard on their primary key. ``shard_ranges`` opts a table
+    into *range* partitioning: its value is the sorted tuple of
+    ``shard_count - 1`` upper boundaries (shard *i* owns values ``<``
+    boundary *i*; the last shard owns the tail). Tables without an
+    entry use stable hash partitioning, which balances load but can
+    prune only equality predicates — range predicates on a
+    range-partitioned shard key prune too.
+
+    ``transport`` is ``"inproc"`` (workers are in-process objects behind
+    the same MAC'd envelope protocol — the test/CI default, with tamper
+    hooks) or ``"process"`` (one ``multiprocessing`` process per worker,
+    the configuration that actually escapes the GIL).
+    ``request_timeout`` bounds each worker round trip; a worker that
+    stays silent past it raises
+    :class:`~repro.errors.ShardReplyLost`. ``prune`` turns partition
+    pruning off for A/B testing — results must be identical either way.
+    """
+
+    shard_count: int = 2
+    shard_keys: dict = field(default_factory=dict)
+    shard_ranges: dict = field(default_factory=dict)
+    transport: str = "inproc"
+    prune: bool = True
+    request_timeout: float = 30.0
+    base: VeriDBConfig = field(default_factory=VeriDBConfig)
+
+    def __post_init__(self):
+        if self.shard_count < 1:
+            raise ConfigurationError("shard_count must be >= 1")
+        if self.transport not in SHARD_TRANSPORTS:
+            raise ConfigurationError(
+                f"unknown shard transport {self.transport!r}; "
+                f"use one of {SHARD_TRANSPORTS}"
+            )
+        if self.request_timeout <= 0:
+            raise ConfigurationError("request_timeout must be positive")
+        for table, boundaries in self.shard_ranges.items():
+            if len(boundaries) != self.shard_count - 1:
+                raise ConfigurationError(
+                    f"shard_ranges[{table!r}] needs exactly "
+                    f"shard_count - 1 = {self.shard_count - 1} boundaries, "
+                    f"got {len(boundaries)}"
+                )
+            if list(boundaries) != sorted(boundaries):
+                raise ConfigurationError(
+                    f"shard_ranges[{table!r}] boundaries must be sorted"
+                )
+
+    def shard_key_for(self, table_name: str, schema) -> str:
+        """The partitioning column of ``table_name`` (default: its pk)."""
+        column = self.shard_keys.get(table_name.lower())
+        if column is None:
+            column = self.shard_keys.get(table_name)
+        if column is None:
+            return schema.primary_key
+        if not schema.has_column(column):
+            raise ConfigurationError(
+                f"shard key {column!r} is not a column of {table_name!r}"
+            )
+        return column

@@ -372,6 +372,11 @@ class QueryPortal:
                 execute_kwargs = {"join_hint": query.join_hint}
                 if query.params is not None:
                     execute_kwargs["params"] = query.params
+                if query.tenant is not None:
+                    # tenant attribution for plan-cache accounting;
+                    # passed only when set, so engine doubles without
+                    # the kwarg keep working
+                    execute_kwargs["tenant"] = query.tenant
                 run = lambda: self._retry_policy.call(
                     lambda: self._engine.execute(query.sql, **execute_kwargs),
                     on_retry=lambda _attempt, _err: (

@@ -209,6 +209,73 @@ class RetryExhausted(VeriDBError):
         self.attempts = attempts
 
 
+class ShardError(VeriDBError):
+    """Base class for multi-enclave sharding failures (`repro.shard`).
+
+    ``shard`` identifies the worker involved (None for fleet-level
+    failures such as a routing error in the coordinator).
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardReplyTampered(IntegrityError):
+    """A shard reply envelope failed its MAC check.
+
+    The untrusted transport between coordinator and worker modified,
+    spliced or fabricated a reply; the payload is discarded unread.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardReplyReplayed(IntegrityError):
+    """A shard reply was duplicated or delivered out of order.
+
+    Replies carry the echoed request id plus a per-shard strictly
+    increasing sequence number; re-delivering an old (MAC-valid) reply
+    or answering the wrong request trips this check.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardReplyLost(ShardError):
+    """A worker produced no reply within the transport deadline.
+
+    Not an integrity event by itself — the transport may simply have
+    dropped the message — but the scatter-gather cannot return a
+    partial result, so the whole query fails loudly.
+    """
+
+
+class ShardWorkerDown(ShardError):
+    """The worker process is gone (crashed or closed its end of the pipe)."""
+
+
+class ShardEpochDesync(IntegrityError):
+    """A shard's epoch-close round disagrees with the coordinator's.
+
+    The two-phase close requires every worker to prepare and commit the
+    same fleet round; a worker answering for a different round proves
+    the fleet was partially rolled back or a close was replayed.
+    """
+
+    def __init__(self, message: str, shard: int | None = None):
+        super().__init__(message)
+        self.shard = shard
+
+
+class ShardRoutingError(ShardError):
+    """The coordinator could not route a statement (bad shard key use)."""
+
+
 class EnclaveError(VeriDBError):
     """Misuse of the simulated SGX enclave (bad ECall, sealed-data abuse)."""
 

@@ -1,0 +1,34 @@
+"""Multi-enclave sharded execution (scatter-gather VeriDB).
+
+Partition tables across N enclave worker instances — each a complete
+:class:`~repro.core.database.VeriDB` with its own keychain, RSWS,
+EPC model and epoch verifier — behind a coordinator that plans
+scatter-gather queries, prunes partitions from shard-key predicates,
+merges MAC-authenticated partial aggregates, and closes verification
+epochs fleet-wide with a two-phase protocol.
+"""
+
+from repro.core.config import ShardConfig
+from repro.shard.partition import (
+    HashPartitioner,
+    RangePartitioner,
+    partitioner_for,
+    prune_shards,
+)
+from repro.shard.proxy import ShardProxyStore
+from repro.shard.router import ScatterRouter
+from repro.shard.sharded import ShardedDatabase
+from repro.shard.worker import ShardWorker, worker_config
+
+__all__ = [
+    "HashPartitioner",
+    "RangePartitioner",
+    "ScatterRouter",
+    "ShardConfig",
+    "ShardProxyStore",
+    "ShardWorker",
+    "ShardedDatabase",
+    "partitioner_for",
+    "prune_shards",
+    "worker_config",
+]

@@ -1,0 +1,190 @@
+"""Partitioning: which shard owns a row, and which shards a predicate needs.
+
+Two strategies, chosen per table by :class:`~repro.core.config.ShardConfig`:
+
+* :class:`HashPartitioner` — stable ``blake2b`` over the shard-key
+  value's canonical record encoding. Placement is independent of Python
+  hash randomization and of the process that computes it (coordinator
+  and workers must agree forever), balances skewed keys well, and
+  prunes *equality* predicates only — a hash destroys order, so a range
+  predicate necessarily touches every shard.
+* :class:`RangePartitioner` — ``shard_count - 1`` sorted upper
+  boundaries; shard *i* owns values below boundary *i* and the last
+  shard owns the tail. Prunes both equality and range predicates, at
+  the cost of the operator choosing boundaries that match the data.
+
+Pruning (:func:`prune_shards`) mirrors the planner's sargability
+analysis (:meth:`repro.sql.planner.Planner._sargable`): only top-level
+WHERE conjuncts of the shape ``shard_key <op> value`` participate, with
+``?`` parameters resolved against the statement's bound values — so a
+prepared statement prunes per execution, not per plan. Anything the
+analysis cannot prove routes to every shard; pruning is a pure
+optimization and never changes results (the differential suite runs
+with it forced off to check exactly that).
+"""
+
+from __future__ import annotations
+
+from hashlib import blake2b
+from typing import Any, Iterable, Optional
+
+from repro.errors import ShardRoutingError
+from repro.sql.ast_nodes import (
+    Between,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InList,
+    Literal,
+    Parameter,
+)
+from repro.sql.expressions import split_conjuncts
+from repro.storage.record import RecordCodec
+
+_FLIP = {"=": "=", "<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class HashPartitioner:
+    """Stable hash placement over the canonical record encoding."""
+
+    prunes_ranges = False
+
+    def __init__(self, shard_count: int):
+        self.shard_count = shard_count
+        self._codec = RecordCodec()
+
+    def shard_of(self, value: Any) -> int:
+        digest = blake2b(
+            self._codec.encode((value,)), digest_size=8
+        ).digest()
+        return int.from_bytes(digest, "little") % self.shard_count
+
+    def shards_for_range(
+        self, lo: Any, hi: Any, include_lo: bool, include_hi: bool
+    ) -> set[int]:
+        # a point range is an equality in disguise; anything wider is
+        # unprunable under hashing
+        if lo is not None and lo == hi and include_lo and include_hi:
+            return {self.shard_of(lo)}
+        return set(range(self.shard_count))
+
+
+class RangePartitioner:
+    """Boundary-list placement: shard ``i`` owns values < boundary ``i``."""
+
+    prunes_ranges = True
+
+    def __init__(self, shard_count: int, boundaries: Iterable[Any]):
+        self.shard_count = shard_count
+        self.boundaries = tuple(boundaries)
+        if len(self.boundaries) != shard_count - 1:
+            raise ShardRoutingError(
+                f"range partitioner needs {shard_count - 1} boundaries, "
+                f"got {len(self.boundaries)}"
+            )
+
+    def shard_of(self, value: Any) -> int:
+        if value is None:
+            # NULL shard keys sort below every boundary: first shard
+            return 0
+        for i, boundary in enumerate(self.boundaries):
+            if value < boundary:
+                return i
+        return self.shard_count - 1
+
+    def shards_for_range(
+        self, lo: Any, hi: Any, include_lo: bool, include_hi: bool
+    ) -> set[int]:
+        first = 0 if lo is None else self.shard_of(lo)
+        last = self.shard_count - 1 if hi is None else self.shard_of(hi)
+        return set(range(first, last + 1))
+
+
+def partitioner_for(config, table_name: str):
+    """Build the configured partitioner for one table."""
+    boundaries = config.shard_ranges.get(
+        table_name.lower(), config.shard_ranges.get(table_name)
+    )
+    if boundaries is not None:
+        return RangePartitioner(config.shard_count, boundaries)
+    return HashPartitioner(config.shard_count)
+
+
+# ----------------------------------------------------------------------
+# predicate pruning
+# ----------------------------------------------------------------------
+def _resolve(expr: Expr, params: tuple) -> tuple[bool, Any]:
+    """(known, value) for a literal or bound parameter comparison side."""
+    if isinstance(expr, Literal):
+        return True, expr.value
+    if isinstance(expr, Parameter):
+        if expr.index < len(params):
+            return True, params[expr.index]
+    return False, None
+
+
+def prune_shards(
+    where: Optional[Expr],
+    shard_key: str,
+    partitioner,
+    params: tuple = (),
+    binding: Optional[str] = None,
+) -> set[int]:
+    """Shards that can hold rows satisfying ``where``.
+
+    Every top-level conjunct constraining the shard key intersects the
+    candidate set; conjuncts the analysis cannot use are ignored (they
+    only ever make the true answer a subset of what is returned, which
+    is the safe direction).
+    """
+    candidates = set(range(partitioner.shard_count))
+
+    def is_key(e: Expr) -> bool:
+        return (
+            isinstance(e, ColumnRef)
+            and e.name == shard_key
+            and (e.qualifier is None or binding is None or e.qualifier == binding)
+        )
+
+    for conjunct in split_conjuncts(where):
+        subset = None
+        if isinstance(conjunct, BinaryOp):
+            op, left, right = conjunct.op, conjunct.left, conjunct.right
+            if is_key(right) and not is_key(left):
+                left, right = right, left
+                op = _FLIP.get(op)
+            if op is not None and is_key(left):
+                known, value = _resolve(right, params)
+                if known and value is not None:
+                    if op == "=":
+                        subset = {partitioner.shard_of(value)}
+                    elif op in (">", ">="):
+                        subset = partitioner.shards_for_range(
+                            value, None, op == ">=", True
+                        )
+                    elif op in ("<", "<="):
+                        subset = partitioner.shards_for_range(
+                            None, value, True, op == "<="
+                        )
+        elif isinstance(conjunct, InList) and not conjunct.negated:
+            if is_key(conjunct.operand):
+                values = []
+                for item in conjunct.items:
+                    known, value = _resolve(item, params)
+                    if not known:
+                        values = None
+                        break
+                    values.append(value)
+                if values is not None:
+                    subset = {
+                        partitioner.shard_of(v) for v in values if v is not None
+                    }
+        elif isinstance(conjunct, Between) and not conjunct.negated:
+            if is_key(conjunct.operand):
+                lo_known, lo = _resolve(conjunct.low, params)
+                hi_known, hi = _resolve(conjunct.high, params)
+                if lo_known and hi_known and lo is not None and hi is not None:
+                    subset = partitioner.shards_for_range(lo, hi, True, True)
+        if subset is not None:
+            candidates &= subset
+    return candidates

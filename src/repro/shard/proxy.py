@@ -1,0 +1,212 @@
+"""Proxy table stores: the storage interface over the shard fleet.
+
+A :class:`ShardProxyStore` registers in the coordinator catalog where a
+local :class:`~repro.storage.table_store.VerifiableTable` normally
+would, presenting the same storage surface — ``insert``/``update``/
+``delete``/``get``/``scan``/``seq_scan``/``row_count`` — so the
+coordinator's planner and executor run *unchanged* over a sharded
+fleet. Each call routes to the owning shard when the partitioner can
+decide ownership, and scatters (through MAC'd envelopes) when it
+cannot:
+
+* DML routes by the row's shard-key value; an update that moves the
+  shard-key relocates the row with a delete at the old owner and an
+  insert at the new one;
+* point ``get``/``delete`` route directly when the shard key *is* the
+  primary key, and broadcast otherwise;
+* ``scan`` prunes the shard set when scanning the shard-key column,
+  then merges the per-shard runs with a heap merge on the chain order
+  ``(value, primary key)`` — the exact order a local chain scan emits —
+  so the planner's sort-elision and merge-join decisions stay valid.
+
+This is the *gather-mode* fallback path; queries the router can push
+down never reach these per-row methods.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Iterable, Optional
+
+from repro.catalog.schema import Schema
+from repro.errors import StorageError
+
+
+class ShardProxyStore:
+    """A VerifiableTable lookalike that scatters to the shard fleet."""
+
+    def __init__(self, name: str, schema: Schema, router, config):
+        from repro.shard.partition import partitioner_for
+
+        self.name = name
+        self.schema = schema
+        self.router = router
+        self.wal = None  # durability lives inside each worker enclave
+        self._partitioner = partitioner_for(config, name)
+        self._shard_key = config.shard_key_for(name, schema)
+        self._key_index = schema.column_index(self._shard_key)
+        self._pk_index = schema.primary_key_index
+        self._pk_is_key = self._shard_key == schema.primary_key
+        self._prune = config.prune
+
+    # ------------------------------------------------------------------
+    # routing helpers
+    # ------------------------------------------------------------------
+    def _owner(self, shard_key_value: Any) -> int:
+        return self._partitioner.shard_of(shard_key_value)
+
+    def _all_shards(self) -> range:
+        return range(self.router.shard_count)
+
+    # ------------------------------------------------------------------
+    # write interface
+    # ------------------------------------------------------------------
+    def insert(self, row: Iterable[Any]) -> None:
+        row = self.schema.validate_row(row)
+        if not self._pk_is_key:
+            # placement is by shard key, so primary-key uniqueness is a
+            # fleet-wide property the owner shard alone cannot check
+            pk = row[self._pk_index]
+            if self._lookup(pk) is not None:
+                raise StorageError(
+                    f"duplicate primary key {pk!r} in table {self.name!r}"
+                )
+        self.router.call(
+            self._owner(row[self._key_index]),
+            "insert",
+            {"table": self.name, "row": row},
+        )
+
+    def update(self, pk: Any, updates: dict) -> bool:
+        touches_placement = self._shard_key in updates or (
+            not self._pk_is_key and self.schema.primary_key in updates
+        )
+        if not touches_placement:
+            if self._pk_is_key and self._prune:
+                return self.router.call(
+                    self._owner(pk),
+                    "update",
+                    {"table": self.name, "pk": pk, "updates": updates},
+                )
+            results = self.router.broadcast(
+                "update", {"table": self.name, "pk": pk, "updates": updates}
+            )
+            return any(results)
+        # the shard key (or pk, when placement follows a non-pk shard
+        # key) changes: relocate through delete + insert so the row
+        # lands on its new owner
+        old_row = self._lookup(pk)
+        if old_row is None:
+            return False
+        new_row = list(old_row)
+        for column, value in updates.items():
+            new_row[self.schema.column_index(column)] = value
+        new_row = self.schema.validate_row(new_row)
+        old_shard = self._owner(old_row[self._key_index])
+        new_shard = self._owner(new_row[self._key_index])
+        if old_shard == new_shard:
+            return self.router.call(
+                old_shard,
+                "update",
+                {"table": self.name, "pk": pk, "updates": updates},
+            )
+        new_pk = new_row[self._pk_index]
+        if new_pk != pk and self._lookup(new_pk) is not None:
+            raise StorageError(
+                f"duplicate primary key {new_pk!r} in table {self.name!r}"
+            )
+        self.router.call(
+            old_shard, "delete", {"table": self.name, "pk": pk}
+        )
+        self.router.call(
+            new_shard, "insert", {"table": self.name, "row": tuple(new_row)}
+        )
+        return True
+
+    def delete(self, pk: Any) -> bool:
+        if self._pk_is_key and self._prune:
+            return self.router.call(
+                self._owner(pk), "delete", {"table": self.name, "pk": pk}
+            )
+        results = self.router.broadcast(
+            "delete", {"table": self.name, "pk": pk}
+        )
+        return any(results)
+
+    # ------------------------------------------------------------------
+    # read interface
+    # ------------------------------------------------------------------
+    def _lookup(self, pk: Any) -> Optional[tuple]:
+        if self._pk_is_key and self._prune:
+            return self.router.call(
+                self._owner(pk), "get", {"table": self.name, "pk": pk}
+            )
+        for row in self.router.broadcast("get", {"table": self.name, "pk": pk}):
+            if row is not None:
+                return tuple(row)
+        return None
+
+    def get(self, pk: Any) -> tuple[Optional[tuple], None]:
+        # the worker's enclave checked the point proof before answering
+        # and the reply rode home under the link MAC; there is no
+        # client-side proof object to re-check here
+        row = self._lookup(pk)
+        return (None if row is None else tuple(row)), None
+
+    def scan(
+        self,
+        column: Optional[str] = None,
+        lo: Any = None,
+        hi: Any = None,
+        include_lo: bool = True,
+        include_hi: bool = True,
+        batch_size: Optional[int] = None,
+    ) -> list[tuple]:
+        column = column or self.schema.primary_key
+        if self.schema.chain_id(column) is None:
+            raise StorageError(
+                f"column {column!r} has no key chain; scan the primary key "
+                f"and filter, or declare it in Schema.chain_columns"
+            )
+        shard_ids = self._all_shards()
+        if self._prune and column == self._shard_key:
+            shard_ids = self._partitioner.shards_for_range(
+                lo, hi, include_lo, include_hi
+            )
+        payload = {
+            "table": self.name,
+            "column": column,
+            "lo": lo,
+            "hi": hi,
+            "include_lo": include_lo,
+            "include_hi": include_hi,
+        }
+        runs = self.router.scatter(shard_ids, "scan", lambda _i: payload)
+        if len(runs) == 1:
+            return [tuple(row) for row in runs[0]]
+        # each worker's chain scan is ordered by (value, pk); a heap
+        # merge preserves that global order, keeping the coordinator
+        # planner's interesting-order bookkeeping truthful
+        value_index = self.schema.column_index(column)
+        pk_index = self._pk_index
+        return [
+            tuple(row)
+            for row in heapq.merge(
+                *runs, key=lambda row: (row[value_index], row[pk_index])
+            )
+        ]
+
+    def seq_scan(self, batch_size: Optional[int] = None) -> list[tuple]:
+        return self.scan(batch_size=batch_size)
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def row_count(self) -> int:
+        return sum(
+            self.router.broadcast("row_count", {"table": self.name})
+        )
+
+    def destroy(self) -> None:
+        self.router.broadcast("drop_table", {"name": self.name})

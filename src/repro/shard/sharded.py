@@ -1,0 +1,315 @@
+"""The sharded coordinator: one portal, N enclave workers.
+
+:class:`ShardedDatabase` presents the same surface as
+:class:`~repro.core.database.VeriDB` — ``execute``/``prepare``/
+``explain_analyze``/``create_table``/``load_rows``/``verify_now``/
+``connect`` — over a fleet of enclave workers, each a complete VeriDB
+holding one partition of every table:
+
+* DDL broadcasts to every worker and registers a
+  :class:`~repro.shard.proxy.ShardProxyStore` in the coordinator
+  catalog, so the coordinator's own planner/executor see a normal
+  table;
+* SELECTs go to the :class:`~repro.shard.router.ScatterRouter` first —
+  pushdown-eligible queries execute as scatter-gather plans with
+  verified partial-aggregate merge; everything else runs through the
+  unmodified engine over the proxy stores (gather mode);
+* the coordinator runs its own enclave and portal, so attested clients
+  submit MAC'd queries exactly as against a single instance — the
+  fleet is invisible above the portal;
+* :meth:`verify_now` is the cross-shard epoch close: a two-phase
+  protocol that first collects a per-shard digest from a full local
+  verification pass on every worker (*prepare*), binds them into one
+  fleet digest, and only then commits the advanced fleet round
+  everywhere — so "verified" always refers to one consistent
+  fleet-wide cut, and a worker that missed a round refuses with
+  :class:`~repro.errors.ShardEpochDesync`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Iterable, Optional
+
+from repro.catalog.catalog import Catalog, TableInfo
+from repro.catalog.schema import Schema, schema_to_dict
+from repro.core.client import VeriDBClient
+from repro.core.config import ShardConfig
+from repro.core.database import ENGINE_CODE_IDENTITY
+from repro.core.incident import IncidentLog
+from repro.core.portal import QueryPortal
+from repro.crypto.keys import KeyChain, generate_key
+from repro.obs import default_registry
+from repro.sgx.attestation import PlatformQuotingKey, verify_quote
+from repro.sgx.costs import CycleMeter
+from repro.sgx.enclave import Enclave
+from repro.shard.envelope import link_key_purpose
+from repro.shard.proxy import ShardProxyStore
+from repro.shard.router import ScatterRouter
+from repro.shard.transport import build_link
+from repro.sql.ast_nodes import CreateTable, Explain, Select
+from repro.sql.executor import (
+    ExecutionResult,
+    PreparedStatement,
+    QueryEngine,
+)
+from repro.sql import params as _params
+from repro.storage.engine import StorageEngine
+
+
+class ShardedDatabase:
+    """A scatter-gather VeriDB over ``config.shard_count`` enclaves."""
+
+    def __init__(self, config: Optional[ShardConfig] = None, registry=None):
+        self.config = config or ShardConfig()
+        self.obs = registry if registry is not None else default_registry()
+        # the fleet keychain mints one link key per shard; each worker
+        # enclave internally derives its own independent key material
+        keychain = KeyChain(seed=self.config.base.key_seed)
+        self.links = [
+            build_link(
+                shard_id,
+                self.config,
+                keychain.key_for(link_key_purpose(shard_id)),
+            )
+            for shard_id in range(self.config.shard_count)
+        ]
+        platform_seed = (
+            None
+            if self.config.base.key_seed is None
+            else self.config.base.key_seed + 1
+        )
+        self.platform = PlatformQuotingKey(generate_key(seed=platform_seed))
+        self.enclave = Enclave(
+            name="veridb-coordinator",
+            keychain=keychain,
+            platform=self.platform,
+            meter=CycleMeter(registry=self.obs),
+        )
+        self.enclave.load_code(ENGINE_CODE_IDENTITY)
+        # the coordinator's local storage engine only hosts planner
+        # scaffolding (spill/knobs); rows live in the workers, whose
+        # own verified-memory stacks carry the integrity argument
+        coordinator_storage = dataclasses.replace(
+            self.config.base.storage,
+            verification=False,
+            spill_threshold_rows=None,
+        )
+        self.storage = StorageEngine(
+            coordinator_storage, keychain=keychain, registry=self.obs
+        )
+        self.catalog = Catalog()
+        self.engine = QueryEngine(self.catalog, self.storage, epc=self.enclave.epc)
+        self.router = ScatterRouter(
+            self.links, self.config, self.catalog, self.engine.planner, self.obs
+        )
+        self.incidents = IncidentLog(registry=self.obs)
+        self.portal = QueryPortal(
+            self,
+            keychain.mac_key,
+            self.enclave.counter,
+            registry=self.obs,
+            trace_sample_rate=self.config.base.trace_sample_rate,
+        )
+        self.enclave.register_ecall("submit_query", self.portal.submit)
+        self._expected_measurement = self.enclave.measurement
+        self.wal = None  # durability is per-worker (each has its own log)
+        self._fleet_round = 0
+        self.fleet_digest: Optional[bytes] = None
+        self._ctr_epoch_closes = self.obs.counter("shard.epoch_closes")
+
+    # ------------------------------------------------------------------
+    # client connections (same attestation handshake as VeriDB)
+    # ------------------------------------------------------------------
+    def connect(
+        self,
+        name: str = "client",
+        challenge: Optional[bytes] = None,
+        expected_measurement: Optional[bytes] = None,
+        audit_state: Optional[bytes] = None,
+    ) -> VeriDBClient:
+        challenge = challenge if challenge is not None else generate_key()
+        report = self.enclave.attest(challenge)
+        expected = (
+            expected_measurement
+            if expected_measurement is not None
+            else self._expected_measurement
+        )
+        verify_quote(self.platform, report, expected, challenge)
+        submit = lambda query: self.enclave.ecall("submit_query", query)
+        return VeriDBClient(
+            submit,
+            self.enclave.keychain.mac_key,
+            name=name,
+            audit_state=audit_state,
+        )
+
+    # ------------------------------------------------------------------
+    # SQL surface
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        sql: str,
+        join_hint: Optional[str] = None,
+        params: Optional[tuple] = None,
+        tenant: Optional[str] = None,
+    ) -> ExecutionResult:
+        values = () if params is None else tuple(params)
+        entry_kwargs = {} if tenant is None else {"tenant": tenant}
+        entry = self.engine.statement_entry(sql, join_hint, **entry_kwargs)
+        return self._execute_entry(entry, values, join_hint)
+
+    sql = execute  # admin-path alias, mirroring VeriDB.sql
+
+    def _execute_entry(self, entry, values: tuple, join_hint=None):
+        stmt = entry.stmt
+        if isinstance(stmt, CreateTable):
+            return self._run_create(stmt)
+        if isinstance(stmt, Explain):
+            pushed = self.router.plan_select(stmt.select, values)
+            if pushed is not None:
+                rows = [(line,) for line in pushed.explain().splitlines()]
+                return ExecutionResult(
+                    columns=["plan"], rows=rows, rowcount=len(rows)
+                )
+        if isinstance(stmt, Select):
+            pushed = self.router.plan_select(stmt, values)
+            if pushed is not None:
+
+                def run() -> ExecutionResult:
+                    with _params.bound(values):
+                        return self.engine._run_plan(pushed)
+
+                return self.engine._metered(run)
+        # gather mode: the unmodified engine over the proxy stores
+        return self.engine.execute_prepared(entry, values, join_hint=join_hint)
+
+    def prepare(self, statement: str, join_hint: Optional[str] = None):
+        return PreparedStatement(
+            self.engine,
+            statement,
+            join_hint,
+            executor=lambda entry, values: self._execute_entry(
+                entry, values, join_hint
+            ),
+        )
+
+    def explain_analyze(self, statement: str, join_hint: Optional[str] = None):
+        from repro.sql.explain import explain_analyze
+
+        return explain_analyze(self, statement, join_hint=join_hint)
+
+    # ------------------------------------------------------------------
+    # DDL / data loading
+    # ------------------------------------------------------------------
+    def _run_create(self, stmt: CreateTable) -> ExecutionResult:
+        from repro.catalog.schema import Column, type_from_name
+        from repro.errors import PlanningError
+
+        if stmt.primary_key is None:
+            raise PlanningError(
+                f"table {stmt.name!r} needs a PRIMARY KEY (the chain-0 key)"
+            )
+        schema = Schema(
+            columns=[
+                Column(
+                    definition.name,
+                    type_from_name(definition.type_name),
+                    nullable=not definition.not_null,
+                )
+                for definition in stmt.columns
+            ],
+            primary_key=stmt.primary_key,
+            chain_columns=tuple(stmt.chain_columns),
+        )
+        self.create_table(stmt.name, schema)
+        return ExecutionResult()
+
+    def create_table(self, name: str, schema: Schema) -> ShardProxyStore:
+        """Create one partition of the table on every worker."""
+        # validate the configured shard key before any worker mutates
+        self.config.shard_key_for(name, schema)
+        store = ShardProxyStore(name, schema, self.router, self.config)
+        self.catalog.register(TableInfo(name, schema, store))
+        try:
+            self.router.broadcast(
+                "create_table",
+                {"name": name, "schema": schema_to_dict(schema)},
+            )
+        except Exception:
+            self.catalog.drop(name)
+            raise
+        return store
+
+    def table(self, name: str) -> ShardProxyStore:
+        return self.catalog.lookup(name).store
+
+    def load_rows(self, name: str, rows: Iterable[tuple]) -> int:
+        store = self.table(name)
+        count = 0
+        for row in rows:
+            store.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # cross-shard epoch close (two-phase)
+    # ------------------------------------------------------------------
+    def verify_now(self) -> None:
+        """Close one fleet-wide verification epoch across all shards.
+
+        Phase 1 (*prepare*): every worker runs a full local
+        verification pass and answers with a digest binding its shard
+        id, the proposed fleet round, its local epoch and its RSWS
+        synopsis. Any local inconsistency aborts the close with the
+        worker's own typed :class:`~repro.errors.VerificationFailure`,
+        re-raised here; any round disagreement raises
+        :class:`~repro.errors.ShardEpochDesync`.
+
+        Phase 2 (*commit*): the per-shard digests are folded (in shard
+        order) into one fleet digest that every worker records alongside
+        the advanced round — the fleet-wide cut the next close must
+        extend.
+        """
+        fleet_round = self._fleet_round + 1
+        digests = self.router.broadcast("epoch_prepare", {"round": fleet_round})
+        fold = hashlib.sha256()
+        fold.update(b"fleet-epoch")
+        fold.update(fleet_round.to_bytes(8, "little"))
+        for digest in digests:
+            fold.update(digest)
+        fleet_digest = fold.digest()
+        self.router.broadcast(
+            "epoch_commit",
+            {"round": fleet_round, "fleet_digest": fleet_digest},
+        )
+        self._fleet_round = fleet_round
+        self.fleet_digest = fleet_digest
+        self._ctr_epoch_closes.inc()
+
+    # ------------------------------------------------------------------
+    # introspection / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        return {
+            "tables": self.catalog.table_names(),
+            "shard_count": self.config.shard_count,
+            "fleet_round": self._fleet_round,
+            "fleet_digest": (
+                None if self.fleet_digest is None else self.fleet_digest.hex()
+            ),
+            "queries_served": self.portal.seen_query_count(),
+            "metrics": self.obs.snapshot(),
+        }
+
+    def close(self) -> None:
+        self.router.close()
+        for link in self.links:
+            link.close()
+
+    def __enter__(self) -> "ShardedDatabase":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -1,0 +1,240 @@
+"""A shard worker: one full enclave-backed VeriDB behind the envelope.
+
+Each worker owns a complete :class:`~repro.core.database.VeriDB` — its
+own keychain, RSWS partitions, EPC model, epoch verifier, record cache
+and plan cache — holding one partition of every table. The coordinator
+talks to it exclusively through MAC'd envelopes (:mod:`.envelope`);
+under the ``process`` transport the worker lives in its own
+``multiprocessing`` process, which is what finally takes query
+execution off the coordinator's GIL.
+
+The worker also holds its half of the two-phase cross-shard epoch
+close: ``epoch_prepare`` runs a full local verification pass and
+answers with a digest binding ``(shard id, fleet round, local epoch,
+RSWS synopsis)``; ``epoch_commit`` records the coordinator's fleet
+digest and advances the committed round. Both phases insist on the
+exact next round number — any disagreement is a fleet rollback or a
+replayed close and raises :class:`~repro.errors.ShardEpochDesync`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+from time import perf_counter
+from typing import Any, Optional
+
+from repro.catalog.schema import schema_from_dict
+from repro.core.config import ShardConfig
+from repro.core.database import VeriDB
+from repro.crypto.mac import MessageAuthenticator
+from repro.errors import ShardEpochDesync, VeriDBError
+from repro.shard.envelope import (
+    encode_error,
+    link_key_purpose,
+    open_request,
+    seal_reply,
+)
+
+
+def worker_config(config: ShardConfig, shard_id: int):
+    """Derive one worker's VeriDBConfig from the fleet base config.
+
+    A seeded fleet gives every worker enclave a distinct deterministic
+    key seed (spaced so the platform key derived at ``seed + 1`` never
+    collides across shards); a WAL-enabled fleet gives each worker its
+    own log directory.
+    """
+    base = config.base
+    key_seed = (
+        None if base.key_seed is None else base.key_seed + (shard_id + 1) * 1000
+    )
+    wal_dir = (
+        None
+        if base.wal_dir is None
+        else os.path.join(base.wal_dir, f"shard-{shard_id}")
+    )
+    return dataclasses.replace(base, key_seed=key_seed, wal_dir=wal_dir)
+
+
+class ShardWorker:
+    """Envelope-speaking request handler around one worker VeriDB."""
+
+    def __init__(self, shard_id: int, config: ShardConfig, link_key: bytes):
+        self.shard_id = shard_id
+        self.db = VeriDB(worker_config(config, shard_id))
+        self._mac = MessageAuthenticator(link_key)
+        self._last_request_id = 0
+        self._seqno = 0
+        self.closed = False
+        #: committed fleet round and the digest that sealed it
+        self.fleet_round = 0
+        self.fleet_digest: Optional[bytes] = None
+        self._prepared: Optional[tuple[int, bytes]] = None
+
+    # ------------------------------------------------------------------
+    def handle(self, blob: bytes) -> bytes:
+        """Verify one request, run it, and seal the reply."""
+        # the claimed request id is echoed even on failure so the
+        # coordinator can match the (authenticated) error to its request
+        claimed = int.from_bytes(blob[8:16], "little") if len(blob) >= 16 else 0
+        try:
+            request_id, op, payload = open_request(
+                self._mac, self.shard_id, blob, self._last_request_id
+            )
+            self._last_request_id = request_id
+            result = self._dispatch(op, payload)
+            status, reply_payload = "ok", result
+        except VeriDBError as error:
+            request_id = claimed
+            status, reply_payload = "err", encode_error(error)
+        self._seqno += 1
+        return seal_reply(
+            self._mac,
+            self.shard_id,
+            request_id,
+            self._seqno,
+            status,
+            reply_payload,
+        )
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, op: str, payload: dict) -> Any:
+        handler = getattr(self, f"_op_{op}", None)
+        if handler is None:
+            raise VeriDBError(f"unknown shard op {op!r}")
+        return handler(payload)
+
+    # -- SQL execution -------------------------------------------------
+    def _op_sql(self, payload: dict) -> dict:
+        start = perf_counter()
+        result = self.db.engine.execute(
+            payload["sql"],
+            join_hint=payload.get("join_hint"),
+            params=payload.get("params"),
+        )
+        return {
+            "columns": list(result.columns),
+            "rows": list(result.rows),
+            "rowcount": result.rowcount,
+            "elapsed": perf_counter() - start,
+        }
+
+    def _op_stmt(self, payload: dict) -> dict:
+        """Execute a pushed-down statement fragment (a pickled AST)."""
+        start = perf_counter()
+        result = self.db.engine.execute(
+            payload["stmt"], params=payload.get("params")
+        )
+        return {
+            "columns": list(result.columns),
+            "rows": list(result.rows),
+            "rowcount": result.rowcount,
+            "elapsed": perf_counter() - start,
+        }
+
+    # -- DDL -----------------------------------------------------------
+    def _op_create_table(self, payload: dict) -> bool:
+        self.db.create_table(
+            payload["name"], schema_from_dict(payload["schema"])
+        )
+        return True
+
+    def _op_drop_table(self, payload: dict) -> bool:
+        info = self.db.catalog.drop(payload["name"])
+        info.store.destroy()
+        return True
+
+    # -- storage-level row operations (the proxy-store protocol) -------
+    def _op_insert(self, payload: dict) -> bool:
+        self.db.table(payload["table"]).insert(payload["row"])
+        return True
+
+    def _op_update(self, payload: dict) -> bool:
+        return self.db.table(payload["table"]).update(
+            payload["pk"], payload["updates"]
+        )
+
+    def _op_delete(self, payload: dict) -> bool:
+        return self.db.table(payload["table"]).delete(payload["pk"])
+
+    def _op_get(self, payload: dict):
+        row, _proof = self.db.table(payload["table"]).get(payload["pk"])
+        return row
+
+    def _op_scan(self, payload: dict) -> list[tuple]:
+        return self.db.table(payload["table"]).scan(
+            payload.get("column"),
+            payload.get("lo"),
+            payload.get("hi"),
+            payload.get("include_lo", True),
+            payload.get("include_hi", True),
+        )
+
+    def _op_row_count(self, payload: dict) -> int:
+        return self.db.table(payload["table"]).row_count
+
+    def _op_table_names(self, payload: dict) -> list[str]:
+        return self.db.catalog.table_names()
+
+    # -- two-phase epoch close -----------------------------------------
+    def _op_epoch_prepare(self, payload: dict) -> bytes:
+        fleet_round = payload["round"]
+        if fleet_round != self.fleet_round + 1:
+            raise ShardEpochDesync(
+                f"shard {self.shard_id} asked to prepare fleet round "
+                f"{fleet_round} but its committed round is "
+                f"{self.fleet_round}",
+                shard=self.shard_id,
+            )
+        # the local verification pass is the whole point: a shard only
+        # contributes a digest for state it just proved consistent
+        self.db.verify_now()
+        digest = hashlib.sha256()
+        digest.update(b"shard-epoch")
+        digest.update(self.shard_id.to_bytes(8, "little"))
+        digest.update(fleet_round.to_bytes(8, "little"))
+        digest.update(self.db.storage.vmem.epoch.to_bytes(8, "little"))
+        digest.update(self.db._rsws_summary().encode("ascii"))
+        prepared = digest.digest()
+        self._prepared = (fleet_round, prepared)
+        return prepared
+
+    def _op_epoch_commit(self, payload: dict) -> int:
+        fleet_round = payload["round"]
+        if self._prepared is None or self._prepared[0] != fleet_round:
+            raise ShardEpochDesync(
+                f"shard {self.shard_id} has no prepared state for fleet "
+                f"round {fleet_round}",
+                shard=self.shard_id,
+            )
+        self.fleet_round = fleet_round
+        self.fleet_digest = payload["fleet_digest"]
+        self._prepared = None
+        return fleet_round
+
+    def _op_verify(self, payload: dict) -> bool:
+        self.db.verify_now()
+        return True
+
+    def _op_close(self, payload: dict) -> bool:
+        self.closed = True
+        return True
+
+
+def worker_main(conn, shard_id: int, config: ShardConfig, link_key: bytes):
+    """Process entry point: serve envelope requests over a Pipe."""
+    worker = ShardWorker(shard_id, config, link_key)
+    while True:
+        try:
+            blob = conn.recv_bytes()
+        except (EOFError, OSError):
+            break
+        conn.send_bytes(worker.handle(blob))
+        if worker.closed:
+            break
+    conn.close()
+
+
+__all__ = ["ShardWorker", "worker_main", "worker_config", "link_key_purpose"]

@@ -34,11 +34,43 @@ value).
 from __future__ import annotations
 
 import itertools
+from array import array
 from typing import Iterable, Iterator
 
 from repro.storage.config import DEFAULT_BATCH_SIZE
 
 __all__ = ["DEFAULT_BATCH_SIZE", "ColumnBatch", "RowBatch", "batched"]
+
+#: pack NULL-free all-int / all-float derived columns into ``array``
+#: typecode ``q``/``d`` storage (8 bytes per cell instead of a pointer
+#: to a boxed object). Module-level so tests and ablations can flip it.
+PACK_NUMERIC = True
+
+
+def _packed(values: list) -> list | array:
+    """``values`` as a typed array when eligible, unchanged otherwise.
+
+    Eligible means non-empty, NULL-free and type-homogeneous int or
+    float — checked with exact ``type`` so bools (an int subclass) and
+    int/float mixes keep object semantics. Out-of-range ints (beyond
+    64-bit) fall back to the list form.
+    """
+    if not values:
+        return values
+    first = type(values[0])
+    if first is int:
+        typecode = "q"
+    elif first is float:
+        typecode = "d"
+    else:
+        return values
+    for value in values:
+        if type(value) is not first:
+            return values
+    try:
+        return array(typecode, values)
+    except (OverflowError, TypeError, ValueError):
+        return values
 
 
 class ColumnBatch:
@@ -107,6 +139,8 @@ class ColumnBatch:
         if values is None:
             rows = self._rows
             values = [row[position] for row in rows]
+            if PACK_NUMERIC:
+                values = _packed(values)
             self._columns[position] = values
         return values
 

@@ -100,6 +100,9 @@ class QueryEngine:
         self._ctr_cache_invalidations = self.obs.counter(
             "sql.plan_cache_invalidations"
         )
+        self._ctr_cross_tenant_hits = self.obs.counter(
+            "sql.plan_cache_cross_tenant_hits"
+        )
         self._ctr_parsed = self.obs.counter("sql.statements_parsed")
         self._ctr_planned = self.obs.counter("sql.statements_planned")
         self._ctr_fused_batches = self.obs.counter("sql.fused_pipeline_batches")
@@ -127,7 +130,10 @@ class QueryEngine:
     # plan cache
     # ------------------------------------------------------------------
     def statement_entry(
-        self, sql: str, join_hint: Optional[str] = None
+        self,
+        sql: str,
+        join_hint: Optional[str] = None,
+        tenant: Optional[str] = None,
     ) -> CacheEntry:
         """Resolve statement text to a (possibly cached) entry.
 
@@ -144,17 +150,29 @@ class QueryEngine:
         if entry is not None:
             if entry.schema_version == self.catalog.schema_version:
                 self._ctr_cache_hits.inc()
+                # one cache serves every tenant (plans carry statement
+                # shape, never tenant data); count the shared hits
+                if (
+                    tenant is not None
+                    and entry.tenant is not None
+                    and entry.tenant != tenant
+                ):
+                    self._ctr_cross_tenant_hits.inc()
                 return entry
             self._ctr_cache_invalidations.inc()
             self.plan_cache.invalidate(key)
-        entry = self._build_entry(key[0], sql, join_hint)
+        entry = self._build_entry(key[0], sql, join_hint, tenant)
         if isinstance(entry.stmt, (Select, Insert, Update, Delete)):
             self._ctr_cache_misses.inc()
         self.plan_cache.put(key, entry)  # no-op unless entry.cacheable
         return entry
 
     def _build_entry(
-        self, normalized: str, sql: str, join_hint: Optional[str]
+        self,
+        normalized: str,
+        sql: str,
+        join_hint: Optional[str],
+        tenant: Optional[str] = None,
     ) -> CacheEntry:
         # the version is read *before* parse/plan: a concurrent DDL can
         # only make the stamp too old (entry discarded on next lookup),
@@ -183,6 +201,7 @@ class QueryEngine:
             cacheable=cacheable,
             select_template=select_template,
             filter_template=filter_template,
+            tenant=tenant,
         )
 
     def prepare(
@@ -198,6 +217,7 @@ class QueryEngine:
         join_hint: Optional[str] = None,
         undo: Optional[list] = None,
         params: Optional[tuple] = None,
+        tenant: Optional[str] = None,
     ) -> ExecutionResult:
         """Run one statement.
 
@@ -205,11 +225,13 @@ class QueryEngine:
         one inverse callable per applied row change, appended in apply
         order, so a transaction can roll back by replaying it reversed.
         ``params`` binds the statement's ``?`` placeholders in order.
+        ``tenant`` attributes plan-cache accounting (cross-tenant hit
+        counting) to the submitting tenant; execution is identical.
         Statement text goes through the plan cache; a pre-parsed
         ``Statement`` bypasses it.
         """
         if isinstance(sql, str):
-            entry = self.statement_entry(sql, join_hint)
+            entry = self.statement_entry(sql, join_hint, tenant=tenant)
             return self.execute_prepared(
                 entry,
                 () if params is None else tuple(params),

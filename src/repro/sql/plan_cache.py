@@ -125,6 +125,12 @@ class CacheEntry:
     select_template: Optional[PhysicalOp] = None
     #: pristine filtered-scan plan for UPDATE/DELETE row matching
     filter_template: Optional[PhysicalOp] = None
+    #: tenant whose query built this entry (None: admin/untenanted).
+    #: Entries are *shared* across tenants — plans contain no tenant
+    #: data, only statement shape — and a hit from a different tenant
+    #: counts ``sql.plan_cache_cross_tenant_hits``, making the sharing
+    #: win observable per deployment.
+    tenant: Optional[str] = None
 
 
 class PlanCache:

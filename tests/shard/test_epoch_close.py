@@ -1,0 +1,134 @@
+"""Two-phase cross-shard epoch close, desync and tamper detection."""
+
+import pytest
+
+from repro.core.config import ShardConfig, VeriDBConfig
+from repro.errors import (
+    IntegrityError,
+    ProofError,
+    RollbackDetected,
+    ShardEpochDesync,
+    VerificationFailure,
+)
+from repro.memory.adversary import Adversary
+from repro.memory.cells import make_addr
+from repro.obs.metrics import MetricsRegistry
+from repro.shard import ShardedDatabase
+
+SHARD_COUNTS = (1, 2, 4)
+
+#: detection at the fleet level looks exactly like single-enclave
+#: detection: the worker's typed alarm crosses the envelope intact
+DETECTION_ERRORS = (
+    VerificationFailure,
+    ProofError,
+    IntegrityError,
+    RollbackDetected,
+)
+
+
+def fleet(shard_count):
+    db = ShardedDatabase(
+        ShardConfig(shard_count=shard_count, base=VeriDBConfig(key_seed=23)),
+        registry=MetricsRegistry(),
+    )
+    db.execute("CREATE TABLE t (k INT PRIMARY KEY, v INT)")
+    db.load_rows("t", [(i, i * 100) for i in range(20)])
+    return db
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+def test_close_advances_every_worker_to_the_same_cut(shard_count):
+    with fleet(shard_count) as db:
+        db.verify_now()
+        db.execute("UPDATE t SET v = 1 WHERE k = 3")
+        db.verify_now()
+        assert db.stats()["fleet_round"] == 2
+        for link in db.links:
+            assert link.worker.fleet_round == 2
+            assert link.worker.fleet_digest == db.fleet_digest
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+def test_prepare_insists_on_the_next_round(shard_count):
+    with fleet(shard_count) as db:
+        db.verify_now()  # committed round 1 everywhere
+        # a replayed close (round 1 again) and a skipped round both fail
+        for bad_round in (1, 3):
+            with pytest.raises(ShardEpochDesync):
+                db.links[0].call("epoch_prepare", {"round": bad_round})
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+def test_commit_without_prepare_refused(shard_count):
+    with fleet(shard_count) as db:
+        with pytest.raises(ShardEpochDesync):
+            db.links[0].call(
+                "epoch_commit", {"round": 1, "fleet_digest": b"\x00" * 32}
+            )
+
+
+@pytest.mark.parametrize("shard_count", [2, 4])
+def test_desynced_worker_aborts_the_fleet_close(shard_count):
+    """A worker pushed ahead out-of-band refuses the fleet's next round."""
+    with fleet(shard_count) as db:
+        rogue = db.links[-1]
+        rogue.call("epoch_prepare", {"round": 1})
+        rogue.call("epoch_commit", {"round": 1, "fleet_digest": b"\x01" * 32})
+        with pytest.raises(ShardEpochDesync):
+            db.verify_now()
+        assert db.stats()["fleet_round"] == 0  # the fleet did not advance
+
+
+@pytest.mark.parametrize("shard_count", SHARD_COUNTS)
+def test_corrupted_worker_fails_the_epoch_close(shard_count):
+    """Flipping bytes inside one worker's verified memory is caught by
+    that worker's own local pass during *prepare*, so the fleet close
+    aborts with the same typed alarm a single enclave would raise."""
+    with fleet(shard_count) as db:
+        db.verify_now()
+        pk = 5
+        shard = db.table("t")._partitioner.shard_of(pk)
+        worker_db = db.links[shard].worker.db
+        table = worker_db.table("t")
+        rid = table.indexes[0].search(pk)
+        page = table.heap.get_page(rid.page_id)
+        offset, _ = page.slot_offset_for_compaction(rid.slot)
+        addr = make_addr(rid.page_id, offset)
+        cell = worker_db.storage.memory.raw_read(addr)
+        Adversary(worker_db.storage.memory).corrupt(
+            addr, cell.data[:-1] + b"\xff"
+        )
+        with pytest.raises(DETECTION_ERRORS):
+            db.verify_now()
+        assert db.stats()["fleet_round"] == 1
+
+
+@pytest.mark.parametrize("shard_count", [2, 4])
+def test_untouched_shards_unaffected_by_neighbor_corruption(shard_count):
+    """Detection is per-worker: the sibling shards still answer reads."""
+    with fleet(shard_count) as db:
+        pk = 5
+        shard = db.table("t")._partitioner.shard_of(pk)
+        worker_db = db.links[shard].worker.db
+        table = worker_db.table("t")
+        rid = table.indexes[0].search(pk)
+        page = table.heap.get_page(rid.page_id)
+        offset, _ = page.slot_offset_for_compaction(rid.slot)
+        addr = make_addr(rid.page_id, offset)
+        cell = worker_db.storage.memory.raw_read(addr)
+        Adversary(worker_db.storage.memory).corrupt(
+            addr, cell.data[:-1] + b"\xff"
+        )
+        with pytest.raises(DETECTION_ERRORS):
+            db.verify_now()
+        # a point read on an untouched shard still verifies and answers
+        other_pk = next(
+            k
+            for k in range(20)
+            if db.table("t")._partitioner.shard_of(k) != shard
+        )
+        rows = db.execute(
+            "SELECT v FROM t WHERE k = ?", params=(other_pk,)
+        ).rows
+        assert rows == [(other_pk * 100,)]
