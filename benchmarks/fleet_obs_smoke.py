@@ -1,0 +1,170 @@
+"""Scrape, lint and archive the fleet's Prometheus exposition.
+
+Usage::
+
+    python benchmarks/fleet_obs_smoke.py [OUTPUT]
+
+Boots a 2-shard ``process``-transport fleet with worker metrics,
+federation and the background health/SLO poller all on, drives a short
+representative workload (DDL, loads, scattered scans and aggregates,
+one ``explain_analyze``, a fleet-wide epoch close), then:
+
+* checks the health report is clean (no alerts, every worker up);
+* renders the coordinator registry — federated worker series included —
+  in Prometheus text-exposition format 0.0.4 and **lints** it with
+  ``repro.obs.promlint`` (name/label grammar, TYPE/HELP headers,
+  duplicate series, histogram bucket monotonicity): any problem fails
+  the run;
+* writes the exposition to ``OUTPUT`` (default ``fleet_metrics.prom``
+  at the repo root — CI uploads it as an artifact) and a machine-
+  readable summary to ``BENCH_fleet_obs.json`` in the bench directory.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from _harness import scaled, write_bench_json  # noqa: E402
+
+from repro.core.config import ShardConfig, VeriDBConfig
+from repro.obs import (
+    JsonlEventSink,
+    MetricsRegistry,
+    lint_prometheus,
+    parse_prometheus,
+    render_prometheus,
+    scoped_event_sink,
+)
+from repro.shard import ShardedDatabase
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+POLL_SECONDS = 0.1
+
+
+def build_fleet() -> ShardedDatabase:
+    return ShardedDatabase(
+        ShardConfig(
+            shard_count=2,
+            transport="process",
+            base=VeriDBConfig(key_seed=7),
+            health_interval=POLL_SECONDS,
+            request_timeout=30.0,
+        ),
+        registry=MetricsRegistry(),
+    )
+
+
+def run_workload(db: ShardedDatabase) -> dict:
+    db.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, owner INT, qty INT)"
+    )
+    n = scaled(400)
+    db.load_rows("items", [(i, i % 20, i * 3) for i in range(n)])
+    for i in range(scaled(8)):
+        db.execute(
+            "SELECT * FROM items WHERE qty > ? AND owner <> 3", params=(i,)
+        )
+        db.execute(
+            "SELECT owner, COUNT(*), SUM(qty) FROM items GROUP BY owner"
+        )
+    analyzed = db.explain_analyze(
+        "SELECT owner, AVG(qty) FROM items WHERE id >= 10 GROUP BY owner"
+    )
+    db.verify_now()
+    remote = analyzed.remote_totals() or {}
+    return {
+        "rows_loaded": n,
+        "remote_verified_reads": remote.get("verified_reads", 0),
+        "remote_segments": len(analyzed.remote_segments()),
+    }
+
+
+def wait_for_polls(db: ShardedDatabase, minimum: int = 2) -> float:
+    deadline = time.monotonic() + 10.0
+    while time.monotonic() < deadline:
+        polls = db.obs.snapshot().get("health.polls", {}).get("value", 0)
+        if polls >= minimum:
+            return polls
+        time.sleep(POLL_SECONDS / 2)
+    raise SystemExit(
+        f"fleet-obs-smoke: background poller made <{minimum} polls in 10s"
+    )
+
+
+def main(argv: list[str]) -> int:
+    output = argv[0] if argv else os.path.join(REPO_ROOT, "fleet_metrics.prom")
+    with scoped_event_sink(JsonlEventSink()) as sink:
+        db = build_fleet()
+        try:
+            workload = run_workload(db)
+            polls = wait_for_polls(db)
+            report = db.health()
+        finally:
+            db.close()
+        text = render_prometheus(db.obs)
+
+    if workload["remote_segments"] != 2:
+        print("fleet-obs-smoke: explain_analyze stitched no worker segments")
+        return 1
+    if not report["healthy"] or report["alerts"]:
+        print(f"fleet-obs-smoke: unhealthy fleet: {report['alerts']}")
+        return 1
+
+    problems = lint_prometheus(text)
+    for problem in problems:
+        print(f"[promlint] {problem}")
+    if problems:
+        print(f"fleet-obs-smoke: exposition failed lint ({len(problems)})")
+        return 1
+
+    parsed = parse_prometheus(text)
+    federated = sorted(
+        {
+            labels["shard"]
+            for _name, labels, _value, _line in parsed["samples"]
+            if "shard" in labels
+        }
+    )
+    if federated != ["0", "1"]:
+        print(f"fleet-obs-smoke: expected both shards federated: {federated}")
+        return 1
+
+    with open(output, "w") as fh:
+        fh.write(text)
+    print(
+        f"[fleet-obs-smoke] wrote {output} ({os.path.getsize(output)} bytes, "
+        f"{len(parsed['samples'])} samples, {len(parsed['families'])} "
+        f"families, lint clean)"
+    )
+    alert_events = [
+        e for e in sink.events if e["type"].startswith("alert")
+    ]
+    write_bench_json(
+        "fleet_obs",
+        {
+            "workload": workload,
+            "exposition": {
+                "samples": len(parsed["samples"]),
+                "families": len(parsed["families"]),
+                "lint_problems": len(problems),
+                "federated_shards": len(federated),
+            },
+            "health": {
+                "healthy": report["healthy"],
+                "alerts": len(report["alerts"]),
+                "alert_events": len(alert_events),
+                "background_polls": polls,
+                "p99_seconds": report["slo"]["p99_seconds"],
+            },
+        },
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,176 @@
+"""Fleet observability ablation — what does federation cost?
+
+The same 4-shard ``process``-transport scaling workload as
+``test_ablation_shard.py``, run twice:
+
+1. **dark** — worker metrics off, no federation, no health poller: the
+   fleet as PR 9 shipped it.
+2. **federated** — every worker binds a real registry, the coordinator
+   folds worker deltas into labeled series, and the health/SLO monitor
+   polls the fleet in the background for the whole run.
+
+The CI gate requires the federated fleet to stay within **5%** of the
+dark fleet on the combined scan+aggregate workload: observability that
+taxes the hot path gets turned off in production, so the tax must stay
+in the noise. Like the scaling gate, the assertion only runs where the
+4 workers can get real cores (``REPRO_SHARD_REQUIRE=1`` or 4+ CPUs);
+elsewhere the benchmark reports without enforcing.
+
+Run ``python benchmarks/test_ablation_fleet_obs.py`` for the table;
+results land in ``BENCH_ablation_fleet_obs.json`` and are covered by
+the perf-trend gate via the committed baseline.
+"""
+
+import os
+
+import pytest
+
+from _harness import scaled, timed, write_bench_json
+from test_ablation_shard import (
+    AGG_QUERY,
+    N_QUERIES,
+    SCAN_QUERY,
+    gate_active,
+    run_workload,
+)
+
+from repro.core.config import ShardConfig, VeriDBConfig
+from repro.obs import MetricsRegistry
+from repro.shard import ShardedDatabase
+
+N_ROWS = scaled(6000)
+
+#: background health/SLO poll cadence while the workload runs — tight
+#: enough that several polls land inside even the scaled-down run
+POLL_SECONDS = 0.2
+
+#: the gate: federated latency may exceed dark latency by at most this
+OVERHEAD_MAX = float(os.environ.get("REPRO_OBS_OVERHEAD_MAX", "0.05"))
+
+
+def build_fleet(federated: bool, n_rows: int = N_ROWS) -> ShardedDatabase:
+    config = ShardConfig(
+        shard_count=4,
+        transport="process",
+        base=VeriDBConfig(key_seed=0),
+        worker_metrics=federated,
+        federate_metrics=federated,
+        health_interval=POLL_SECONDS if federated else 0.0,
+    )
+    registry = MetricsRegistry() if federated else None
+    db = ShardedDatabase(config, registry=registry)
+    db.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, g INT, v INT, w INT, CHAIN (v))"
+    )
+    db.load_rows(
+        "t",
+        [(i, i % 40, i * 13 % 1000, i % 7) for i in range(n_rows)],
+    )
+    return db
+
+
+def measure(federated: bool, repeats: int = 3) -> dict:
+    db = build_fleet(federated)
+    try:
+        run_workload(db, n_queries=1)  # warm the workers
+        best = None
+        checksum = None
+        for _ in range(repeats):
+            rows, elapsed = timed(run_workload, db)
+            checksum = rows if checksum is None else checksum
+            assert rows == checksum, "non-deterministic workload rowcount"
+            if best is None or elapsed < best:
+                best = elapsed
+        row = {"federated": federated, "elapsed_seconds": best, "rows": checksum}
+        if federated:
+            report = db.health()
+            snap = db.obs.snapshot()
+            row["health_polls"] = snap.get("health.polls", {}).get("value", 0)
+            row["alerts"] = len(report["alerts"])
+            # federation really happened: worker deltas landed as
+            # labeled coordinator series for every shard
+            for shard in range(4):
+                key = f'memory.verified_reads{{shard="{shard}"}}'
+                assert snap.get(key, {}).get("value", 0) > 0, (
+                    f"no federated series for shard {shard}"
+                )
+        return row
+    finally:
+        db.close()
+
+
+# ----------------------------------------------------------------------
+# federation must not change answers (always runs, any machine)
+# ----------------------------------------------------------------------
+def test_federated_fleet_answers_match_dark_fleet():
+    reference = None
+    for federated in (False, True):
+        db = build_fleet(federated, n_rows=scaled(600))
+        try:
+            scan = db.execute(SCAN_QUERY, params=(0,)).rows
+            agg = db.execute(AGG_QUERY, params=(0,)).rows
+            db.verify_now()
+        finally:
+            db.close()
+        current = (sorted(scan), sorted(agg))
+        if reference is None:
+            reference = current
+        else:
+            assert current == reference, (
+                "federated fleet answers diverge from the dark fleet"
+            )
+
+
+# ----------------------------------------------------------------------
+# the CI gate: <5% overhead with full observability on
+# ----------------------------------------------------------------------
+def test_federation_overhead_under_five_percent():
+    if not gate_active():
+        pytest.skip(
+            "needs 4+ cores (or REPRO_SHARD_REQUIRE=1) for a meaningful "
+            "overhead gate"
+        )
+    dark = measure(False)
+    federated = measure(True)
+    assert federated["rows"] == dark["rows"]
+    overhead = federated["elapsed_seconds"] / dark["elapsed_seconds"] - 1.0
+    assert overhead < OVERHEAD_MAX, (
+        f"federated fleet {overhead:+.1%} slower than dark "
+        f"({federated['elapsed_seconds']:.3f}s vs {dark['elapsed_seconds']:.3f}s); "
+        f"the observability tax must stay under {OVERHEAD_MAX:.0%}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the table + BENCH_ablation_fleet_obs.json
+# ----------------------------------------------------------------------
+def main():
+    print(
+        f"fleet observability ablation "
+        f"({N_ROWS} rows, {N_QUERIES} query pairs, 4 shards)"
+    )
+    print(f"{'configuration':<14} {'seconds':>10} {'overhead':>10}")
+    dark = measure(False)
+    federated = measure(True)
+    overhead = federated["elapsed_seconds"] / dark["elapsed_seconds"] - 1.0
+    print(f"{'dark':<14} {dark['elapsed_seconds']:>10.4f} {'-':>10}")
+    print(
+        f"{'federated':<14} {federated['elapsed_seconds']:>10.4f} "
+        f"{overhead:>+9.1%}"
+    )
+    print(
+        f"(federated run: {federated['health_polls']:.0f} background "
+        f"health polls, {federated['alerts']} alerts)"
+    )
+    federated["overhead"] = overhead
+    write_bench_json(
+        "ablation_fleet_obs", {"dark": dark, "federated": federated}
+    )
+    if gate_active() and overhead >= OVERHEAD_MAX:
+        print(f"FAIL: federation overhead above the {OVERHEAD_MAX:.0%} gate")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -102,6 +102,22 @@ class ShardConfig:
     stays silent past it raises
     :class:`~repro.errors.ShardReplyLost`. ``prune`` turns partition
     pruning off for A/B testing — results must be identical either way.
+
+    Fleet observability (:mod:`repro.obs.fleet`): ``worker_metrics``
+    gives every worker its own real
+    :class:`~repro.obs.metrics.MetricsRegistry` (the federation source;
+    off restores the zero-cost null registry inside workers).
+    ``federate_metrics`` folds worker registry deltas into the
+    coordinator registry under ``shard`` labels on every health poll.
+    ``health_interval`` > 0 starts the background
+    :class:`~repro.obs.fleet.HealthMonitor` poller on that cadence
+    (seconds); 0 leaves health checks to explicit
+    ``ShardedDatabase.health()`` calls. The ``slo_*`` knobs shape the
+    rolling-window SLO (p99 latency target, window length, error-rate
+    budget), and the ``*_alert`` thresholds arm the per-worker alert
+    rules: WAL records pending past ``wal_lag_alert``, fleet rounds
+    behind the coordinator past ``epoch_lag_alert``, and EPC occupancy
+    fraction past ``epc_pressure_alert`` each raise a typed alert.
     """
 
     shard_count: int = 2
@@ -110,6 +126,15 @@ class ShardConfig:
     transport: str = "inproc"
     prune: bool = True
     request_timeout: float = 30.0
+    worker_metrics: bool = True
+    federate_metrics: bool = True
+    health_interval: float = 0.0
+    slo_p99_seconds: float = 1.0
+    slo_window_seconds: float = 60.0
+    slo_error_rate: float = 0.01
+    wal_lag_alert: int = 1024
+    epoch_lag_alert: int = 1
+    epc_pressure_alert: float = 0.9
     base: VeriDBConfig = field(default_factory=VeriDBConfig)
 
     def __post_init__(self):
@@ -122,6 +147,18 @@ class ShardConfig:
             )
         if self.request_timeout <= 0:
             raise ConfigurationError("request_timeout must be positive")
+        if self.health_interval < 0:
+            raise ConfigurationError("health_interval must be >= 0")
+        if self.slo_p99_seconds <= 0 or self.slo_window_seconds <= 0:
+            raise ConfigurationError("SLO targets must be positive")
+        if not 0.0 <= self.slo_error_rate <= 1.0:
+            raise ConfigurationError(
+                "slo_error_rate must be within [0.0, 1.0]"
+            )
+        if not 0.0 < self.epc_pressure_alert <= 1.0:
+            raise ConfigurationError(
+                "epc_pressure_alert must be within (0.0, 1.0]"
+            )
         for table, boundaries in self.shard_ranges.items():
             if len(boundaries) != self.shard_count - 1:
                 raise ConfigurationError(

@@ -2,10 +2,13 @@
 
 See :mod:`repro.obs.metrics` for the instrument/registry model,
 :mod:`repro.obs.trace` for spans and stream stopwatches,
-:mod:`repro.obs.trace_context` for per-query cost attribution, and
-:mod:`repro.obs.export` for the Prometheus/JSONL exporters. The
+:mod:`repro.obs.trace_context` for per-query cost attribution,
+:mod:`repro.obs.export` for the Prometheus/JSONL exporters,
+:mod:`repro.obs.fleet` for cross-shard trace segments, metrics
+federation and the health/SLO monitor, and :mod:`repro.obs.promlint`
+for the exposition-format linter CI runs over fleet scrapes. The
 metric-name catalog and usage guide live in ``docs/INTERNALS.md``
-("Observability").
+("Observability" and "Fleet observability").
 """
 
 from repro.obs.export import (
@@ -18,6 +21,16 @@ from repro.obs.export import (
     set_default_event_sink,
     write_prometheus_snapshot,
 )
+from repro.obs.fleet import (
+    COUNTED_FIELDS,
+    FederationState,
+    HealthMonitor,
+    SloTracker,
+    fold_metric_delta,
+    serialize_trace_segment,
+    snapshot_delta,
+    sum_segment_totals,
+)
 from repro.obs.metrics import (
     KNOWN_LAYERS,
     NULL_REGISTRY,
@@ -29,8 +42,11 @@ from repro.obs.metrics import (
     default_registry,
     layer_breakdown,
     scoped_registry,
+    series_key,
     set_default_registry,
+    split_series_key,
 )
+from repro.obs.promlint import lint_prometheus, parse_prometheus
 from repro.obs.trace import Span, Stopwatch, current_span, timed_call
 from repro.obs.trace_context import (
     OpStats,
@@ -40,17 +56,21 @@ from repro.obs.trace_context import (
 )
 
 __all__ = [
+    "COUNTED_FIELDS",
     "KNOWN_LAYERS",
     "NULL_EVENT_SINK",
     "NULL_REGISTRY",
     "Counter",
+    "FederationState",
     "Gauge",
+    "HealthMonitor",
     "Histogram",
     "JsonlEventSink",
     "MetricsRegistry",
     "NullEventSink",
     "NullRegistry",
     "OpStats",
+    "SloTracker",
     "Span",
     "Stopwatch",
     "TraceContext",
@@ -58,12 +78,20 @@ __all__ = [
     "current_trace",
     "default_event_sink",
     "default_registry",
+    "fold_metric_delta",
     "layer_breakdown",
+    "lint_prometheus",
+    "parse_prometheus",
     "render_prometheus",
     "scoped_event_sink",
     "scoped_registry",
+    "serialize_trace_segment",
+    "series_key",
     "set_default_event_sink",
     "set_default_registry",
+    "snapshot_delta",
+    "split_series_key",
+    "sum_segment_totals",
     "timed_call",
     "trace_active",
     "write_prometheus_snapshot",

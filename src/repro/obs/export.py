@@ -8,6 +8,11 @@ Two export surfaces on top of :mod:`repro.obs.metrics`:
   ``_bucket{le=...}`` series with the bucket upper bound ``2**(e+1)``.
   Metric names are prefixed ``veridb_`` and dots become underscores, so
   ``memory.verified_reads`` scrapes as ``veridb_memory_verified_reads``.
+  Labeled series (federated per-shard metrics most of all) render as
+  real label sets — one ``# HELP``/``# TYPE`` pair per metric family,
+  one sample line per series, histogram buckets merging the series
+  labels with ``le`` — so fleet dashboards aggregate with ordinary
+  PromQL (``sum by (shard)``) instead of name regexes.
 * **Structured events** — a process-default *event sink* mirroring the
   registry pattern: components bind :func:`default_event_sink` at
   construction, the default :data:`NULL_EVENT_SINK` drops everything at
@@ -31,7 +36,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 
-from repro.obs.metrics import default_registry
+from repro.obs.metrics import default_registry, split_series_key
 
 # ----------------------------------------------------------------------
 # Prometheus text exposition
@@ -46,6 +51,27 @@ def _prom_name(name: str) -> str:
     return _PROM_PREFIX + "".join(out)
 
 
+def _escape_label_value(value: str) -> str:
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _label_str(labels: dict, extra: "tuple[str, str] | None" = None) -> str:
+    """Render a label set (plus an optional ``le``-style pair) or ``""``."""
+    pairs = [
+        (k, _escape_label_value(v)) for k, v in sorted(labels.items())
+    ]
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{k}="{v}"' for k, v in pairs) + "}"
+
+
 def render_prometheus(registry) -> str:
     """Render a registry snapshot as Prometheus text exposition.
 
@@ -54,32 +80,46 @@ def render_prometheus(registry) -> str:
     string. Histogram buckets are cumulative with power-of-two upper
     bounds (the native bucketing of :class:`~repro.obs.metrics.
     Histogram`); the zero bucket maps to the smallest finite bound.
+    Series of one metric family (same base name, different labels) are
+    grouped under a single ``# HELP``/``# TYPE`` header.
     """
+    # group series by base metric name, preserving snapshot order
+    families: dict[str, list[tuple[dict, dict]]] = {}
+    for key, data in registry.snapshot().items():
+        base, key_labels = split_series_key(key)
+        labels = data.get("labels") or key_labels
+        families.setdefault(base, []).append((labels, data))
     lines: list[str] = []
-    for name, data in registry.snapshot().items():
-        prom = _prom_name(name)
-        kind = data.get("type")
-        if kind == "counter":
-            lines.append(f"# TYPE {prom} counter")
-            lines.append(f"{prom} {data['value']}")
-        elif kind == "gauge":
-            value = data["value"]
-            lines.append(f"# TYPE {prom} gauge")
-            lines.append(f"{prom} {'NaN' if value is None else f'{value:g}'}")
-        elif kind == "histogram":
-            lines.append(f"# TYPE {prom} histogram")
-            buckets = data.get("buckets", {})
-            finite = sorted(e for e in buckets if e is not None)
-            cumulative = buckets.get(None, 0)  # the zero bucket
-            bounds: list[tuple[float, int]] = []
-            for exponent in finite:
-                cumulative += buckets[exponent]
-                bounds.append((2.0 ** (exponent + 1), cumulative))
-            for bound, count in bounds:
-                lines.append(f'{prom}_bucket{{le="{bound:g}"}} {count}')
-            lines.append(f'{prom}_bucket{{le="+Inf"}} {data["count"]}')
-            lines.append(f"{prom}_sum {data['sum']:.9g}")
-            lines.append(f"{prom}_count {data['count']}")
+    for base, series in families.items():
+        prom = _prom_name(base)
+        kind = series[0][1].get("type")
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        lines.append(f"# HELP {prom} VeriDB metric {base}")
+        lines.append(f"# TYPE {prom} {kind}")
+        for labels, data in series:
+            label_str = _label_str(labels)
+            if kind == "counter":
+                lines.append(f"{prom}{label_str} {data['value']}")
+            elif kind == "gauge":
+                value = data["value"]
+                rendered = "NaN" if value is None else f"{value:g}"
+                lines.append(f"{prom}{label_str} {rendered}")
+            else:
+                buckets = data.get("buckets", {})
+                finite = sorted(e for e in buckets if e is not None)
+                cumulative = buckets.get(None, 0)  # the zero bucket
+                bounds: list[tuple[float, int]] = []
+                for exponent in finite:
+                    cumulative += buckets[exponent]
+                    bounds.append((2.0 ** (exponent + 1), cumulative))
+                for bound, count in bounds:
+                    le = _label_str(labels, ("le", f"{bound:g}"))
+                    lines.append(f"{prom}_bucket{le} {count}")
+                inf = _label_str(labels, ("le", "+Inf"))
+                lines.append(f"{prom}_bucket{inf} {data['count']}")
+                lines.append(f"{prom}_sum{label_str} {data['sum']:.9g}")
+                lines.append(f"{prom}_count{label_str} {data['count']}")
     return "\n".join(lines) + ("\n" if lines else "")
 
 

@@ -18,6 +18,14 @@ convention; the benchmark harness prints one section per layer.
 Histograms keep count/sum/min/max plus sparse power-of-two buckets, so
 they are unit-agnostic: the same type records seconds of latency and
 simulated SGX cycles.
+
+Instruments may carry **labels** — a small ``{key: value}`` dict that
+distinguishes series of one logical metric (``shard="3"``) without
+growing the metric *name* space. Labeled instruments live in the
+registry under a canonical *series key* (``name{k="v",...}``, keys
+sorted), snapshot under that key with a ``labels`` field, and render as
+real Prometheus labels. Per-fleet cardinality therefore grows in
+series, which scrapers aggregate, not in names, which they cannot.
 """
 
 from __future__ import annotations
@@ -27,16 +35,44 @@ import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
 from time import perf_counter
-from typing import Callable, Iterator
+from typing import Callable, Iterator, Optional
+
+
+def series_key(name: str, labels: "dict[str, str] | None") -> str:
+    """Canonical registry key for a (metric name, labels) series.
+
+    Unlabeled series key as the bare name, so everything predating
+    labels is unchanged; labeled series append ``{k="v",...}`` with
+    keys sorted, which is also valid Prometheus sample syntax.
+    """
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def split_series_key(key: str) -> "tuple[str, dict[str, str]]":
+    """Inverse of :func:`series_key` (labels empty for bare names)."""
+    brace = key.find("{")
+    if brace < 0:
+        return key, {}
+    labels: dict[str, str] = {}
+    for part in key[brace + 1 : key.rindex("}")].split(","):
+        if not part:
+            continue
+        k, _, v = part.partition("=")
+        labels[k] = v.strip('"')
+    return key[:brace], labels
 
 
 class Counter:
     """A monotonically increasing counter."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: "dict[str, str] | None" = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self._value = 0
         self._lock = threading.Lock()
 
@@ -49,16 +85,20 @@ class Counter:
         return self._value
 
     def snapshot(self) -> dict:
-        return {"type": "counter", "value": self._value}
+        out = {"type": "counter", "value": self._value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Gauge:
     """A value that goes up and down (sizes, liveness flags)."""
 
-    __slots__ = ("name", "_value", "_lock")
+    __slots__ = ("name", "labels", "_value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: "dict[str, str] | None" = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self._value = 0.0
         self._lock = threading.Lock()
 
@@ -79,7 +119,10 @@ class Gauge:
         return self._value
 
     def snapshot(self) -> dict:
-        return {"type": "gauge", "value": self._value}
+        out = {"type": "gauge", "value": self._value}
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class Histogram:
@@ -90,10 +133,20 @@ class Histogram:
     exponents). Zero observations get their own bucket, keyed ``None``.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets", "_lock")
+    __slots__ = (
+        "name",
+        "labels",
+        "count",
+        "total",
+        "min",
+        "max",
+        "buckets",
+        "_lock",
+    )
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, labels: "dict[str, str] | None" = None):
         self.name = name
+        self.labels = dict(labels) if labels else {}
         self.count = 0
         self.total = 0.0
         self.min = math.inf
@@ -134,9 +187,31 @@ class Histogram:
                     return 0.0 if exponent is None else min(2.0 ** (exponent + 1), self.max)
         return self.max
 
+    def merge_snapshot(self, data: dict) -> None:
+        """Fold another histogram's snapshot (or delta) into this one.
+
+        Sparse log2 buckets merge by *bucket addition* — two workers
+        observing into the same exponent simply sum their counts, so a
+        fleet-merged histogram answers quantiles exactly as if every
+        observation had landed here. ``count``/``sum`` add; ``min``/
+        ``max`` fold. Empty snapshots (count 0) are no-ops.
+        """
+        count = data.get("count", 0)
+        if not count:
+            return
+        with self._lock:
+            self.count += count
+            self.total += data.get("sum", 0.0)
+            if data.get("min", math.inf) < self.min:
+                self.min = data["min"]
+            if data.get("max", 0.0) > self.max:
+                self.max = data["max"]
+            for exponent, n in data.get("buckets", {}).items():
+                self.buckets[exponent] = self.buckets.get(exponent, 0) + n
+
     def snapshot(self) -> dict:
         with self._lock:
-            return {
+            out = {
                 "type": "histogram",
                 "count": self.count,
                 "sum": self.total,
@@ -146,6 +221,9 @@ class Histogram:
                 # sparse log2 buckets, for the Prometheus exposition
                 "buckets": dict(self.buckets),
             }
+        if self.labels:
+            out["labels"] = dict(self.labels)
+        return out
 
 
 class _Timer:
@@ -182,21 +260,28 @@ class MetricsRegistry:
         self._gauges: dict[str, Gauge] = {}
         self._histograms: dict[str, Histogram] = {}
         self._gauge_fns: dict[str, Callable[[], float]] = {}
+        #: base metric name -> instrument kind; one logical metric must
+        #: keep one type across all of its labeled series
+        self._kinds: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # instrument access (get-or-create)
     # ------------------------------------------------------------------
-    def counter(self, name: str) -> Counter:
-        return self._get(self._counters, name, Counter)
+    def counter(
+        self, name: str, labels: Optional[dict] = None
+    ) -> Counter:
+        return self._get(self._counters, name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(self._gauges, name, Gauge)
+    def gauge(self, name: str, labels: Optional[dict] = None) -> Gauge:
+        return self._get(self._gauges, name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get(self._histograms, name, Histogram)
+    def histogram(
+        self, name: str, labels: Optional[dict] = None
+    ) -> Histogram:
+        return self._get(self._histograms, name, Histogram, labels)
 
-    def timer(self, name: str) -> _Timer:
-        return _Timer(self.histogram(name))
+    def timer(self, name: str, labels: Optional[dict] = None) -> _Timer:
+        return _Timer(self.histogram(name, labels))
 
     def span(self, name: str):
         """A trace span recording into the histogram ``name``.
@@ -211,40 +296,51 @@ class MetricsRegistry:
 
     def gauge_fn(self, name: str, fn: Callable[[], float]) -> None:
         with self._lock:
+            self._kinds.setdefault(name, "gauge")
             self._gauge_fns[name] = fn
 
-    def _get(self, table: dict, name: str, factory):
-        instrument = table.get(name)
+    _KIND_BY_FACTORY = {
+        "Counter": "counter",
+        "Gauge": "gauge",
+        "Histogram": "histogram",
+    }
+
+    def _get(self, table: dict, name: str, factory, labels=None):
+        key = series_key(name, labels)
+        instrument = table.get(key)
         if instrument is None:
             with self._lock:
-                instrument = table.get(name)
+                instrument = table.get(key)
                 if instrument is None:
-                    for other in (
-                        self._counters,
-                        self._gauges,
-                        self._histograms,
-                    ):
-                        if other is not table and name in other:
-                            raise ValueError(
-                                f"metric {name!r} already registered as a "
-                                f"different type"
-                            )
-                    instrument = table[name] = factory(name)
+                    kind = self._KIND_BY_FACTORY[factory.__name__]
+                    known = self._kinds.get(name)
+                    if known is not None and known != kind:
+                        raise ValueError(
+                            f"metric {name!r} already registered as a "
+                            f"different type"
+                        )
+                    self._kinds[name] = kind
+                    instrument = table[key] = factory(name, labels)
         return instrument
 
     # ------------------------------------------------------------------
     # export
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, dict]:
-        """Point-in-time copy of every instrument, keyed by metric name."""
+        """Point-in-time copy of every instrument, keyed by series key.
+
+        Unlabeled instruments key by their metric name, exactly as
+        before labels existed; labeled series key by
+        ``name{k="v",...}`` and carry their labels in the data dict.
+        """
         out: dict[str, dict] = {}
         with self._lock:
-            counters = list(self._counters.values())
-            gauges = list(self._gauges.values())
-            histograms = list(self._histograms.values())
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
             gauge_fns = list(self._gauge_fns.items())
-        for instrument in (*counters, *gauges, *histograms):
-            out[instrument.name] = instrument.snapshot()
+        for key, instrument in (*counters, *gauges, *histograms):
+            out[key] = instrument.snapshot()
         for name, fn in gauge_fns:
             try:
                 out[name] = {"type": "gauge", "value": fn()}
@@ -295,6 +391,7 @@ class _NullInstrument:
 
     __slots__ = ()
     name = "<null>"
+    labels: dict = {}
     value = 0
     count = 0
     total = 0.0
@@ -312,6 +409,9 @@ class _NullInstrument:
         pass
 
     def observe(self, value: float) -> None:
+        pass
+
+    def merge_snapshot(self, data: dict) -> None:
         pass
 
     def percentile(self, q: float) -> float:
@@ -336,16 +436,16 @@ class NullRegistry:
 
     enabled = False
 
-    def counter(self, name: str) -> _NullInstrument:
+    def counter(self, name: str, labels=None) -> _NullInstrument:
         return _NULL
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(self, name: str, labels=None) -> _NullInstrument:
         return _NULL
 
-    def histogram(self, name: str) -> _NullInstrument:
+    def histogram(self, name: str, labels=None) -> _NullInstrument:
         return _NULL
 
-    def timer(self, name: str) -> _NullInstrument:
+    def timer(self, name: str, labels=None) -> _NullInstrument:
         return _NULL
 
     def span(self, name: str) -> _NullInstrument:
@@ -427,6 +527,8 @@ def scoped_registry(
 #: layers the benchmark breakdown always lists, in display order
 KNOWN_LAYERS = (
     "service",
+    "shard",
+    "health",
     "portal",
     "verifier",
     "memory",

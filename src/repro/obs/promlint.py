@@ -1,0 +1,233 @@
+"""Minimal Prometheus text-format (0.0.4) parser and linter.
+
+CI's obs-smoke job scrapes the fleet exposition produced by
+:func:`repro.obs.export.render_prometheus` and runs :func:`lint_prometheus`
+over it, so a renderer regression (unlabeled federated series, missing
+``HELP``/``TYPE``, non-monotone histogram buckets) fails the build
+instead of silently producing a dashboard that cannot be queried. The
+parser is deliberately small — just enough of the exposition grammar to
+validate what VeriDB emits — and has no dependencies, matching the
+no-new-deps constraint everywhere else in the tree.
+
+Checks applied:
+
+* metric and label names match the Prometheus identifier grammar;
+* label values are double-quoted with ``\\``/``\"``/``\\n`` escapes only;
+* every sample belongs to a family announced by a preceding ``# TYPE``
+  (and ``# HELP``) line, and the declared type is one the renderer
+  knows (``counter``/``gauge``/``histogram``);
+* no duplicate series (same name + label set twice);
+* histogram series are complete and coherent per label set: bucket
+  counts are non-decreasing in ``le`` order, a ``+Inf`` bucket exists,
+  and it equals the ``_count`` sample.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+_VALUE_RE = re.compile(r"^[+-]?(?:\d+\.?\d*(?:[eE][+-]?\d+)?|\.\d+|Inf|NaN)$")
+
+_KNOWN_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+class PromParseError(ValueError):
+    """Raised by :func:`parse_prometheus` on an unrecoverable line."""
+
+
+def _parse_labels(raw: str, lineno: int, errors: list[str]) -> dict[str, str]:
+    """Parse the inside of a ``{...}`` label block."""
+    labels: dict[str, str] = {}
+    i = 0
+    n = len(raw)
+    while i < n:
+        m = _LABEL_NAME_RE.match(raw, i)
+        if not m:
+            errors.append(f"line {lineno}: bad label name at {raw[i:]!r}")
+            return labels
+        name = m.group(0)
+        i = m.end()
+        if i >= n or raw[i] != "=":
+            errors.append(f"line {lineno}: expected '=' after label {name!r}")
+            return labels
+        i += 1
+        if i >= n or raw[i] != '"':
+            errors.append(f"line {lineno}: label value for {name!r} not quoted")
+            return labels
+        i += 1
+        out = []
+        while i < n and raw[i] != '"':
+            ch = raw[i]
+            if ch == "\\":
+                if i + 1 >= n:
+                    errors.append(f"line {lineno}: dangling escape in {name!r}")
+                    return labels
+                nxt = raw[i + 1]
+                if nxt not in ('"', "\\", "n"):
+                    errors.append(
+                        f"line {lineno}: bad escape \\{nxt} in label {name!r}"
+                    )
+                out.append("\n" if nxt == "n" else nxt)
+                i += 2
+            else:
+                out.append(ch)
+                i += 1
+        if i >= n:
+            errors.append(f"line {lineno}: unterminated label value for {name!r}")
+            return labels
+        i += 1  # closing quote
+        if name in labels:
+            errors.append(f"line {lineno}: duplicate label {name!r}")
+        labels[name] = "".join(out)
+        if i < n:
+            if raw[i] != ",":
+                errors.append(f"line {lineno}: expected ',' between labels")
+                return labels
+            i += 1
+    return labels
+
+
+def parse_prometheus(text: str) -> dict:
+    """Parse exposition text into families and samples.
+
+    Returns ``{"families": {name: {"type": ..., "help": ...}},
+    "samples": [(name, labels, value, lineno), ...], "errors": [...]}``.
+    Malformed lines are recorded in ``errors`` rather than raised, so
+    the linter can report every problem in one pass.
+    """
+    families: dict[str, dict] = {}
+    samples: list[tuple[str, dict, float, int]] = []
+    errors: list[str] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        line = line.rstrip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                kind, name = parts[1], parts[2]
+                rest = parts[3] if len(parts) > 3 else ""
+                if not _NAME_RE.fullmatch(name):
+                    errors.append(f"line {lineno}: bad metric name {name!r}")
+                    continue
+                fam = families.setdefault(name, {"type": None, "help": None})
+                if kind == "TYPE":
+                    if rest not in _KNOWN_TYPES:
+                        errors.append(
+                            f"line {lineno}: unknown type {rest!r} for {name}"
+                        )
+                    if fam["type"] is not None:
+                        errors.append(f"line {lineno}: duplicate TYPE for {name}")
+                    fam["type"] = rest
+                else:
+                    fam["help"] = rest
+            # other comments are legal and ignored
+            continue
+        m = _NAME_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: cannot parse sample {line!r}")
+            continue
+        name = m.group(0)
+        i = m.end()
+        labels: dict[str, str] = {}
+        if i < len(line) and line[i] == "{":
+            close = line.rfind("}")
+            if close < i:
+                errors.append(f"line {lineno}: unterminated label block")
+                continue
+            labels = _parse_labels(line[i + 1 : close], lineno, errors)
+            i = close + 1
+        value_str = line[i:].strip()
+        if not _VALUE_RE.fullmatch(value_str):
+            errors.append(f"line {lineno}: bad sample value {value_str!r}")
+            continue
+        value = float(value_str)
+        samples.append((name, labels, value, lineno))
+    return {"families": families, "samples": samples, "errors": errors}
+
+
+def _family_of(sample_name: str, families: dict) -> str | None:
+    """Map a sample name to its declaring family (histogram suffixes)."""
+    if sample_name in families:
+        return sample_name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in families and families[base]["type"] in (
+                "histogram",
+                "summary",
+            ):
+                return base
+    return None
+
+
+def _series_id(labels: dict, drop: tuple = ()) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k not in drop))
+
+
+def lint_prometheus(text: str) -> list[str]:
+    """Lint exposition text; returns a list of problems (empty = clean)."""
+    parsed = parse_prometheus(text)
+    problems = list(parsed["errors"])
+    families = parsed["families"]
+
+    for name, fam in families.items():
+        if fam["type"] is None:
+            problems.append(f"family {name}: HELP without TYPE")
+        if fam["help"] is None:
+            problems.append(f"family {name}: missing HELP")
+
+    seen: set = set()
+    # histogram bookkeeping: family -> series-id -> {le_bound: count}
+    hist_buckets: dict[str, dict[tuple, dict[float, float]]] = {}
+    hist_counts: dict[str, dict[tuple, float]] = {}
+
+    for name, labels, value, lineno in parsed["samples"]:
+        family = _family_of(name, families)
+        if family is None:
+            problems.append(f"line {lineno}: sample {name} has no TYPE header")
+            continue
+        key = (name, _series_id(labels))
+        if key in seen:
+            problems.append(f"line {lineno}: duplicate series {name}{labels}")
+        seen.add(key)
+        if families[family]["type"] == "histogram":
+            series = _series_id(labels, drop=("le",))
+            if name.endswith("_bucket"):
+                le = labels.get("le")
+                if le is None:
+                    problems.append(f"line {lineno}: {name} missing le label")
+                    continue
+                bound = math.inf if le == "+Inf" else float(le)
+                hist_buckets.setdefault(family, {}).setdefault(series, {})[
+                    bound
+                ] = value
+            elif name.endswith("_count"):
+                hist_counts.setdefault(family, {})[series] = value
+
+    for family, by_series in hist_buckets.items():
+        for series, buckets in by_series.items():
+            last = None
+            for bound in sorted(buckets):
+                count = buckets[bound]
+                if last is not None and count < last:
+                    problems.append(
+                        f"histogram {family}{dict(series)}: bucket counts "
+                        f"decrease at le={bound:g} ({count} < {last})"
+                    )
+                last = count
+            if math.inf not in buckets:
+                problems.append(
+                    f"histogram {family}{dict(series)}: missing +Inf bucket"
+                )
+            else:
+                total = hist_counts.get(family, {}).get(series)
+                if total is not None and buckets[math.inf] != total:
+                    problems.append(
+                        f"histogram {family}{dict(series)}: +Inf bucket "
+                        f"{buckets[math.inf]:g} != _count {total:g}"
+                    )
+    return problems

@@ -364,6 +364,30 @@ class QueryService:
             },
         }
 
+    def health(self) -> dict:
+        """Service + backend health in one view.
+
+        Always reports the service's own liveness; a sharded backend
+        (anything exposing ``health()``, i.e.
+        :class:`~repro.shard.sharded.ShardedDatabase`) contributes its
+        fleet report — worker heartbeats, SLO window, active alerts —
+        under ``"fleet"``, and the combined ``"healthy"`` flag is the
+        conjunction of both layers.
+        """
+        report = {
+            "healthy": not self._draining,
+            "draining": self._draining,
+            "in_flight": self._in_flight,
+        }
+        backend_health = getattr(self.db, "health", None)
+        if callable(backend_health):
+            fleet = backend_health()
+            report["fleet"] = fleet
+            report["healthy"] = report["healthy"] and fleet.get(
+                "healthy", True
+            )
+        return report
+
 
 def serve(db: VeriDB, config: ServiceConfig | None = None, **kwargs) -> QueryService:
     """Convenience constructor mirroring ``VeriDB(...)`` ergonomics."""

@@ -28,6 +28,7 @@ pruned for the EXPLAIN line and the ``shard.partitions_pruned`` counter.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Any, Iterator, Optional
 
 from repro.sql.ast_nodes import Statement
@@ -50,12 +51,25 @@ class ShardFragmentOp(PhysicalOp):
         super().__init__(output, [])
         self.shard_id = shard_id
         self.stmt = stmt
+        #: the worker's serialized trace segment (per-operator frames),
+        #: stitched into EXPLAIN ANALYZE output when tracing is on
+        self.remote_segment: Optional[dict] = None
+        #: round-trip time not spent executing on the worker
+        self.wire_seconds = 0.0
 
-    def record(self, rowcount: int, elapsed: float) -> None:
+    def record(
+        self,
+        rowcount: int,
+        elapsed: float,
+        wire_seconds: float = 0.0,
+        segment: Optional[dict] = None,
+    ) -> None:
         """Stamp worker-reported execution stats for plan attribution."""
         self.rows_out = rowcount
         self.batches_out = 1 if rowcount else 0
         self.total_seconds = elapsed
+        self.wire_seconds = wire_seconds
+        self.remote_segment = segment
 
     def batches(self) -> Iterator[RowBatch]:
         # never drained locally; the gather node consumes worker replies
@@ -89,18 +103,30 @@ class ShardGatherOp(PhysicalOp):
         self.merges = merges or []
         self.params = params
         self.pruned = pruned
+        #: fan-out and merge wall time, stamped per drain for EXPLAIN
+        self.scatter_seconds = 0.0
+        self.merge_seconds = 0.0
 
     # ------------------------------------------------------------------
     def batches(self) -> Iterator[RowBatch]:
+        scatter_start = perf_counter()
         replies = self._scatter(
             [(f.shard_id, f.stmt) for f in self.fragments], self.params
         )
+        self.scatter_seconds = perf_counter() - scatter_start
         for fragment, reply in zip(self.fragments, replies):
-            fragment.record(reply["rowcount"], reply["elapsed"])
+            fragment.record(
+                reply["rowcount"],
+                reply["elapsed"],
+                wire_seconds=reply.get("wire_seconds", 0.0),
+                segment=reply.get("segment"),
+            )
+        merge_start = perf_counter()
         if self.mode == "agg":
             rows = self._merge_partials(replies)
         else:
             rows = [row for reply in replies for row in reply["rows"]]
+        self.merge_seconds = perf_counter() - merge_start
         return batched(rows, self.batch_size)
 
     # ------------------------------------------------------------------

@@ -40,6 +40,7 @@ from repro.errors import (
     ShardReplyReplayed,
     ShardReplyTampered,
 )
+from repro.obs.trace_context import current_trace
 from repro.shard.partition import partitioner_for, prune_shards
 from repro.shard.plan import ShardFragmentOp, ShardGatherOp
 from repro.sql.ast_nodes import (
@@ -74,8 +75,25 @@ class ScatterRouter:
         self._ctr_tampered = registry.counter("shard.reply_tampered")
         self._ctr_replayed = registry.counter("shard.reply_replayed")
         self._ctr_lost = registry.counter("shard.reply_lost")
+        # one labeled series per shard (shard="N"), not one metric name
+        # per shard: name cardinality stays constant as the fleet grows
         self._latency = [
-            registry.histogram(f"shard.{link.shard_id}.request_seconds")
+            registry.histogram(
+                "shard.request_seconds", labels={"shard": str(link.shard_id)}
+            )
+            for link in links
+        ]
+        self._wire = [
+            registry.histogram(
+                "shard.envelope_wire_seconds",
+                labels={"shard": str(link.shard_id)},
+            )
+            for link in links
+        ]
+        self._in_flight = [
+            registry.gauge(
+                "shard.in_flight", labels={"shard": str(link.shard_id)}
+            )
             for link in links
         ]
         registry.gauge("shard.workers").set(len(links))
@@ -89,6 +107,7 @@ class ScatterRouter:
     # ------------------------------------------------------------------
     def call(self, shard_id: int, op: str, payload: Any) -> Any:
         self._ctr_requests.inc()
+        self._in_flight[shard_id].inc()
         start = perf_counter()
         try:
             result = self.links[shard_id].call(op, payload)
@@ -101,7 +120,16 @@ class ScatterRouter:
         except ShardReplyLost:
             self._ctr_lost.inc()
             raise
-        self._latency[shard_id].observe(perf_counter() - start)
+        finally:
+            self._in_flight[shard_id].dec()
+        round_trip = perf_counter() - start
+        self._latency[shard_id].observe(round_trip)
+        if isinstance(result, dict) and "elapsed" in result:
+            # everything the round trip spent outside worker execution:
+            # envelope seal/open, pickling, and the wire itself
+            wire = max(0.0, round_trip - result["elapsed"])
+            result["wire_seconds"] = wire
+            self._wire[shard_id].observe(wire)
         return result
 
     def scatter(
@@ -193,11 +221,20 @@ class ScatterRouter:
 
     def _scatter_fragments(self, fragments, params: tuple) -> list[dict]:
         stmts = dict(fragments)
-        replies = self.scatter(
-            stmts.keys(),
-            "stmt",
-            lambda shard_id: {"stmt": stmts[shard_id], "params": params},
-        )
+        # propagate the live trace to the workers: the qid rides inside
+        # the pickled payload, so it is covered by the request MAC. The
+        # trace is read here, on the query thread, because the scatter
+        # pool threads never see the coordinator's ContextVar.
+        trace = current_trace()
+        trace_info = None if trace is None else {"qid": trace.qid}
+
+        def payload(shard_id: int) -> dict:
+            body = {"stmt": stmts[shard_id], "params": params}
+            if trace_info is not None:
+                body["trace"] = trace_info
+            return body
+
+        replies = self.scatter(stmts.keys(), "stmt", payload)
         self._ctr_merge_rows.inc(sum(r["rowcount"] for r in replies))
         return replies
 

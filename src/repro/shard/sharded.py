@@ -41,6 +41,7 @@ from repro.core.incident import IncidentLog
 from repro.core.portal import QueryPortal
 from repro.crypto.keys import KeyChain, generate_key
 from repro.obs import default_registry
+from repro.obs.fleet import HealthMonitor, fold_metric_delta
 from repro.sgx.attestation import PlatformQuotingKey, verify_quote
 from repro.sgx.costs import CycleMeter
 from repro.sgx.enclave import Enclave
@@ -118,6 +119,18 @@ class ShardedDatabase:
         self._fleet_round = 0
         self.fleet_digest: Optional[bytes] = None
         self._ctr_epoch_closes = self.obs.counter("shard.epoch_closes")
+        self.monitor = HealthMonitor(
+            poll=lambda shard_id: self.router.call(shard_id, "health", {}),
+            shard_ids=range(self.config.shard_count),
+            config=self.config,
+            coordinator_round=lambda: self._fleet_round,
+            registry=self.obs,
+            on_poll=(
+                self.federate_metrics if self.config.federate_metrics else None
+            ),
+        )
+        if self.config.health_interval > 0:
+            self.monitor.start(self.config.health_interval)
 
     # ------------------------------------------------------------------
     # client connections (same attestation handshake as VeriDB)
@@ -289,6 +302,45 @@ class ShardedDatabase:
         self._ctr_epoch_closes.inc()
 
     # ------------------------------------------------------------------
+    # fleet observability
+    # ------------------------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        """One fleet health check: heartbeats, SLO window, active alerts.
+
+        Polls every worker over the authenticated link, runs the
+        threshold alert rules, samples the rolling-window SLO, and —
+        when ``config.federate_metrics`` is on — folds each worker's
+        registry delta into the coordinator registry under its
+        ``shard`` label. The same check runs periodically on a daemon
+        thread when ``config.health_interval`` > 0.
+        """
+        return self.monitor.check()
+
+    def federate_metrics(self) -> int:
+        """Pull every worker's registry delta into the fleet view.
+
+        Returns the number of series folded. Workers built with
+        ``worker_metrics=False`` answer with empty deltas.
+        """
+        deltas = self.router.broadcast("metrics_snapshot", {})
+        folded = 0
+        for shard_id, delta in enumerate(deltas):
+            folded += fold_metric_delta(
+                self.obs, delta, {"shard": str(shard_id)}
+            )
+        return folded
+
+    def restart_worker(self, shard_id: int) -> None:
+        """Respawn one worker after a crash (fresh, empty partition).
+
+        Recovery of the partition's *data* is the WAL's job (each
+        worker owns its own sealed log when ``base.wal_dir`` is set);
+        this restores the transport and worker process so the health
+        monitor's ``worker_down`` alert can clear.
+        """
+        self.links[shard_id].restart()
+
+    # ------------------------------------------------------------------
     # introspection / lifecycle
     # ------------------------------------------------------------------
     def stats(self) -> dict[str, Any]:
@@ -304,6 +356,7 @@ class ShardedDatabase:
         }
 
     def close(self) -> None:
+        self.monitor.stop()
         self.router.close()
         for link in self.links:
             link.close()

@@ -75,6 +75,20 @@ class _BaseShardLink:
     def _transfer(self, blob: bytes) -> Optional[bytes]:
         raise NotImplementedError
 
+    def restart(self) -> None:
+        """Replace a dead worker with a fresh one (recovery path).
+
+        The fresh worker's reply sequence numbers restart at 1, so the
+        verifier's replay floor resets with it — replies recorded from
+        the dead worker still cannot be spliced in, because request ids
+        keep increasing across the restart and every reply must answer
+        the exact outstanding request id.
+        """
+        raise NotImplementedError
+
+    def _reset_verifier(self) -> None:
+        self._verifier = ReplyVerifier(self.shard_id, self._mac)
+
     def close(self) -> None:
         pass
 
@@ -84,10 +98,19 @@ class InprocShardLink(_BaseShardLink):
 
     def __init__(self, shard_id: int, config, link_key: bytes):
         super().__init__(shard_id, link_key, config.request_timeout)
+        self._config = config
+        self._link_key = link_key
         self.worker = ShardWorker(shard_id, config, link_key)
 
     def _transfer(self, blob: bytes) -> bytes:
         return self.worker.handle(blob)
+
+    def restart(self) -> None:
+        with self._lock:
+            self.worker = ShardWorker(
+                self.shard_id, self._config, self._link_key
+            )
+            self._reset_verifier()
 
     def close(self) -> None:
         try:
@@ -101,15 +124,32 @@ class ProcessShardLink(_BaseShardLink):
 
     def __init__(self, shard_id: int, config, link_key: bytes):
         super().__init__(shard_id, link_key, config.request_timeout)
+        self._config = config
+        self._link_key = link_key
+        self._spawn()
+
+    def _spawn(self) -> None:
         self._conn, child_conn = _MP.Pipe(duplex=True)
         self._process = _MP.Process(
             target=worker_main,
-            args=(child_conn, shard_id, config, link_key),
+            args=(child_conn, self.shard_id, self._config, self._link_key),
             daemon=True,
-            name=f"veridb-shard-{shard_id}",
+            name=f"veridb-shard-{self.shard_id}",
         )
         self._process.start()
         child_conn.close()
+
+    def restart(self) -> None:
+        with self._lock:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            if self._process.is_alive():
+                self._process.terminate()
+            self._process.join(timeout=5.0)
+            self._spawn()
+            self._reset_verifier()
 
     def _transfer(self, blob: bytes) -> bytes:
         try:

@@ -30,6 +30,9 @@ from repro.core.config import ShardConfig
 from repro.core.database import VeriDB
 from repro.crypto.mac import MessageAuthenticator
 from repro.errors import ShardEpochDesync, VeriDBError
+from repro.obs.fleet import FederationState, serialize_trace_segment
+from repro.obs.metrics import NULL_REGISTRY, MetricsRegistry
+from repro.obs.trace_context import TraceContext
 from repro.shard.envelope import (
     encode_error,
     link_key_purpose,
@@ -63,7 +66,12 @@ class ShardWorker:
 
     def __init__(self, shard_id: int, config: ShardConfig, link_key: bytes):
         self.shard_id = shard_id
-        self.db = VeriDB(worker_config(config, shard_id))
+        # the worker's own registry is the metrics-federation source:
+        # the coordinator pulls deltas from it over metrics_snapshot.
+        # worker_metrics=False restores the zero-cost null registry.
+        self.obs = MetricsRegistry() if config.worker_metrics else NULL_REGISTRY
+        self.db = VeriDB(worker_config(config, shard_id), registry=self.obs)
+        self._federation = FederationState(self.obs)
         self._mac = MessageAuthenticator(link_key)
         self._last_request_id = 0
         self._seqno = 0
@@ -107,32 +115,51 @@ class ShardWorker:
         return handler(payload)
 
     # -- SQL execution -------------------------------------------------
-    def _op_sql(self, payload: dict) -> dict:
+    def _traced_execute(self, payload: dict, statement, join_hint=None) -> dict:
+        """Run a statement, under a local trace when the request asks.
+
+        A request carrying ``trace`` (the coordinator's propagated
+        trace/qid, MAC-covered inside the payload) executes under a
+        worker-local :class:`TraceContext`; the per-operator frames are
+        serialized into the reply as a ``segment`` the coordinator
+        stitches into its own EXPLAIN ANALYZE tree.
+        """
+        trace_info = payload.get("trace")
         start = perf_counter()
-        result = self.db.engine.execute(
-            payload["sql"],
-            join_hint=payload.get("join_hint"),
-            params=payload.get("params"),
-        )
-        return {
+        if trace_info is None:
+            result = self.db.engine.execute(
+                statement, join_hint=join_hint, params=payload.get("params")
+            )
+            segment = None
+        else:
+            trace = TraceContext(qid=trace_info["qid"])
+            with trace:
+                result = self.db.engine.execute(
+                    statement,
+                    join_hint=join_hint,
+                    params=payload.get("params"),
+                )
+            segment = serialize_trace_segment(
+                trace, result.plan, self.shard_id
+            )
+        reply = {
             "columns": list(result.columns),
             "rows": list(result.rows),
             "rowcount": result.rowcount,
             "elapsed": perf_counter() - start,
         }
+        if segment is not None:
+            reply["segment"] = segment
+        return reply
+
+    def _op_sql(self, payload: dict) -> dict:
+        return self._traced_execute(
+            payload, payload["sql"], join_hint=payload.get("join_hint")
+        )
 
     def _op_stmt(self, payload: dict) -> dict:
         """Execute a pushed-down statement fragment (a pickled AST)."""
-        start = perf_counter()
-        result = self.db.engine.execute(
-            payload["stmt"], params=payload.get("params")
-        )
-        return {
-            "columns": list(result.columns),
-            "rows": list(result.rows),
-            "rowcount": result.rowcount,
-            "elapsed": perf_counter() - start,
-        }
+        return self._traced_execute(payload, payload["stmt"])
 
     # -- DDL -----------------------------------------------------------
     def _op_create_table(self, payload: dict) -> bool:
@@ -217,6 +244,30 @@ class ShardWorker:
     def _op_verify(self, payload: dict) -> bool:
         self.db.verify_now()
         return True
+
+    # -- fleet observability -------------------------------------------
+    def _op_metrics_snapshot(self, payload: dict) -> dict:
+        """Registry delta since the coordinator's previous poll."""
+        return self._federation.collect()
+
+    def _op_health(self, payload: dict) -> dict:
+        """One heartbeat: the liveness/lag signals the monitor watches."""
+        snapshot = self.obs.snapshot()
+
+        def counter(name: str) -> int:
+            return snapshot.get(name, {}).get("value", 0)
+
+        wal = self.db.wal
+        return {
+            "shard": self.shard_id,
+            "fleet_round": self.fleet_round,
+            "epoch": self.db.storage.vmem.epoch,
+            "wal_pending": 0 if wal is None else wal.pending_records,
+            "wal_last_seq": 0 if wal is None else wal.last_seq,
+            "cache_hits": counter("memory.cache_hits"),
+            "cache_misses": counter("memory.cache_misses"),
+            "epc": self.db.enclave.epc.usage(),
+        }
 
     def _op_close(self, payload: dict) -> bool:
         self.closed = True

@@ -71,8 +71,48 @@ class ExplainAnalyzeResult:
         return self.result.columns
 
     def totals(self) -> dict:
-        """Whole-query cost roll-up (sum of every trace frame)."""
+        """Whole-query cost roll-up (sum of every trace frame).
+
+        Coordinator-side costs only — the process-registry-delta
+        invariant is per process. Worker-side costs stitched in from
+        remote trace segments are reported separately by
+        :meth:`remote_totals`.
+        """
         return self.trace.totals()
+
+    # ------------------------------------------------------------------
+    # stitched worker segments (sharded execution)
+    # ------------------------------------------------------------------
+    def remote_segments(self) -> list[dict]:
+        """Worker trace segments stitched into this plan, shard order.
+
+        Empty for single-instance execution; for a scattered query each
+        :class:`~repro.shard.plan.ShardFragmentOp` leaf carries the
+        segment its worker serialized into the MAC'd reply.
+        """
+        plan = self.result.plan
+        if plan is None:
+            return []
+        segments = []
+        for op in plan.walk():
+            segment = getattr(op, "remote_segment", None)
+            if segment is not None:
+                segments.append(segment)
+        return segments
+
+    def remote_totals(self) -> Optional[dict]:
+        """Summed worker-side costs, or None when nothing was stitched.
+
+        For the counted fields this equals the sum of the per-worker
+        registry deltas — the sharded extension of the exactness
+        invariant the observability tests pin.
+        """
+        from repro.obs.fleet import sum_segment_totals
+
+        segments = self.remote_segments()
+        if not segments:
+            return None
+        return sum_segment_totals(segments)
 
     # ------------------------------------------------------------------
     # machine-readable form
@@ -80,7 +120,7 @@ class ExplainAnalyzeResult:
     @property
     def data(self) -> dict:
         plan = self.result.plan
-        return {
+        out = {
             "qid": self.trace.qid,
             "sql": self.sql,
             "rowcount": self.result.rowcount,
@@ -89,6 +129,10 @@ class ExplainAnalyzeResult:
             "unattributed": self.trace.root.as_dict(),
             "totals": self.totals(),
         }
+        remote = self.remote_totals()
+        if remote is not None:
+            out["remote_totals"] = remote
+        return out
 
     def _node_data(self, op: PhysicalOp) -> dict:
         stats = self.trace.op_stats_if_traced(op) or _EMPTY
@@ -100,6 +144,16 @@ class ExplainAnalyzeResult:
         node["self_seconds"] = op.self_seconds
         node["total_seconds"] = op.total_seconds
         node["children"] = [self._node_data(child) for child in op.children]
+        # scatter-gather decorations (duck-typed: only shard plan nodes
+        # carry these attributes)
+        segment = getattr(op, "remote_segment", None)
+        if segment is not None:
+            node["wire_seconds"] = getattr(op, "wire_seconds", 0.0)
+            node["remote"] = segment
+        merge_seconds = getattr(op, "merge_seconds", None)
+        if merge_seconds is not None:
+            node["merge_seconds"] = merge_seconds
+            node["scatter_seconds"] = getattr(op, "scatter_seconds", 0.0)
         return node
 
     # ------------------------------------------------------------------
@@ -129,10 +183,28 @@ class ExplainAnalyzeResult:
             f"cycles={totals['simulated_cycles']} "
             f"elapsed={_fmt_seconds(self.trace.elapsed)}"
         )
+        remote = self.remote_totals()
+        if remote is not None:
+            lines.append(
+                "remote totals: "
+                f"reads={remote['verified_reads']} "
+                f"cache={remote['cache_hits']}/{remote['cache_misses']} "
+                f"crossings={remote['ecalls']}"
+                f"+{remote['batched_read_crossings']} "
+                f"cycles={remote['simulated_cycles']} "
+                f"worker={_fmt_seconds(remote['elapsed_seconds'])}"
+            )
         return "\n".join(lines)
 
     def _render(self, op: PhysicalOp, indent: int, lines: list[str]) -> None:
         stats = self.trace.op_stats_if_traced(op) or _EMPTY
+        extra = ""
+        merge_seconds = getattr(op, "merge_seconds", None)
+        if merge_seconds is not None:
+            extra = (
+                f" scatter={_fmt_seconds(getattr(op, 'scatter_seconds', 0.0))}"
+                f" merge={_fmt_seconds(merge_seconds)}"
+            )
         lines.append(
             "  " * indent
             + op.describe()
@@ -142,11 +214,40 @@ class ExplainAnalyzeResult:
                 f" reads={stats.verified_reads}"
                 f" cache={stats.cache_hits}/{stats.cache_misses}"
                 f" crossings={stats.ecalls}+{stats.batched_read_crossings}"
-                f" cycles={stats.simulated_cycles})"
+                f" cycles={stats.simulated_cycles}{extra})"
             )
         )
+        segment = getattr(op, "remote_segment", None)
+        if segment is not None:
+            wire = getattr(op, "wire_seconds", 0.0)
+            lines.append(
+                "  " * (indent + 1)
+                + f"[shard {segment['shard']}] wire={_fmt_seconds(wire)} "
+                f"worker={_fmt_seconds(segment['elapsed_seconds'])}"
+            )
+            if segment.get("plan") is not None:
+                self._render_segment_node(
+                    segment["plan"], indent + 2, lines
+                )
         for child in op.children:
             self._render(child, indent + 1, lines)
+
+    @staticmethod
+    def _render_segment_node(node: dict, indent: int, lines: list[str]) -> None:
+        lines.append(
+            "  " * indent
+            + node["label"]
+            + (
+                f"  (rows={node['rows_out']} batches={node['batches_out']}"
+                f" self={_fmt_seconds(node['self_seconds'])}"
+                f" reads={node['verified_reads']}"
+                f" cache={node['cache_hits']}/{node['cache_misses']}"
+                f" crossings={node['ecalls']}+{node['batched_read_crossings']}"
+                f" cycles={node['simulated_cycles']})"
+            )
+        )
+        for child in node.get("children", ()):
+            ExplainAnalyzeResult._render_segment_node(child, indent + 1, lines)
 
     def __str__(self) -> str:
         return self.text

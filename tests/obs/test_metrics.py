@@ -211,6 +211,8 @@ def test_layer_breakdown_groups_by_first_segment():
     assert "custom.thing" in grouped["custom"]
     assert set(KNOWN_LAYERS) == {
         "service",
+        "shard",
+        "health",
         "portal",
         "verifier",
         "memory",
